@@ -1,0 +1,119 @@
+// Command ldadapt runs an unsupervised adaptation method over the
+// unlabeled target stream of a CARLANE-style benchmark, starting from
+// weights produced by cmd/ldtrain, and reports target accuracy before
+// and after.
+//
+//	ldadapt -bench MoLane -model R-18 -profile small -weights molane_r18.ldp -method bn -bs 1
+//
+// Methods: bn (LD-BN-ADAPT, the paper's), conv, fc, none, sota.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ldbnadapt/internal/adapt"
+	"ldbnadapt/internal/carlane"
+	"ldbnadapt/internal/cli"
+	"ldbnadapt/internal/metrics"
+	"ldbnadapt/internal/nn"
+	"ldbnadapt/internal/sota"
+	"ldbnadapt/internal/tensor"
+	"ldbnadapt/internal/ufld"
+)
+
+func main() {
+	bench := flag.String("bench", "MoLane", "benchmark: MoLane|TuLane|MuLane")
+	model := flag.String("model", "R-18", "backbone: R-18|R-34")
+	profile := flag.String("profile", "small", "config profile: tiny|small|repro")
+	weights := flag.String("weights", "", "weights file from ldtrain (required)")
+	method := flag.String("method", "bn", "adaptation method: bn|conv|fc|none|sota")
+	bs := flag.Int("bs", 1, "adaptation batch size")
+	lr := flag.Float64("lr", 0, "adaptation learning rate (0 = method default)")
+	seed := flag.Uint64("seed", 1, "seed (must match ldtrain for identical data)")
+	flag.Parse()
+
+	if *weights == "" {
+		fmt.Fprintln(os.Stderr, "ldadapt: -weights is required")
+		os.Exit(2)
+	}
+	name, err := cli.ParseBenchmark(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ldadapt:", err)
+		os.Exit(2)
+	}
+	variant, err := cli.ParseVariant(*model)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ldadapt:", err)
+		os.Exit(2)
+	}
+	cfgFor, err := cli.ParseProfile(*profile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ldadapt:", err)
+		os.Exit(2)
+	}
+
+	b := carlane.Build(name, variant, cfgFor, carlane.DefaultSizes(), *seed)
+	m := ufld.MustNewModel(b.Cfg, tensor.NewRNG(1))
+	f, err := os.Open(*weights)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ldadapt:", err)
+		os.Exit(1)
+	}
+	extras, err := nn.LoadParams(f, m.Params())
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ldadapt: loading weights:", err)
+		os.Exit(1)
+	}
+	if err := m.ApplyBNStateExtras(extras); err != nil {
+		fmt.Fprintln(os.Stderr, "ldadapt:", err)
+		os.Exit(1)
+	}
+
+	before := ufld.Evaluate(m, b.TargetVal, 8)
+	fmt.Printf("target accuracy before adaptation: %s (entropy %.3f)\n",
+		metrics.FormatPct(before.Accuracy), before.MeanEntropy)
+
+	cfg := adapt.DefaultConfig()
+	if *lr > 0 {
+		cfg.LR = *lr
+	}
+	switch *method {
+	case "sota":
+		sc := sota.DefaultConfig()
+		sc.Log = os.Stderr
+		res, err := sota.New(m, sc).Run(b.SourceTrain, b.TargetTrain, tensor.NewRNG(*seed+8))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ldadapt: sota:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("SOTA baseline: %d full fwd, %d full bwd, %d labeled source samples required\n",
+			res.Cost.FullForwards, res.Cost.FullBackwards, res.Cost.LabeledSourceSamples)
+	case "bn", "conv", "fc", "none":
+		var meth adapt.Method
+		switch *method {
+		case "bn":
+			meth = adapt.NewLDBNAdapt(m, cfg)
+		case "conv":
+			cfg.LR /= 10
+			meth = adapt.NewConvAdapt(m, cfg)
+		case "fc":
+			cfg.LR /= 10
+			meth = adapt.NewFCAdapt(m, cfg)
+		case "none":
+			meth = adapt.NewNoAdapt()
+		}
+		res := adapt.RunOnline(m, meth, b.TargetTrain, nil, *bs)
+		fmt.Printf("%s: %d frames, %d adaptation steps, online accuracy %s\n",
+			meth.Name(), res.Frames, meth.Steps(), metrics.FormatPct(res.OnlineAccuracy))
+	default:
+		fmt.Fprintf(os.Stderr, "ldadapt: unknown method %q\n", *method)
+		os.Exit(2)
+	}
+
+	after := ufld.Evaluate(m, b.TargetVal, 8)
+	fmt.Printf("target accuracy after adaptation:  %s (entropy %.3f)\n",
+		metrics.FormatPct(after.Accuracy), after.MeanEntropy)
+}

@@ -1,0 +1,99 @@
+// Command lddata inspects and exports the procedural CARLANE-style
+// benchmarks: per-split statistics (the Fig. 1 composition view),
+// ASCII previews of individual samples, and PPM image export for
+// offline viewing.
+//
+//	lddata -bench MoLane -profile small            # split statistics
+//	lddata -bench TuLane -show 3                   # ASCII preview of sample 3
+//	lddata -bench MuLane -export /tmp/mulane -n 8  # write 8 PPM images
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ldbnadapt/internal/carlane"
+	"ldbnadapt/internal/cli"
+	"ldbnadapt/internal/ufld"
+	"ldbnadapt/internal/viz"
+)
+
+func main() {
+	bench := flag.String("bench", "MoLane", "benchmark: MoLane|TuLane|MuLane")
+	profile := flag.String("profile", "small", "config profile: tiny|small|repro")
+	split := flag.String("split", "target-val", "split: source-train|source-val|target-train|target-val")
+	show := flag.Int("show", -1, "print an ASCII preview of this sample index")
+	export := flag.String("export", "", "directory to write PPM images into")
+	n := flag.Int("n", 4, "number of images to export")
+	seed := flag.Uint64("seed", 1, "generation seed")
+	flag.Parse()
+
+	name, err := cli.ParseBenchmark(*bench)
+	if err != nil {
+		fatal(err)
+	}
+	cfgFor, err := cli.ParseProfile(*profile)
+	if err != nil {
+		fatal(err)
+	}
+	b := carlane.Build(name, 18, cfgFor, carlane.DefaultSizes(), *seed)
+
+	var ds *ufld.Dataset
+	switch *split {
+	case "source-train":
+		ds = b.SourceTrain
+	case "source-val":
+		ds = b.SourceVal
+	case "target-train":
+		ds = b.TargetTrain
+	case "target-val":
+		ds = b.TargetVal
+	default:
+		fatal(fmt.Errorf("unknown split %q", *split))
+	}
+
+	carlane.WriteBenchmarkTable(os.Stdout, b)
+
+	if *show >= 0 {
+		if *show >= ds.Len() {
+			fatal(fmt.Errorf("sample %d out of range (split has %d)", *show, ds.Len()))
+		}
+		s := ds.Samples[*show]
+		fmt.Printf("\nsample %d of %s (o = ground-truth lane points):\n", *show, ds.Name)
+		fmt.Print(viz.ASCII(b.Cfg, s.Image, s.Cells, nil, 16, 72))
+	}
+
+	if *export != "" {
+		if err := os.MkdirAll(*export, 0o755); err != nil {
+			fatal(err)
+		}
+		count := *n
+		if count > ds.Len() {
+			count = ds.Len()
+		}
+		for i := 0; i < count; i++ {
+			s := ds.Samples[i]
+			img := viz.Overlay(b.Cfg, s.Image, s.Cells, nil)
+			path := filepath.Join(*export, fmt.Sprintf("%s_%03d.ppm", *split, i))
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := viz.WritePPM(f, img); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("\nwrote %d PPM images to %s\n", count, *export)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lddata:", err)
+	os.Exit(1)
+}

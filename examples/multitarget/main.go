@@ -1,0 +1,58 @@
+// Multitarget: the MuLane scenario — one vehicle, two target domains.
+//
+// MuLane interleaves model-vehicle frames and highway frames 1:1, so
+// the deployed detector must adapt to a *mixture* of shifts at once.
+// The paper observes that the larger R-34 backbone is more robust in
+// this multi-target setting (its §IV model-selection discussion). This
+// example adapts both backbones on MuLane and compares.
+//
+// Run with: go run ./examples/multitarget
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ldbnadapt/internal/adapt"
+	"ldbnadapt/internal/carlane"
+	"ldbnadapt/internal/metrics"
+	"ldbnadapt/internal/resnet"
+	"ldbnadapt/internal/tensor"
+	"ldbnadapt/internal/ufld"
+)
+
+func main() {
+	sizes := carlane.Sizes{SourceTrain: 128, SourceVal: 24, TargetTrain: 96, TargetVal: 48}
+	tb := metrics.NewTable("model", "source", "no-adapt", "LD-BN-ADAPT bs=1")
+	for _, v := range []resnet.Variant{resnet.R18, resnet.R34} {
+		rng := tensor.NewRNG(23)
+		bench := carlane.Build(carlane.MuLane, v, ufld.Tiny, sizes, 19)
+		model := ufld.MustNewModel(bench.Cfg, rng)
+		tc := ufld.DefaultTrainConfig()
+		tc.Epochs = 9
+		fmt.Fprintf(os.Stderr, "pre-training %s on MuLane source...\n", v)
+		if _, err := ufld.TrainSource(model, bench.SourceTrain, tc, rng.Split()); err != nil {
+			fmt.Fprintln(os.Stderr, "multitarget:", err)
+			os.Exit(1)
+		}
+		src := ufld.Evaluate(model, bench.SourceVal, 8).Accuracy
+		noAdapt := ufld.Evaluate(model, bench.TargetVal, 8).Accuracy
+
+		adapted := model.Clone(rng.Split())
+		meth := adapt.NewLDBNAdapt(adapted, adapt.DefaultConfig())
+		res := adapt.RunOnline(adapted, meth, bench.TargetTrain, bench.TargetVal, 1)
+
+		tb.AddRow(v.String(), metrics.FormatPct(src), metrics.FormatPct(noAdapt),
+			metrics.FormatPct(res.FinalAccuracy))
+	}
+	fmt.Println("MuLane (multi-target: model-vehicle + highway interleaved):")
+	if _, err := tb.WriteTo(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+	fmt.Println("\nThe two target domains pull the BN statistics in opposite directions")
+	fmt.Println("(model-vehicle frames are dark, highway frames hazy-bright), so the")
+	fmt.Println("adapting statistics oscillate. The small R-18 can even lose accuracy")
+	fmt.Println("under the mixture, while the higher-capacity R-34 absorbs it and gains —")
+	fmt.Println("exactly why the paper selects R-34 for multi-target conditions whenever")
+	fmt.Println("the 18 FPS deadline allows it (see examples/powermode).")
+}

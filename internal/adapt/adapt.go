@@ -1,0 +1,300 @@
+// Package adapt implements the paper's contribution, LD-BN-ADAPT:
+// real-time, fully unsupervised, on-device adaptation of a deployed
+// UFLD lane detector. After inference on each incoming batch of
+// unlabeled target frames, the batch-normalization statistics are
+// recomputed from the batch and a single backpropagation pass of the
+// prediction-entropy loss updates only the BN scale/shift parameters
+// (γ, β) — ≈1 % of the model. The package also provides the ablation
+// variants the paper mentions (convolutional-only and FC-only
+// adaptation) and a no-op baseline.
+package adapt
+
+import (
+	"fmt"
+
+	"ldbnadapt/internal/nn"
+	"ldbnadapt/internal/tensor"
+	"ldbnadapt/internal/ufld"
+)
+
+// LossKind selects the unsupervised objective.
+type LossKind int
+
+const (
+	// Entropy is the Shannon prediction entropy (the paper's loss).
+	Entropy LossKind = iota
+	// Confidence is the negative max-probability alternative used by
+	// the loss ablation.
+	Confidence
+)
+
+// String names the loss.
+func (k LossKind) String() string {
+	if k == Confidence {
+		return "confidence"
+	}
+	return "entropy"
+}
+
+// Method is an online, fully unsupervised adaptation algorithm: Adapt
+// consumes one batch of unlabeled target images and updates the model
+// in place.
+type Method interface {
+	// Name identifies the method in reports.
+	Name() string
+	// Adapt performs one adaptation step on the batch [n,3,H,W].
+	Adapt(batch *tensor.Tensor)
+	// Steps reports how many adaptation steps have run.
+	Steps() int
+}
+
+// Config parameterizes the entropy-minimization methods.
+type Config struct {
+	// LR is the adaptation learning rate.
+	LR float64
+	// Momentum is the SGD momentum (ignored when UseAdam is set).
+	Momentum float64
+	// UseAdam selects Adam instead of SGD for the γ/β update — the
+	// adaptive step sizes make single-frame (bs=1) adaptation robust
+	// to the noisy entropy gradients of early, badly-shifted frames.
+	UseAdam bool
+	// WarmupSteps delays the γ/β updates for the first N adaptation
+	// steps: the BN statistics (which need no gradients) settle into
+	// the target domain before entropy optimization starts.
+	WarmupSteps int
+	// Loss selects the unsupervised objective.
+	Loss LossKind
+	// ClipNorm bounds the gradient norm per step (0 disables).
+	ClipNorm float64
+}
+
+// DefaultConfig returns the settings used for LD-BN-ADAPT in the
+// reproduction experiments.
+func DefaultConfig() Config {
+	return Config{LR: 3e-3, UseAdam: true, WarmupSteps: 4, Loss: Entropy, ClipNorm: 10}
+}
+
+// newOptimizer builds the configured optimizer.
+func newOptimizer(cfg Config) nn.Optimizer {
+	if cfg.UseAdam {
+		return nn.NewAdam(cfg.LR)
+	}
+	return nn.NewSGD(cfg.LR, cfg.Momentum, 0)
+}
+
+// entropyStep runs the shared inner loop: forward under mode, compute
+// the unsupervised loss gradient, one backward pass, one optimizer
+// step restricted to params. During warmup the parameter update is
+// skipped (in Adapt mode the forward still refreshes BN statistics,
+// which is the point of the warmup). Returns the loss value.
+func entropyStep(m *ufld.Model, x *tensor.Tensor, mode nn.Mode, params []*nn.Param, opt nn.Optimizer, cfg Config, step int) float64 {
+	nn.ZeroGrads(m.Params())
+	logits := m.Forward(x, mode)
+	var loss float64
+	var grad *tensor.Tensor
+	switch cfg.Loss {
+	case Confidence:
+		loss, grad = nn.ConfidenceLoss(logits)
+	default:
+		loss, grad = nn.EntropyLoss(logits)
+	}
+	if step < cfg.WarmupSteps {
+		return loss
+	}
+	m.Backward(grad)
+	if cfg.ClipNorm > 0 {
+		nn.ClipGradNorm(params, cfg.ClipNorm)
+	}
+	opt.Step(params)
+	return loss
+}
+
+// LDBNAdapt is the paper's method. Each Adapt call:
+//
+//  1. normalization statistics (µ, σ) of every BN layer are recomputed
+//     from the unlabeled batch (nn.Adapt forward mode), refreshing the
+//     running statistics used at inference, and
+//  2. one backpropagation pass of the entropy loss updates only the BN
+//     scale and shift parameters (γ, β).
+type LDBNAdapt struct {
+	model  *ufld.Model
+	cfg    Config
+	opt    nn.Optimizer
+	params []*nn.Param
+	steps  int
+	// LastLoss is the unsupervised loss of the most recent step.
+	LastLoss float64
+}
+
+// NewLDBNAdapt wires the method to a deployed model.
+func NewLDBNAdapt(m *ufld.Model, cfg Config) *LDBNAdapt {
+	return &LDBNAdapt{
+		model:  m,
+		cfg:    cfg,
+		opt:    newOptimizer(cfg),
+		params: m.BNParams(),
+	}
+}
+
+// Name returns the paper's name for the method.
+func (a *LDBNAdapt) Name() string { return "LD-BN-ADAPT" }
+
+// Steps reports adaptation steps taken.
+func (a *LDBNAdapt) Steps() int { return a.steps }
+
+// AdaptedParamCount returns the number of scalars the method updates.
+func (a *LDBNAdapt) AdaptedParamCount() int { return nn.ParamCount(a.params) }
+
+// Adapt performs one LD-BN-ADAPT step on an unlabeled batch.
+func (a *LDBNAdapt) Adapt(batch *tensor.Tensor) {
+	a.LastLoss = entropyStep(a.model, batch, nn.Adapt, a.params, a.opt, a.cfg, a.steps)
+	a.steps++
+}
+
+// ConvAdapt is the paper's ablation: entropy adaptation of the
+// convolution weights only (BN statistics stay at their source values).
+type ConvAdapt struct {
+	model  *ufld.Model
+	cfg    Config
+	opt    nn.Optimizer
+	params []*nn.Param
+	steps  int
+}
+
+// NewConvAdapt wires the ablation to a model.
+func NewConvAdapt(m *ufld.Model, cfg Config) *ConvAdapt {
+	return &ConvAdapt{model: m, cfg: cfg, opt: newOptimizer(cfg), params: m.ConvParams()}
+}
+
+// Name identifies the ablation.
+func (a *ConvAdapt) Name() string { return "CONV-ADAPT" }
+
+// Steps reports adaptation steps taken.
+func (a *ConvAdapt) Steps() int { return a.steps }
+
+// Adapt performs one entropy step on the conv weights.
+func (a *ConvAdapt) Adapt(batch *tensor.Tensor) {
+	entropyStep(a.model, batch, nn.Eval, a.params, a.opt, a.cfg, a.steps)
+	a.steps++
+}
+
+// FCAdapt is the paper's ablation: entropy adaptation of the
+// fully-connected head only.
+type FCAdapt struct {
+	model  *ufld.Model
+	cfg    Config
+	opt    nn.Optimizer
+	params []*nn.Param
+	steps  int
+}
+
+// NewFCAdapt wires the ablation to a model.
+func NewFCAdapt(m *ufld.Model, cfg Config) *FCAdapt {
+	return &FCAdapt{model: m, cfg: cfg, opt: newOptimizer(cfg), params: m.FCParams()}
+}
+
+// Name identifies the ablation.
+func (a *FCAdapt) Name() string { return "FC-ADAPT" }
+
+// Steps reports adaptation steps taken.
+func (a *FCAdapt) Steps() int { return a.steps }
+
+// Adapt performs one entropy step on the FC head.
+func (a *FCAdapt) Adapt(batch *tensor.Tensor) {
+	entropyStep(a.model, batch, nn.Eval, a.params, a.opt, a.cfg, a.steps)
+	a.steps++
+}
+
+// NoAdapt is the "UFLD no adaptation" baseline of Fig. 2.
+type NoAdapt struct{ steps int }
+
+// NewNoAdapt returns the no-op baseline.
+func NewNoAdapt() *NoAdapt { return &NoAdapt{} }
+
+// Name identifies the baseline.
+func (a *NoAdapt) Name() string { return "NoAdapt" }
+
+// Steps reports 0-cost steps (counted for interface symmetry).
+func (a *NoAdapt) Steps() int { return a.steps }
+
+// Adapt does nothing.
+func (a *NoAdapt) Adapt(*tensor.Tensor) { a.steps++ }
+
+// statically assert the Method implementations.
+var (
+	_ Method = (*LDBNAdapt)(nil)
+	_ Method = (*ConvAdapt)(nil)
+	_ Method = (*FCAdapt)(nil)
+	_ Method = (*NoAdapt)(nil)
+)
+
+// OnlineResult summarizes an online adaptation run over a target
+// stream.
+type OnlineResult struct {
+	// MethodName records the method.
+	MethodName string
+	// BatchSize is the adaptation batch size (paper: 1, 2 or 4).
+	BatchSize int
+	// OnlineAccuracy is the accuracy of the predictions made on each
+	// frame *before* the adaptation step that consumed it (the
+	// paper's deployment order: inference, then adaptation).
+	OnlineAccuracy float64
+	// FinalAccuracy is the post-run accuracy on a held-out labeled
+	// target validation set (the Fig. 2 number).
+	FinalAccuracy float64
+	// MeanLoss is the mean unsupervised loss over adaptation steps.
+	MeanLoss float64
+	// Frames is the number of stream frames processed.
+	Frames int
+}
+
+// RunOnline drives a method over the unlabeled target stream in
+// batches of size bs — inference first, adaptation second, updated
+// model used for the next batch — then evaluates on the labeled
+// validation split.
+func RunOnline(m *ufld.Model, method Method, stream *ufld.Dataset, val *ufld.Dataset, bs int) OnlineResult {
+	if bs < 1 {
+		panic(fmt.Sprintf("adapt: batch size %d", bs))
+	}
+	res := OnlineResult{MethodName: method.Name(), BatchSize: bs}
+	n := stream.Len()
+	pointsTotal := 0
+	accW := 0.0
+	for lo := 0; lo < n; lo += bs {
+		hi := lo + bs
+		if hi > n {
+			hi = n
+		}
+		idx := make([]int, hi-lo)
+		for i := range idx {
+			idx[i] = lo + i
+		}
+		x, _ := ufld.Batch(m.Cfg, stream.Samples, idx)
+		// Phase 1: inference with the current model.
+		logits := m.Forward(x, nn.Eval)
+		preds := ufld.Decode(m.Cfg, logits, len(idx))
+		cnt := 0
+		for _, si := range idx {
+			for _, c := range stream.Samples[si].Cells {
+				if c != ufld.Absent {
+					cnt++
+				}
+			}
+		}
+		accW += ufld.Accuracy(m.Cfg, preds, stream.Samples, idx) * float64(cnt)
+		pointsTotal += cnt
+		// Phase 2: adaptation on the same unlabeled batch.
+		method.Adapt(x)
+		res.Frames += len(idx)
+	}
+	if pointsTotal > 0 {
+		res.OnlineAccuracy = accW / float64(pointsTotal)
+	}
+	if val != nil {
+		res.FinalAccuracy = ufld.Evaluate(m, val, 8).Accuracy
+	}
+	if la, ok := method.(*LDBNAdapt); ok {
+		res.MeanLoss = la.LastLoss
+	}
+	return res
+}

@@ -1,0 +1,166 @@
+package carlane
+
+import (
+	"fmt"
+	"math"
+
+	"ldbnadapt/internal/tensor"
+)
+
+// Domain identifies the image domain a sample is rendered in.
+type Domain int
+
+const (
+	// Sim is the clean simulator source domain (CARLA in the paper).
+	Sim Domain = iota
+	// MoReal is the MoLane target: real-world model-vehicle captures —
+	// indoor lighting, vignetting, floor texture, heavier sensor noise.
+	MoReal
+	// TuReal is the TuLane target: TuSimple-style US-highway footage —
+	// haze, glare, colour cast, moderate sensor noise.
+	TuReal
+)
+
+// String names the domain.
+func (d Domain) String() string {
+	switch d {
+	case Sim:
+		return "sim"
+	case MoReal:
+		return "molane-real"
+	case TuReal:
+		return "tulane-real"
+	}
+	return fmt.Sprintf("Domain(%d)", int(d))
+}
+
+// ApplyDomain transforms a clean render into the given domain in
+// place. The photometric models are deliberately strong covariate
+// shifts: they move the per-channel input statistics (and therefore
+// every BatchNorm layer's ideal normalization statistics) well away
+// from the source domain, which is the failure mode LD-BN-ADAPT
+// corrects.
+func ApplyDomain(img *tensor.Tensor, d Domain, rng *tensor.RNG) {
+	h, w := img.Dim(1), img.Dim(2)
+	switch d {
+	case Sim:
+		addNoise(img, 0.004, rng)
+	case MoReal:
+		// Indoor model-vehicle rig: dimmer, vignetted, textured floor.
+		brightness := float32(0.50 + rng.Range(-0.06, 0.06))
+		tensor.ScaleInPlace(img, brightness)
+		applyVignette(img, 0.45)
+		applyFloorTexture(img, 0.06, rng)
+		boxBlurH(img)
+		addNoise(img, 0.035, rng)
+	case TuReal:
+		// Highway footage: hazy low-contrast, glare gradient, colour cast.
+		haze := float32(0.30 + rng.Range(-0.04, 0.04))
+		contrast := float32(0.62)
+		for i := range img.Data {
+			img.Data[i] = img.Data[i]*contrast + haze
+		}
+		applyGlare(img, 0.16)
+		applyColorCast(img, 0.05, -0.04)
+		addNoise(img, 0.02, rng)
+	default:
+		panic(fmt.Sprintf("carlane: unknown domain %d", int(d)))
+	}
+	_ = h
+	_ = w
+	clamp01(img)
+}
+
+// addNoise adds i.i.d. Gaussian sensor noise.
+func addNoise(img *tensor.Tensor, sigma float64, rng *tensor.RNG) {
+	for i := range img.Data {
+		img.Data[i] += float32(rng.Normal(0, sigma))
+	}
+}
+
+// applyVignette darkens pixels by their distance from the image
+// centre (strength 0..1 at the far corners).
+func applyVignette(img *tensor.Tensor, strength float64) {
+	h, w := img.Dim(1), img.Dim(2)
+	cy, cx := float64(h)/2, float64(w)/2
+	maxR := math.Hypot(cy, cx)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			r := math.Hypot(float64(y)-cy, float64(x)-cx) / maxR
+			f := float32(1 - strength*r*r)
+			for c := 0; c < 3; c++ {
+				img.Set(img.At(c, y, x)*f, c, y, x)
+			}
+		}
+	}
+}
+
+// applyFloorTexture superimposes a low-frequency sinusoidal pattern
+// (tiles/carpet under a model vehicle).
+func applyFloorTexture(img *tensor.Tensor, amp float64, rng *tensor.RNG) {
+	h, w := img.Dim(1), img.Dim(2)
+	fy := rng.Range(0.15, 0.35)
+	fx := rng.Range(0.06, 0.16)
+	phase := rng.Range(0, 2*math.Pi)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := float32(amp * math.Sin(fy*float64(y)+fx*float64(x)+phase))
+			for c := 0; c < 3; c++ {
+				img.Set(img.At(c, y, x)+v, c, y, x)
+			}
+		}
+	}
+}
+
+// applyGlare brightens toward the top of the frame (low sun / horizon
+// glare on highway footage).
+func applyGlare(img *tensor.Tensor, strength float64) {
+	h, w := img.Dim(1), img.Dim(2)
+	for y := 0; y < h; y++ {
+		f := float32(strength * (1 - float64(y)/float64(h)))
+		for x := 0; x < w; x++ {
+			for c := 0; c < 3; c++ {
+				img.Set(img.At(c, y, x)+f, c, y, x)
+			}
+		}
+	}
+}
+
+// applyColorCast shifts the red and blue channels.
+func applyColorCast(img *tensor.Tensor, dr, db float64) {
+	h, w := img.Dim(1), img.Dim(2)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			img.Set(img.At(0, y, x)+float32(dr), 0, y, x)
+			img.Set(img.At(2, y, x)+float32(db), 2, y, x)
+		}
+	}
+}
+
+// boxBlurH applies a horizontal 3-tap box blur (cheap motion/focus
+// softness).
+func boxBlurH(img *tensor.Tensor) {
+	h, w := img.Dim(1), img.Dim(2)
+	row := make([]float32, w)
+	for c := 0; c < 3; c++ {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				row[x] = img.At(c, y, x)
+			}
+			for x := 1; x < w-1; x++ {
+				img.Set((row[x-1]+row[x]+row[x+1])/3, c, y, x)
+			}
+		}
+	}
+}
+
+// clamp01 limits all values to [0, 1].
+func clamp01(img *tensor.Tensor) {
+	for i, v := range img.Data {
+		if v < 0 {
+			img.Data[i] = 0
+		} else if v > 1 {
+			img.Data[i] = 1
+		}
+	}
+}

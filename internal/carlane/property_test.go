@@ -1,0 +1,92 @@
+package carlane
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ldbnadapt/internal/resnet"
+	"ldbnadapt/internal/tensor"
+	"ldbnadapt/internal/ufld"
+)
+
+// TestPropLabelsInRange: for arbitrary random scenes, every label is
+// either Absent or a valid cell index.
+func TestPropLabelsInRange(t *testing.T) {
+	cfg := ufld.Tiny(resnet.R18, 4)
+	f := func(seed uint64, layoutRaw, domainRaw uint8) bool {
+		layout := []Layout{Quad4, Mo4}[int(layoutRaw)%2]
+		domain := []Domain{Sim, MoReal, TuReal}[int(domainRaw)%3]
+		s := randomScene(layout, domain, tensor.NewRNG(seed))
+		for _, c := range s.Label(cfg) {
+			if c != ufld.Absent && (c < 0 || c >= cfg.GridCells) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropRenderedImagesAreNormalized: rendering + any domain keeps
+// pixel values in [0, 1] with no NaNs.
+func TestPropRenderedImagesAreNormalized(t *testing.T) {
+	cfg := ufld.Tiny(resnet.R18, 2)
+	f := func(seed uint64, domainRaw uint8) bool {
+		domain := []Domain{Sim, MoReal, TuReal}[int(domainRaw)%3]
+		rng := tensor.NewRNG(seed)
+		s := randomScene(Ego2, domain, rng)
+		img := s.Render(cfg.InputH, cfg.InputW, rng)
+		ApplyDomain(img, domain, rng)
+		return !img.HasNaN() && img.Min() >= 0 && img.Max() <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropAnchorsAreMonotonic: depth parameters of the row anchors
+// increase strictly from horizon to bottom.
+func TestPropAnchorsAreMonotonic(t *testing.T) {
+	cfg := ufld.Tiny(resnet.R18, 2)
+	f := func(seed uint64) bool {
+		s := randomScene(Ego2, Sim, tensor.NewRNG(seed))
+		ts := anchorTs(s, cfg)
+		for i := 1; i < len(ts); i++ {
+			if ts[i] <= ts[i-1] {
+				return false
+			}
+		}
+		return ts[0] > 0 && ts[len(ts)-1] <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropVisibleLanesMostlyLabeled: a fully-visible Ego2 scene labels
+// at least half of each lane's anchors (lanes can exit the frame near
+// the horizon, but not everywhere).
+func TestPropVisibleLanesMostlyLabeled(t *testing.T) {
+	cfg := ufld.Tiny(resnet.R18, 2)
+	f := func(seed uint64) bool {
+		s := randomScene(Ego2, Sim, tensor.NewRNG(seed))
+		cells := s.Label(cfg)
+		for lane := 0; lane < 2; lane++ {
+			present := 0
+			for a := 0; a < cfg.RowAnchors; a++ {
+				if cells[lane*cfg.RowAnchors+a] != ufld.Absent {
+					present++
+				}
+			}
+			if present < cfg.RowAnchors/2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,157 @@
+// Package carlane procedurally synthesizes the CARLANE-like lane
+// detection benchmarks the paper evaluates on: MoLane (2 lanes,
+// sim → model-vehicle), TuLane (4 lanes, sim → highway) and MuLane
+// (4 lanes, multi-target mixture). The real CARLANE datasets (CARLA
+// renders, model-vehicle captures and TuSimple highway images) are not
+// redistributable inside this repository, so each domain is realized as
+// a procedural scene renderer plus a photometric domain model whose
+// statistics shift exactly the way sim-to-real shifts do (brightness,
+// contrast, vignetting, texture, sensor noise) — the covariate shift
+// that batch-norm-statistic adaptation corrects. Labels exist for every
+// sample but adaptation code only ever reads the images.
+package carlane
+
+import (
+	"math"
+
+	"ldbnadapt/internal/tensor"
+	"ldbnadapt/internal/ufld"
+)
+
+// Scene describes the geometry of one rendered road image. Lane i's
+// horizontal position (as a fraction of image width) at depth
+// parameter t ∈ (0,1] (0 = horizon, 1 = bottom edge) is
+//
+//	x_i(t) = vx + (bottom_i − vx)·t + curvature·t·(1−t)
+//
+// i.e. straight rays from the vanishing point bowed by a quadratic
+// curvature term — the standard single-camera road approximation.
+type Scene struct {
+	// VanishX is the vanishing-point x as a fraction of width.
+	VanishX float64
+	// HorizonY is the horizon line as a fraction of height.
+	HorizonY float64
+	// BottomX gives each lane marking's bottom-edge intersection as a
+	// fraction of width (may fall outside [0,1] for partially visible
+	// lanes).
+	BottomX []float64
+	// Curvature bows all lanes (fraction of width at t=0.5).
+	Curvature float64
+	// Visible masks lanes that exist in the label space but not in the
+	// scene (MuLane's model-vehicle frames have no outer lanes).
+	Visible []bool
+	// Dashed marks lanes rendered with gaps.
+	Dashed []bool
+	// MarkHalfWidth is the marking half-width at the bottom edge, as a
+	// fraction of image width.
+	MarkHalfWidth float64
+	// MarkBrightness is the marking luminance in [0,1].
+	MarkBrightness float64
+	// RoadBrightness is the base road luminance in [0,1].
+	RoadBrightness float64
+}
+
+// LaneX returns lane i's horizontal position (fraction of width) at
+// depth parameter t.
+func (s *Scene) LaneX(i int, t float64) float64 {
+	return s.VanishX + (s.BottomX[i]-s.VanishX)*t + s.Curvature*t*(1-t)
+}
+
+// anchorTs returns the depth parameter of each row anchor. Anchors are
+// placed uniformly in image rows between just below the horizon and
+// the bottom edge, mirroring UFLD's predefined row anchors.
+func anchorTs(s *Scene, cfg ufld.Config) []float64 {
+	ts := make([]float64, cfg.RowAnchors)
+	y0 := s.HorizonY + 0.06
+	y1 := 0.98
+	for a := 0; a < cfg.RowAnchors; a++ {
+		y := y0 + (y1-y0)*float64(a)/float64(cfg.RowAnchors-1)
+		ts[a] = (y - s.HorizonY) / (1 - s.HorizonY)
+	}
+	return ts
+}
+
+// Label computes the ground-truth cell per (lane, anchor) for cfg.
+func (s *Scene) Label(cfg ufld.Config) []int {
+	cells := make([]int, cfg.Lanes*cfg.RowAnchors)
+	ts := anchorTs(s, cfg)
+	for lane := 0; lane < cfg.Lanes; lane++ {
+		for a, t := range ts {
+			idx := lane*cfg.RowAnchors + a
+			if !s.Visible[lane] {
+				cells[idx] = ufld.Absent
+				continue
+			}
+			x := s.LaneX(lane, t)
+			if x < 0 || x >= 1 {
+				cells[idx] = ufld.Absent
+				continue
+			}
+			cells[idx] = int(x * float64(cfg.GridCells))
+			if cells[idx] >= cfg.GridCells {
+				cells[idx] = cfg.GridCells - 1
+			}
+		}
+	}
+	return cells
+}
+
+// Render draws the scene into a [3, H, W] tensor with values in [0,1]:
+// sky above the horizon, textured road below, bright lane markings
+// whose width shrinks toward the vanishing point.
+func (s *Scene) Render(h, w int, rng *tensor.RNG) *tensor.Tensor {
+	img := tensor.New(3, h, w)
+	hy := int(s.HorizonY * float64(h))
+	skyR, skyG, skyB := float32(0.55), float32(0.62), float32(0.72)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if y < hy {
+				img.Set(skyR, 0, y, x)
+				img.Set(skyG, 1, y, x)
+				img.Set(skyB, 2, y, x)
+				continue
+			}
+			v := float32(s.RoadBrightness)
+			img.Set(v, 0, y, x)
+			img.Set(v, 1, y, x)
+			img.Set(v, 2, y, x)
+		}
+	}
+	// Lane markings.
+	for lane := range s.BottomX {
+		if !s.Visible[lane] {
+			continue
+		}
+		for y := hy; y < h; y++ {
+			t := (float64(y)/float64(h) - s.HorizonY) / (1 - s.HorizonY)
+			if t <= 0 {
+				continue
+			}
+			if s.Dashed[lane] && int(t*18)%3 == 2 {
+				continue
+			}
+			xc := s.LaneX(lane, t) * float64(w)
+			halfw := math.Max(0.5, s.MarkHalfWidth*float64(w)*t)
+			lo := int(math.Floor(xc - halfw))
+			hi := int(math.Ceil(xc + halfw))
+			for x := lo; x <= hi; x++ {
+				if x < 0 || x >= w {
+					continue
+				}
+				// Soft edge: fade with distance from centre.
+				d := math.Abs(float64(x)-xc) / (halfw + 1e-9)
+				if d > 1 {
+					continue
+				}
+				v := float32(s.MarkBrightness * (1 - 0.4*d))
+				for c := 0; c < 3; c++ {
+					if v > img.At(c, y, x) {
+						img.Set(v, c, y, x)
+					}
+				}
+			}
+		}
+	}
+	_ = rng
+	return img
+}

@@ -1,0 +1,91 @@
+// Package cli holds the flag-parsing helpers shared by the ldtrain,
+// ldadapt and ldbench commands.
+package cli
+
+import (
+	"fmt"
+	"strings"
+
+	"ldbnadapt/internal/carlane"
+	"ldbnadapt/internal/resnet"
+	"ldbnadapt/internal/ufld"
+)
+
+// ParseBenchmark maps a benchmark name to its identifier.
+func ParseBenchmark(s string) (carlane.BenchmarkName, error) {
+	switch s {
+	case "MoLane":
+		return carlane.MoLane, nil
+	case "TuLane":
+		return carlane.TuLane, nil
+	case "MuLane":
+		return carlane.MuLane, nil
+	}
+	return "", fmt.Errorf("unknown benchmark %q (want MoLane|TuLane|MuLane)", s)
+}
+
+// ParseBenchmarks maps a comma-separated list of benchmark names.
+func ParseBenchmarks(s string) ([]carlane.BenchmarkName, error) {
+	var out []carlane.BenchmarkName
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		b, err := ParseBenchmark(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmarks in %q", s)
+	}
+	return out, nil
+}
+
+// ParseVariant maps a backbone name ("R-18"/"R-34") to its identifier.
+func ParseVariant(s string) (resnet.Variant, error) {
+	switch s {
+	case "R-18":
+		return resnet.R18, nil
+	case "R-34":
+		return resnet.R34, nil
+	}
+	return 0, fmt.Errorf("unknown model %q (want R-18|R-34)", s)
+}
+
+// ParseVariants maps a comma-separated list of backbone names.
+func ParseVariants(s string) ([]resnet.Variant, error) {
+	var out []resnet.Variant
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := ParseVariant(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no models in %q", s)
+	}
+	return out, nil
+}
+
+// ParseProfile maps a config-profile name to its factory.
+func ParseProfile(s string) (func(resnet.Variant, int) ufld.Config, error) {
+	switch s {
+	case "tiny":
+		return ufld.Tiny, nil
+	case "small":
+		return ufld.Small, nil
+	case "repro":
+		return ufld.Repro, nil
+	case "full-scale":
+		return ufld.FullScale, nil
+	}
+	return nil, fmt.Errorf("unknown profile %q (want tiny|small|repro|full-scale)", s)
+}

@@ -1,0 +1,73 @@
+package cli
+
+import (
+	"testing"
+
+	"ldbnadapt/internal/carlane"
+	"ldbnadapt/internal/resnet"
+)
+
+func TestParseBenchmark(t *testing.T) {
+	for name, want := range map[string]carlane.BenchmarkName{
+		"MoLane": carlane.MoLane, "TuLane": carlane.TuLane, "MuLane": carlane.MuLane,
+	} {
+		got, err := ParseBenchmark(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseBenchmark(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseBenchmark("molane"); err == nil {
+		t.Fatal("case-mangled name accepted")
+	}
+}
+
+func TestParseBenchmarks(t *testing.T) {
+	got, err := ParseBenchmarks("MoLane, TuLane")
+	if err != nil || len(got) != 2 || got[1] != carlane.TuLane {
+		t.Fatalf("ParseBenchmarks = %v, %v", got, err)
+	}
+	if _, err := ParseBenchmarks(""); err == nil {
+		t.Fatal("empty list accepted")
+	}
+	if _, err := ParseBenchmarks("MoLane,Nope"); err == nil {
+		t.Fatal("bad entry accepted")
+	}
+}
+
+func TestParseVariant(t *testing.T) {
+	if v, err := ParseVariant("R-18"); err != nil || v != resnet.R18 {
+		t.Fatal("R-18 parse failed")
+	}
+	if v, err := ParseVariant("R-34"); err != nil || v != resnet.R34 {
+		t.Fatal("R-34 parse failed")
+	}
+	if _, err := ParseVariant("R-50"); err == nil {
+		t.Fatal("unsupported variant accepted")
+	}
+}
+
+func TestParseVariants(t *testing.T) {
+	got, err := ParseVariants("R-18,R-34")
+	if err != nil || len(got) != 2 {
+		t.Fatalf("ParseVariants = %v, %v", got, err)
+	}
+	if _, err := ParseVariants(" , "); err == nil {
+		t.Fatal("blank list accepted")
+	}
+}
+
+func TestParseProfile(t *testing.T) {
+	for _, name := range []string{"tiny", "small", "repro", "full-scale"} {
+		f, err := ParseProfile(name)
+		if err != nil || f == nil {
+			t.Fatalf("ParseProfile(%q): %v", name, err)
+		}
+		cfg := f(resnet.R18, 2)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("profile %q produces invalid config: %v", name, err)
+		}
+	}
+	if _, err := ParseProfile("huge"); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}

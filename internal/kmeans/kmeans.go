@@ -1,0 +1,207 @@
+// Package kmeans implements K-means++ clustering. It is the semantic
+// encoding substrate of the CARLANE SOTA baseline (Stuhr et al. 2022),
+// which clusters feature embeddings of source and target samples to
+// transfer knowledge between domains.
+package kmeans
+
+import (
+	"fmt"
+	"math"
+
+	"ldbnadapt/internal/tensor"
+)
+
+// Result holds a clustering of n points into k centroids.
+type Result struct {
+	// Centroids has shape [k, dim].
+	Centroids *tensor.Tensor
+	// Assign maps each input point to its centroid index.
+	Assign []int
+	// Inertia is the sum of squared distances to assigned centroids.
+	Inertia float64
+	// Iterations is the number of Lloyd iterations performed.
+	Iterations int
+}
+
+// Config controls the clustering.
+type Config struct {
+	// K is the number of clusters.
+	K int
+	// MaxIter bounds Lloyd iterations.
+	MaxIter int
+	// Tol stops early when the relative inertia improvement drops
+	// below it.
+	Tol float64
+}
+
+// DefaultConfig returns sensible defaults for embedding clustering.
+func DefaultConfig(k int) Config { return Config{K: k, MaxIter: 50, Tol: 1e-4} }
+
+// sqDist returns the squared Euclidean distance between rows a and b.
+func sqDist(data []float32, a, b, dim int) float64 {
+	s := 0.0
+	ra := data[a*dim : (a+1)*dim]
+	rb := data[b*dim : (b+1)*dim]
+	for i := range ra {
+		d := float64(ra[i]) - float64(rb[i])
+		s += d * d
+	}
+	return s
+}
+
+// pointCentroidDist returns squared distance from point p to centroid c.
+func pointCentroidDist(points *tensor.Tensor, cents *tensor.Tensor, p, c int) float64 {
+	dim := points.Dim(1)
+	s := 0.0
+	rp := points.Data[p*dim : (p+1)*dim]
+	rc := cents.Data[c*dim : (c+1)*dim]
+	for i := range rp {
+		d := float64(rp[i]) - float64(rc[i])
+		s += d * d
+	}
+	return s
+}
+
+// Run clusters points [n, dim] with K-means++ initialization followed
+// by Lloyd iterations.
+func Run(points *tensor.Tensor, cfg Config, rng *tensor.RNG) (*Result, error) {
+	if points.NDim() != 2 {
+		return nil, fmt.Errorf("kmeans: points must be [n,dim], got %v", points.Shape())
+	}
+	n, dim := points.Dim(0), points.Dim(1)
+	if cfg.K < 1 || cfg.K > n {
+		return nil, fmt.Errorf("kmeans: k=%d with n=%d points", cfg.K, n)
+	}
+	if cfg.MaxIter < 1 {
+		cfg.MaxIter = 1
+	}
+
+	// K-means++ seeding.
+	cents := tensor.New(cfg.K, dim)
+	chosen := make([]int, 0, cfg.K)
+	first := rng.Intn(n)
+	chosen = append(chosen, first)
+	copy(cents.Data[:dim], points.Data[first*dim:(first+1)*dim])
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = sqDist(points.Data, i, first, dim)
+	}
+	for c := 1; c < cfg.K; c++ {
+		total := 0.0
+		for _, d := range minDist {
+			total += d
+		}
+		var pick int
+		if total <= 0 {
+			pick = rng.Intn(n) // all points identical
+		} else {
+			r := rng.Float64() * total
+			acc := 0.0
+			pick = n - 1
+			for i, d := range minDist {
+				acc += d
+				if acc >= r {
+					pick = i
+					break
+				}
+			}
+		}
+		chosen = append(chosen, pick)
+		copy(cents.Data[c*dim:(c+1)*dim], points.Data[pick*dim:(pick+1)*dim])
+		for i := range minDist {
+			if d := sqDist(points.Data, i, pick, dim); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+
+	assign := make([]int, n)
+	counts := make([]int, cfg.K)
+	prevInertia := math.Inf(1)
+	res := &Result{Centroids: cents, Assign: assign}
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		res.Iterations = iter + 1
+		// Assignment step.
+		inertia := 0.0
+		for i := 0; i < n; i++ {
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < cfg.K; c++ {
+				if d := pointCentroidDist(points, cents, i, c); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			assign[i] = best
+			inertia += bestD
+		}
+		res.Inertia = inertia
+		// Update step.
+		cents.Zero()
+		for c := range counts {
+			counts[c] = 0
+		}
+		for i := 0; i < n; i++ {
+			c := assign[i]
+			counts[c]++
+			dst := cents.Data[c*dim : (c+1)*dim]
+			src := points.Data[i*dim : (i+1)*dim]
+			for j := range dst {
+				dst[j] += src[j]
+			}
+		}
+		for c := 0; c < cfg.K; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster on the farthest point.
+				far, farD := 0, -1.0
+				for i := 0; i < n; i++ {
+					if d := pointCentroidDist(points, cents, i, assign[i]); d > farD {
+						far, farD = i, d
+					}
+				}
+				copy(cents.Data[c*dim:(c+1)*dim], points.Data[far*dim:(far+1)*dim])
+				continue
+			}
+			inv := float32(1.0 / float64(counts[c]))
+			dst := cents.Data[c*dim : (c+1)*dim]
+			for j := range dst {
+				dst[j] *= inv
+			}
+		}
+		if prevInertia-inertia <= cfg.Tol*math.Max(prevInertia, 1e-12) {
+			break
+		}
+		prevInertia = inertia
+	}
+	// Final assignment pass so Assign matches the returned centroids.
+	inertia := 0.0
+	for i := 0; i < n; i++ {
+		best, bestD := 0, math.Inf(1)
+		for c := 0; c < cfg.K; c++ {
+			if d := pointCentroidDist(points, cents, i, c); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		assign[i] = best
+		inertia += bestD
+	}
+	res.Inertia = inertia
+	return res, nil
+}
+
+// AssignTo returns the index of the nearest centroid for a single
+// point [dim].
+func AssignTo(cents *tensor.Tensor, point []float32) int {
+	k, dim := cents.Dim(0), cents.Dim(1)
+	best, bestD := 0, math.Inf(1)
+	for c := 0; c < k; c++ {
+		rc := cents.Data[c*dim : (c+1)*dim]
+		s := 0.0
+		for i := range point {
+			d := float64(point[i]) - float64(rc[i])
+			s += d * d
+		}
+		if s < bestD {
+			best, bestD = c, s
+		}
+	}
+	return best
+}

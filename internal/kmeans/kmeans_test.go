@@ -1,0 +1,163 @@
+package kmeans
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ldbnadapt/internal/tensor"
+)
+
+// threeBlobs generates n points around three well-separated centres.
+func threeBlobs(n int, rng *tensor.RNG) (*tensor.Tensor, []int) {
+	centres := [][2]float64{{0, 0}, {10, 0}, {0, 10}}
+	pts := tensor.New(n, 2)
+	truth := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % 3
+		truth[i] = c
+		pts.Set(float32(centres[c][0]+rng.Normal(0, 0.5)), i, 0)
+		pts.Set(float32(centres[c][1]+rng.Normal(0, 0.5)), i, 1)
+	}
+	return pts, truth
+}
+
+func TestRecoverWellSeparatedClusters(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	pts, truth := threeBlobs(90, rng)
+	res, err := Run(pts, DefaultConfig(3), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All points in a true blob must share an assignment.
+	for c := 0; c < 3; c++ {
+		want := -1
+		for i, tc := range truth {
+			if tc != c {
+				continue
+			}
+			if want == -1 {
+				want = res.Assign[i]
+			} else if res.Assign[i] != want {
+				t.Fatalf("blob %d split across clusters", c)
+			}
+		}
+	}
+	if res.Inertia > 90*3*0.5*0.5*4 {
+		t.Fatalf("inertia %v too large for tight blobs", res.Inertia)
+	}
+}
+
+func TestAssignmentsMinimizeDistance(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	pts := tensor.New(40, 3)
+	rng.FillNormal(pts, 0, 2)
+	res, err := Run(pts, DefaultConfig(4), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		own := pointCentroidDist(pts, res.Centroids, i, res.Assign[i])
+		for c := 0; c < 4; c++ {
+			if d := pointCentroidDist(pts, res.Centroids, i, c); d < own-1e-9 {
+				t.Fatalf("point %d closer to centroid %d than its own", i, c)
+			}
+		}
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	if _, err := Run(tensor.New(5), DefaultConfig(2), rng); err == nil {
+		t.Fatal("1-D input accepted")
+	}
+	if _, err := Run(tensor.New(3, 2), DefaultConfig(5), rng); err == nil {
+		t.Fatal("k>n accepted")
+	}
+	if _, err := Run(tensor.New(3, 2), DefaultConfig(0), rng); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestSingleCluster(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	pts := tensor.New(10, 2)
+	rng.FillNormal(pts, 3, 1)
+	res, err := Run(pts, DefaultConfig(1), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Centroid must be the mean.
+	for d := 0; d < 2; d++ {
+		s := 0.0
+		for i := 0; i < 10; i++ {
+			s += float64(pts.At(i, d))
+		}
+		if math.Abs(float64(res.Centroids.At(0, d))-s/10) > 1e-4 {
+			t.Fatal("single centroid is not the mean")
+		}
+	}
+}
+
+func TestIdenticalPoints(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	pts := tensor.Full(2.5, 8, 2)
+	res, err := Run(pts, DefaultConfig(2), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia > 1e-9 {
+		t.Fatalf("identical points inertia %v", res.Inertia)
+	}
+}
+
+func TestAssignTo(t *testing.T) {
+	cents := tensor.FromSlice([]float32{0, 0, 10, 10}, 2, 2)
+	if AssignTo(cents, []float32{1, 1}) != 0 {
+		t.Fatal("near-origin point misassigned")
+	}
+	if AssignTo(cents, []float32{9, 9}) != 1 {
+		t.Fatal("far point misassigned")
+	}
+}
+
+func TestPropInertiaNonIncreasingWithK(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		pts := tensor.New(30, 2)
+		rng.FillNormal(pts, 0, 3)
+		r1, err1 := Run(pts, DefaultConfig(2), tensor.NewRNG(seed+1))
+		r2, err2 := Run(pts, DefaultConfig(8), tensor.NewRNG(seed+1))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		// More clusters can only help (k-means++ is near-optimal on
+		// random Gaussians; allow slack for local minima).
+		return r2.Inertia <= r1.Inertia*1.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropAssignmentsInRange(t *testing.T) {
+	f := func(seed uint64, kRaw uint8) bool {
+		k := int(kRaw%5) + 1
+		rng := tensor.NewRNG(seed)
+		pts := tensor.New(20, 2)
+		rng.FillNormal(pts, 0, 1)
+		res, err := Run(pts, DefaultConfig(k), rng)
+		if err != nil {
+			return false
+		}
+		for _, a := range res.Assign {
+			if a < 0 || a >= k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,89 @@
+package nn
+
+import (
+	"fmt"
+
+	"ldbnadapt/internal/tensor"
+)
+
+// ReLU is the rectified linear activation max(0, x).
+type ReLU struct {
+	name     string
+	lastMask []bool
+}
+
+// NewReLU constructs a ReLU layer.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// Name returns the layer identifier.
+func (r *ReLU) Name() string { return r.name }
+
+// Params returns nil (ReLU has no parameters).
+func (r *ReLU) Params() []*Param { return nil }
+
+// Forward computes max(0, x), caching the pass-through mask.
+func (r *ReLU) Forward(x *tensor.Tensor, _ Mode) *tensor.Tensor {
+	out := tensor.New(x.Shape()...)
+	if cap(r.lastMask) < x.Size() {
+		r.lastMask = make([]bool, x.Size())
+	}
+	r.lastMask = r.lastMask[:x.Size()]
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+			r.lastMask[i] = true
+		} else {
+			r.lastMask[i] = false
+		}
+	}
+	return out
+}
+
+// Backward gates the incoming gradient by the forward mask.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if r.lastMask == nil {
+		panic(fmt.Sprintf("nn: %s: Backward before Forward", r.name))
+	}
+	if grad.Size() != len(r.lastMask) {
+		panic(fmt.Sprintf("nn: %s: grad size %d, want %d", r.name, grad.Size(), len(r.lastMask)))
+	}
+	out := tensor.New(grad.Shape()...)
+	for i, v := range grad.Data {
+		if r.lastMask[i] {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+// Flatten reshapes [n, c, h, w] (or any rank ≥ 2) to [n, rest].
+type Flatten struct {
+	name      string
+	lastShape []int
+}
+
+// NewFlatten constructs a Flatten layer.
+func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
+
+// Name returns the layer identifier.
+func (f *Flatten) Name() string { return f.name }
+
+// Params returns nil.
+func (f *Flatten) Params() []*Param { return nil }
+
+// Forward flattens all but the leading (batch) dimension.
+func (f *Flatten) Forward(x *tensor.Tensor, _ Mode) *tensor.Tensor {
+	if x.NDim() < 2 {
+		panic(fmt.Sprintf("nn: %s: input %v, want rank ≥ 2", f.name, x.Shape()))
+	}
+	f.lastShape = append([]int(nil), x.Shape()...)
+	return x.Reshape(x.Dim(0), x.Size()/x.Dim(0))
+}
+
+// Backward restores the cached input shape.
+func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if f.lastShape == nil {
+		panic(fmt.Sprintf("nn: %s: Backward before Forward", f.name))
+	}
+	return grad.Reshape(f.lastShape...)
+}

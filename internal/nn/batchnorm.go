@@ -1,0 +1,233 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"ldbnadapt/internal/tensor"
+)
+
+// BatchNorm2D normalizes each channel of an NCHW tensor. It is the
+// centrepiece of LD-BN-ADAPT: the paper's adaptation recomputes the
+// normalization statistics (µ, σ) from unlabeled target batches and
+// optimizes only the affine scale (γ) and shift (β) with one entropy
+// backprop pass.
+//
+// Modes:
+//   - Train: normalize by batch stats, update running stats with
+//     Momentum.
+//   - Eval:  normalize by running stats.
+//   - Adapt: normalize by batch stats (the paper's step (i)) and
+//     refresh running stats with AdaptMomentum so later Eval passes
+//     operate in the target domain.
+type BatchNorm2D struct {
+	name string
+	C    int
+	// Eps is the variance-stabilizing constant.
+	Eps float32
+	// Momentum is the running-stat EMA factor in Train mode.
+	Momentum float32
+	// AdaptMomentum is the running-stat EMA factor in Adapt mode.
+	AdaptMomentum float32
+
+	Gamma *Param // scale γ, [C]
+	Beta  *Param // shift β, [C]
+
+	// RunningMean and RunningVar are the inference statistics.
+	RunningMean *tensor.Tensor // [C]
+	RunningVar  *tensor.Tensor // [C]
+
+	// Backward caches.
+	lastXHat     *tensor.Tensor
+	lastInvStd   []float32
+	lastMode     Mode
+	lastShape    []int
+	lastAdaptMom float32
+}
+
+// NewBatchNorm2D constructs a BN layer with γ=1, β=0, running stats
+// (0, 1).
+func NewBatchNorm2D(name string, c int) *BatchNorm2D {
+	return &BatchNorm2D{
+		name:          name,
+		C:             c,
+		Eps:           1e-5,
+		Momentum:      0.1,
+		AdaptMomentum: 0.3,
+		Gamma:         NewParam(name+".gamma", tensor.Ones(c)),
+		Beta:          NewParam(name+".beta", tensor.New(c)),
+		RunningMean:   tensor.New(c),
+		RunningVar:    tensor.Ones(c),
+	}
+}
+
+// Name returns the layer identifier.
+func (b *BatchNorm2D) Name() string { return b.name }
+
+// Params returns γ and β.
+func (b *BatchNorm2D) Params() []*Param { return []*Param{b.Gamma, b.Beta} }
+
+// Forward normalizes x according to the mode.
+func (b *BatchNorm2D) Forward(x *tensor.Tensor, mode Mode) *tensor.Tensor {
+	if x.NDim() != 4 || x.Dim(1) != b.C {
+		panic(fmt.Sprintf("nn: %s: input %v, want [n,%d,h,w]", b.name, x.Shape(), b.C))
+	}
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	hw := h * w
+	cnt := n * hw
+	out := tensor.New(n, b.C, h, w)
+	b.lastMode = mode
+	b.lastShape = []int{n, b.C, h, w}
+
+	var mean, varc []float32
+	switch mode {
+	case Eval:
+		mean = b.RunningMean.Data
+		varc = b.RunningVar.Data
+	case Train, Adapt:
+		mean = make([]float32, b.C)
+		varc = make([]float32, b.C)
+		for c := 0; c < b.C; c++ {
+			s := 0.0
+			for ni := 0; ni < n; ni++ {
+				base := (ni*b.C + c) * hw
+				for _, v := range x.Data[base : base+hw] {
+					s += float64(v)
+				}
+			}
+			m := s / float64(cnt)
+			v := 0.0
+			for ni := 0; ni < n; ni++ {
+				base := (ni*b.C + c) * hw
+				for _, xv := range x.Data[base : base+hw] {
+					d := float64(xv) - m
+					v += d * d
+				}
+			}
+			mean[c] = float32(m)
+			varc[c] = float32(v / float64(cnt))
+		}
+		mom := b.Momentum
+		if mode == Adapt {
+			mom = b.AdaptMomentum
+		}
+		for c := 0; c < b.C; c++ {
+			b.RunningMean.Data[c] = (1-mom)*b.RunningMean.Data[c] + mom*mean[c]
+			b.RunningVar.Data[c] = (1-mom)*b.RunningVar.Data[c] + mom*varc[c]
+		}
+		if mode == Adapt {
+			// LD-BN-ADAPT normalizes with the just-refreshed running
+			// statistics: an exponential moving average over the
+			// unlabeled target stream. With AdaptMomentum = 1 this is
+			// exactly the batch statistics (TENT's choice); smaller
+			// values trade reactivity for stability, which matters at
+			// batch size 1 where single-image statistics are noisy.
+			mean = b.RunningMean.Data
+			varc = b.RunningVar.Data
+			b.lastAdaptMom = mom
+		}
+	default:
+		panic(fmt.Sprintf("nn: %s: unknown mode %v", b.name, mode))
+	}
+
+	invStd := make([]float32, b.C)
+	for c := 0; c < b.C; c++ {
+		invStd[c] = float32(1.0 / math.Sqrt(float64(varc[c])+float64(b.Eps)))
+	}
+	xhat := tensor.New(n, b.C, h, w)
+	for ni := 0; ni < n; ni++ {
+		for c := 0; c < b.C; c++ {
+			base := (ni*b.C + c) * hw
+			m, is := mean[c], invStd[c]
+			g, bt := b.Gamma.Value.Data[c], b.Beta.Value.Data[c]
+			xs := x.Data[base : base+hw]
+			hs := xhat.Data[base : base+hw]
+			os := out.Data[base : base+hw]
+			for i, v := range xs {
+				xh := (v - m) * is
+				hs[i] = xh
+				os[i] = g*xh + bt
+			}
+		}
+	}
+	b.lastXHat = xhat
+	b.lastInvStd = invStd
+	return out
+}
+
+// Backward returns dX and accumulates dγ, dβ.
+//
+// In Train/Adapt mode the batch statistics depend on the input, so the
+// full BN gradient is used:
+//
+//	dX = (γ·invStd/N)·(N·dY − Σ dY − x̂·Σ(dY·x̂))
+//
+// In Eval mode the statistics are constants and dX = γ·invStd·dY.
+func (b *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if b.lastXHat == nil {
+		panic(fmt.Sprintf("nn: %s: Backward before Forward", b.name))
+	}
+	n, h, w := b.lastShape[0], b.lastShape[2], b.lastShape[3]
+	hw := h * w
+	cnt := float32(n * hw)
+	if grad.Size() != n*b.C*hw {
+		panic(fmt.Sprintf("nn: %s: grad %v, want %v", b.name, grad.Shape(), b.lastShape))
+	}
+	dx := tensor.New(n, b.C, h, w)
+	for c := 0; c < b.C; c++ {
+		// First pass: per-channel reductions Σ dY and Σ dY·x̂.
+		sumDY, sumDYX := float32(0), float32(0)
+		for ni := 0; ni < n; ni++ {
+			base := (ni*b.C + c) * hw
+			gs := grad.Data[base : base+hw]
+			hs := b.lastXHat.Data[base : base+hw]
+			for i, g := range gs {
+				sumDY += g
+				sumDYX += g * hs[i]
+			}
+		}
+		b.Beta.Grad.Data[c] += sumDY
+		b.Gamma.Grad.Data[c] += sumDYX
+		g, is := b.Gamma.Value.Data[c], b.lastInvStd[c]
+		if b.lastMode == Eval {
+			scale := g * is
+			for ni := 0; ni < n; ni++ {
+				base := (ni*b.C + c) * hw
+				gs := grad.Data[base : base+hw]
+				ds := dx.Data[base : base+hw]
+				for i, gv := range gs {
+					ds[i] = scale * gv
+				}
+			}
+			continue
+		}
+		// The statistics-dependence correction terms are weighted by
+		// how much the current batch influenced the normalization
+		// statistics: 1 in Train mode (pure batch stats), AdaptMomentum
+		// in Adapt mode (EMA-blended stats). Train mode stays the exact
+		// BN gradient; Adapt mode interpolates between the exact train
+		// (mom=1) and frozen-stats eval (mom=0) endpoints.
+		w := float32(1)
+		if b.lastMode == Adapt {
+			w = b.lastAdaptMom
+		}
+		k := g * is / cnt
+		for ni := 0; ni < n; ni++ {
+			base := (ni*b.C + c) * hw
+			gs := grad.Data[base : base+hw]
+			hs := b.lastXHat.Data[base : base+hw]
+			ds := dx.Data[base : base+hw]
+			for i, gv := range gs {
+				ds[i] = k * (cnt*gv - w*(sumDY+hs[i]*sumDYX))
+			}
+		}
+	}
+	return dx
+}
+
+// SetRunningStats overwrites the running statistics (used by tests and
+// by the stats-reset ablation).
+func (b *BatchNorm2D) SetRunningStats(mean, varc *tensor.Tensor) {
+	b.RunningMean.CopyFrom(mean)
+	b.RunningVar.CopyFrom(varc)
+}

@@ -1,0 +1,127 @@
+package nn
+
+import (
+	"fmt"
+
+	"ldbnadapt/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over NCHW tensors, lowered to matrix
+// products via im2col. Bias is optional (ResNet convolutions are
+// bias-free because they are followed by BatchNorm).
+type Conv2D struct {
+	name         string
+	InC, OutC    int
+	Geom         tensor.ConvGeom
+	Weight       *Param // [outC, inC, kh, kw]
+	Bias         *Param // [outC] or nil
+	lastCols     []*tensor.Tensor
+	lastIn       []int // cached input shape [n,c,h,w]
+	lastOutShape []int
+}
+
+// NewConv2D constructs a convolution layer with Kaiming-initialized
+// weights drawn from rng.
+func NewConv2D(name string, inC, outC int, g tensor.ConvGeom, withBias bool, rng *tensor.RNG) *Conv2D {
+	w := tensor.New(outC, inC, g.KH, g.KW)
+	rng.KaimingConv(w)
+	c := &Conv2D{
+		name:   name,
+		InC:    inC,
+		OutC:   outC,
+		Geom:   g,
+		Weight: NewParam(name+".weight", w),
+	}
+	if withBias {
+		c.Bias = NewParam(name+".bias", tensor.New(outC))
+	}
+	return c
+}
+
+// Name returns the layer identifier.
+func (c *Conv2D) Name() string { return c.name }
+
+// Params returns weight (and bias when present).
+func (c *Conv2D) Params() []*Param {
+	if c.Bias != nil {
+		return []*Param{c.Weight, c.Bias}
+	}
+	return []*Param{c.Weight}
+}
+
+// Forward computes the convolution sample by sample: per sample the
+// im2col matrix has shape [inC*kh*kw, oh*ow] and the product
+// W[outC, inC*kh*kw]·cols lands directly in the output layout.
+func (c *Conv2D) Forward(x *tensor.Tensor, _ Mode) *tensor.Tensor {
+	if x.NDim() != 4 || x.Dim(1) != c.InC {
+		panic(fmt.Sprintf("nn: %s: input %v, want [n,%d,h,w]", c.name, x.Shape(), c.InC))
+	}
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	oh, ow := c.Geom.OutSize(h, w)
+	out := tensor.New(n, c.OutC, oh, ow)
+	wm := c.Weight.Value.Reshape(c.OutC, c.InC*c.Geom.KH*c.Geom.KW)
+	c.lastCols = make([]*tensor.Tensor, n)
+	c.lastIn = []int{n, c.InC, h, w}
+	c.lastOutShape = []int{n, c.OutC, oh, ow}
+	hw := oh * ow
+	for ni := 0; ni < n; ni++ {
+		xi := tensor.FromSlice(x.Data[ni*c.InC*h*w:(ni+1)*c.InC*h*w], 1, c.InC, h, w)
+		cols := tensor.Im2Col(xi, c.Geom)
+		c.lastCols[ni] = cols
+		oi := tensor.FromSlice(out.Data[ni*c.OutC*hw:(ni+1)*c.OutC*hw], c.OutC, hw)
+		tensor.MatMulInto(oi, wm, cols)
+		if c.Bias != nil {
+			for oc := 0; oc < c.OutC; oc++ {
+				b := c.Bias.Value.Data[oc]
+				row := oi.Data[oc*hw : (oc+1)*hw]
+				for i := range row {
+					row[i] += b
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward accumulates dW (and db) and returns dX.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if c.lastCols == nil {
+		panic(fmt.Sprintf("nn: %s: Backward before Forward", c.name))
+	}
+	n, inC, h, w := c.lastIn[0], c.lastIn[1], c.lastIn[2], c.lastIn[3]
+	oh, ow := c.lastOutShape[2], c.lastOutShape[3]
+	hw := oh * ow
+	if grad.Size() != n*c.OutC*hw {
+		panic(fmt.Sprintf("nn: %s: grad %v, want %v", c.name, grad.Shape(), c.lastOutShape))
+	}
+	dW := c.Weight.Grad.Reshape(c.OutC, inC*c.Geom.KH*c.Geom.KW)
+	wm := c.Weight.Value.Reshape(c.OutC, inC*c.Geom.KH*c.Geom.KW)
+	dx := tensor.New(n, inC, h, w)
+	for ni := 0; ni < n; ni++ {
+		gi := tensor.FromSlice(grad.Data[ni*c.OutC*hw:(ni+1)*c.OutC*hw], c.OutC, hw)
+		// dW += gi · colsᵀ
+		tensor.AddInPlace(dW, tensor.MatMulTB(gi, c.lastCols[ni]))
+		if c.Bias != nil {
+			for oc := 0; oc < c.OutC; oc++ {
+				s := float32(0)
+				for _, v := range gi.Data[oc*hw : (oc+1)*hw] {
+					s += v
+				}
+				c.Bias.Grad.Data[oc] += s
+			}
+		}
+		// dcols = Wᵀ · gi ; dx_i = col2im(dcols)
+		dcols := tensor.MatMulTA(wm, gi)
+		dxi := tensor.Col2Im(dcols, 1, inC, h, w, c.Geom)
+		copy(dx.Data[ni*inC*h*w:(ni+1)*inC*h*w], dxi.Data)
+	}
+	return dx
+}
+
+// FLOPs returns the multiply-accumulate count for one forward pass on
+// an input of spatial size h×w (used by the Orin performance model).
+func (c *Conv2D) FLOPs(h, w int) int64 {
+	oh, ow := c.Geom.OutSize(h, w)
+	macs := int64(c.OutC) * int64(oh) * int64(ow) * int64(c.InC) * int64(c.Geom.KH) * int64(c.Geom.KW)
+	return 2 * macs
+}

@@ -1,0 +1,110 @@
+// Package nn implements the neural-network substrate used by the UFLD
+// lane detector and the adaptation algorithms: layers with explicit
+// reverse-mode gradients (Conv2D, BatchNorm2D, Linear, ReLU, pooling),
+// losses (group cross-entropy, Shannon prediction entropy, UFLD
+// structural losses) and optimizers (SGD with momentum, Adam).
+//
+// Layers follow a simple contract: Forward caches whatever the matching
+// Backward needs; Backward consumes the gradient w.r.t. the layer
+// output and returns the gradient w.r.t. the layer input while
+// accumulating parameter gradients into Param.Grad. A forward Mode
+// selects between training, inference and the BN-adaptation behaviour
+// at the centre of LD-BN-ADAPT.
+package nn
+
+import (
+	"fmt"
+
+	"ldbnadapt/internal/tensor"
+)
+
+// Mode selects the forward-pass behaviour of mode-dependent layers
+// (currently only BatchNorm2D distinguishes the three).
+type Mode int
+
+const (
+	// Train normalizes by batch statistics and updates running stats.
+	Train Mode = iota
+	// Eval normalizes by the stored running statistics.
+	Eval
+	// Adapt is the LD-BN-ADAPT mode: normalize by the *current batch*
+	// statistics computed from unlabeled target data (the paper's step
+	// (i): "normalization ... recomputed from the unlabeled data") and
+	// refresh the running statistics so subsequent Eval passes see the
+	// target domain.
+	Adapt
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case Train:
+		return "train"
+	case Eval:
+		return "eval"
+	case Adapt:
+		return "adapt"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Param is a trainable tensor with its gradient accumulator.
+type Param struct {
+	// Name identifies the parameter for serialization and for the
+	// adaptation selectors (e.g. "layer3.bn2.gamma").
+	Name string
+	// Value is the parameter tensor.
+	Value *tensor.Tensor
+	// Grad accumulates the loss gradient; same shape as Value.
+	Grad *tensor.Tensor
+}
+
+// NewParam allocates a parameter with a zeroed gradient.
+func NewParam(name string, value *tensor.Tensor) *Param {
+	return &Param{Name: name, Value: value, Grad: tensor.New(value.Shape()...)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Layer is a differentiable network component.
+type Layer interface {
+	// Forward computes the layer output for input x under the given
+	// mode, caching activations needed by Backward.
+	Forward(x *tensor.Tensor, mode Mode) *tensor.Tensor
+	// Backward consumes dL/d(output) and returns dL/d(input),
+	// accumulating parameter gradients. It must be called after
+	// Forward on the same input.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's trainable parameters (possibly empty).
+	Params() []*Param
+	// Name returns the layer's identifier (used to prefix param names).
+	Name() string
+}
+
+// ZeroGrads clears the gradients of all params.
+func ZeroGrads(params []*Param) {
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+}
+
+// ParamCount returns the total number of scalar parameters.
+func ParamCount(params []*Param) int {
+	n := 0
+	for _, p := range params {
+		n += p.Value.Size()
+	}
+	return n
+}
+
+// FilterParams returns the params for which keep returns true.
+func FilterParams(params []*Param, keep func(*Param) bool) []*Param {
+	var out []*Param
+	for _, p := range params {
+		if keep(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}

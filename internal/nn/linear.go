@@ -1,0 +1,75 @@
+package nn
+
+import (
+	"fmt"
+
+	"ldbnadapt/internal/tensor"
+)
+
+// Linear is a fully-connected layer y = x·Wᵀ + b over [n, in] inputs.
+type Linear struct {
+	name    string
+	In, Out int
+	Weight  *Param // [out, in]
+	Bias    *Param // [out]
+	lastX   *tensor.Tensor
+}
+
+// NewLinear constructs a Kaiming-initialized fully-connected layer.
+func NewLinear(name string, in, out int, rng *tensor.RNG) *Linear {
+	w := tensor.New(out, in)
+	rng.KaimingLinear(w)
+	return &Linear{
+		name:   name,
+		In:     in,
+		Out:    out,
+		Weight: NewParam(name+".weight", w),
+		Bias:   NewParam(name+".bias", tensor.New(out)),
+	}
+}
+
+// Name returns the layer identifier.
+func (l *Linear) Name() string { return l.name }
+
+// Params returns weight and bias.
+func (l *Linear) Params() []*Param { return []*Param{l.Weight, l.Bias} }
+
+// Forward computes x·Wᵀ + b.
+func (l *Linear) Forward(x *tensor.Tensor, _ Mode) *tensor.Tensor {
+	if x.NDim() != 2 || x.Dim(1) != l.In {
+		panic(fmt.Sprintf("nn: %s: input %v, want [n,%d]", l.name, x.Shape(), l.In))
+	}
+	l.lastX = x
+	out := tensor.MatMulTB(x, l.Weight.Value) // [n, out]
+	n := x.Dim(0)
+	for i := 0; i < n; i++ {
+		row := out.Data[i*l.Out : (i+1)*l.Out]
+		for j := range row {
+			row[j] += l.Bias.Value.Data[j]
+		}
+	}
+	return out
+}
+
+// Backward accumulates dW = dYᵀ·X and db = Σ dY, returning dX = dY·W.
+func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if l.lastX == nil {
+		panic(fmt.Sprintf("nn: %s: Backward before Forward", l.name))
+	}
+	n := l.lastX.Dim(0)
+	if grad.NDim() != 2 || grad.Dim(0) != n || grad.Dim(1) != l.Out {
+		panic(fmt.Sprintf("nn: %s: grad %v, want [%d,%d]", l.name, grad.Shape(), n, l.Out))
+	}
+	tensor.AddInPlace(l.Weight.Grad, tensor.MatMulTA(grad, l.lastX))
+	for i := 0; i < n; i++ {
+		row := grad.Data[i*l.Out : (i+1)*l.Out]
+		for j, v := range row {
+			l.Bias.Grad.Data[j] += v
+		}
+	}
+	return tensor.MatMul(grad, l.Weight.Value)
+}
+
+// FLOPs returns the multiply-accumulate count of one forward pass for a
+// single sample.
+func (l *Linear) FLOPs() int64 { return 2 * int64(l.In) * int64(l.Out) }

@@ -1,0 +1,138 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"ldbnadapt/internal/tensor"
+)
+
+// CrossEntropyRows computes the mean softmax cross-entropy over the
+// rows of logits [rows, classes] against integer targets, returning the
+// scalar loss and dL/dlogits. A target of -1 marks a row to ignore
+// (contributes neither loss nor gradient).
+func CrossEntropyRows(logits *tensor.Tensor, targets []int) (float64, *tensor.Tensor) {
+	if logits.NDim() != 2 {
+		panic(fmt.Sprintf("nn: CrossEntropyRows needs 2-D logits, got %v", logits.Shape()))
+	}
+	rows, classes := logits.Dim(0), logits.Dim(1)
+	if len(targets) != rows {
+		panic(fmt.Sprintf("nn: CrossEntropyRows got %d targets for %d rows", len(targets), rows))
+	}
+	probs := tensor.SoftmaxRows(logits)
+	grad := tensor.New(rows, classes)
+	loss := 0.0
+	active := 0
+	for i, t := range targets {
+		if t < 0 {
+			continue
+		}
+		if t >= classes {
+			panic(fmt.Sprintf("nn: target %d out of range (classes=%d)", t, classes))
+		}
+		active++
+		p := probs.At(i, t)
+		loss -= math.Log(math.Max(float64(p), 1e-12))
+		for j := 0; j < classes; j++ {
+			grad.Set(probs.At(i, j), i, j)
+		}
+		grad.Set(probs.At(i, t)-1, i, t)
+	}
+	if active == 0 {
+		return 0, grad
+	}
+	inv := float32(1.0 / float64(active))
+	tensor.ScaleInPlace(grad, inv)
+	return loss / float64(active), grad
+}
+
+// EntropyLoss computes the mean Shannon entropy of softmax(logits) over
+// rows and its gradient w.r.t. the logits. This is the fully
+// unsupervised objective of LD-BN-ADAPT (and of TENT): minimizing
+// prediction entropy sharpens decisions on unlabeled target data.
+//
+// For one row with probabilities p and entropy H = −Σ p log p the
+// gradient w.r.t. logit z_k is −p_k (log p_k + H).
+func EntropyLoss(logits *tensor.Tensor) (float64, *tensor.Tensor) {
+	if logits.NDim() != 2 {
+		panic(fmt.Sprintf("nn: EntropyLoss needs 2-D logits, got %v", logits.Shape()))
+	}
+	rows, classes := logits.Dim(0), logits.Dim(1)
+	probs := tensor.SoftmaxRows(logits)
+	grad := tensor.New(rows, classes)
+	total := 0.0
+	inv := 1.0 / float64(rows)
+	for i := 0; i < rows; i++ {
+		p := probs.Data[i*classes : (i+1)*classes]
+		h := 0.0
+		logp := make([]float64, classes)
+		for j, pv := range p {
+			lp := math.Log(math.Max(float64(pv), 1e-12))
+			logp[j] = lp
+			h -= float64(pv) * lp
+		}
+		total += h
+		g := grad.Data[i*classes : (i+1)*classes]
+		for j, pv := range p {
+			g[j] = float32(-float64(pv) * (logp[j] + h) * inv)
+		}
+	}
+	return total * inv, grad
+}
+
+// ConfidenceLoss is the negative mean max-probability objective, an
+// alternative unsupervised loss used by the ablation study: maximizing
+// the winning class's probability also sharpens predictions.
+// Returns the loss −mean_i max_c p_ic and its logit gradient.
+func ConfidenceLoss(logits *tensor.Tensor) (float64, *tensor.Tensor) {
+	if logits.NDim() != 2 {
+		panic(fmt.Sprintf("nn: ConfidenceLoss needs 2-D logits, got %v", logits.Shape()))
+	}
+	rows, classes := logits.Dim(0), logits.Dim(1)
+	probs := tensor.SoftmaxRows(logits)
+	grad := tensor.New(rows, classes)
+	total := 0.0
+	inv := 1.0 / float64(rows)
+	for i := 0; i < rows; i++ {
+		p := probs.Data[i*classes : (i+1)*classes]
+		best := 0
+		for j, pv := range p {
+			if pv > p[best] {
+				best = j
+			}
+		}
+		pm := float64(p[best])
+		total -= pm
+		// d(−p_m)/dz_k = −p_m (δ_km − p_k)
+		g := grad.Data[i*classes : (i+1)*classes]
+		for j, pv := range p {
+			d := -pm * (-float64(pv))
+			if j == best {
+				d = -pm * (1 - float64(pv))
+			}
+			g[j] = float32(d * inv)
+		}
+	}
+	return total * inv, grad
+}
+
+// GradThroughSoftmax converts a gradient w.r.t. the softmax output p
+// into a gradient w.r.t. the logits, row by row:
+// dL/dz_k = p_k (g_k − Σ_c g_c p_c).
+func GradThroughSoftmax(probs, gradP *tensor.Tensor) *tensor.Tensor {
+	rows, classes := probs.Dim(0), probs.Dim(1)
+	out := tensor.New(rows, classes)
+	for i := 0; i < rows; i++ {
+		p := probs.Data[i*classes : (i+1)*classes]
+		g := gradP.Data[i*classes : (i+1)*classes]
+		dot := float32(0)
+		for j := range p {
+			dot += p[j] * g[j]
+		}
+		o := out.Data[i*classes : (i+1)*classes]
+		for j := range p {
+			o[j] = p[j] * (g[j] - dot)
+		}
+	}
+	return out
+}

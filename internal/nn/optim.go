@@ -1,0 +1,119 @@
+package nn
+
+import (
+	"math"
+
+	"ldbnadapt/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update to every parameter and leaves the
+	// gradients untouched (callers clear them with ZeroGrads).
+	Step(params []*Param)
+}
+
+// SGD is stochastic gradient descent with classical momentum and
+// decoupled L2 weight decay.
+type SGD struct {
+	// LR is the learning rate.
+	LR float64
+	// Momentum in [0,1); 0 disables the velocity term.
+	Momentum float64
+	// WeightDecay is the L2 coefficient applied to the parameter value.
+	WeightDecay float64
+
+	velocity map[*Param]*tensor.Tensor
+}
+
+// NewSGD constructs an SGD optimizer.
+func NewSGD(lr, momentum, weightDecay float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay,
+		velocity: make(map[*Param]*tensor.Tensor)}
+}
+
+// Step applies v ← µv + (g + λw); w ← w − lr·v per parameter.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		v := s.velocity[p]
+		if v == nil {
+			v = tensor.New(p.Value.Shape()...)
+			s.velocity[p] = v
+		}
+		lr := float32(s.LR)
+		mu := float32(s.Momentum)
+		wd := float32(s.WeightDecay)
+		for i := range p.Value.Data {
+			g := p.Grad.Data[i] + wd*p.Value.Data[i]
+			v.Data[i] = mu*v.Data[i] + g
+			p.Value.Data[i] -= lr * v.Data[i]
+		}
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) with bias correction.
+type Adam struct {
+	// LR is the learning rate.
+	LR float64
+	// Beta1, Beta2 are the first/second moment decay rates.
+	Beta1, Beta2 float64
+	// Eps stabilizes the denominator.
+	Eps float64
+	// WeightDecay is the L2 coefficient.
+	WeightDecay float64
+
+	step int
+	m, v map[*Param]*tensor.Tensor
+}
+
+// NewAdam constructs an Adam optimizer with standard β parameters.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*Param]*tensor.Tensor), v: make(map[*Param]*tensor.Tensor)}
+}
+
+// Step applies one Adam update to every parameter.
+func (a *Adam) Step(params []*Param) {
+	a.step++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for _, p := range params {
+		m := a.m[p]
+		v := a.v[p]
+		if m == nil {
+			m = tensor.New(p.Value.Shape()...)
+			v = tensor.New(p.Value.Shape()...)
+			a.m[p] = m
+			a.v[p] = v
+		}
+		b1 := float32(a.Beta1)
+		b2 := float32(a.Beta2)
+		wd := float32(a.WeightDecay)
+		for i := range p.Value.Data {
+			g := p.Grad.Data[i] + wd*p.Value.Data[i]
+			m.Data[i] = b1*m.Data[i] + (1-b1)*g
+			v.Data[i] = b2*v.Data[i] + (1-b2)*g*g
+			mh := float64(m.Data[i]) / bc1
+			vh := float64(v.Data[i]) / bc2
+			p.Value.Data[i] -= float32(a.LR * mh / (math.Sqrt(vh) + a.Eps))
+		}
+	}
+}
+
+// ClipGradNorm rescales gradients so their global L2 norm does not
+// exceed maxNorm. Returns the pre-clip norm.
+func ClipGradNorm(params []*Param, maxNorm float64) float64 {
+	total := 0.0
+	for _, p := range params {
+		n := p.Grad.Norm2()
+		total += n * n
+	}
+	norm := math.Sqrt(total)
+	if norm > maxNorm && norm > 0 {
+		scale := float32(maxNorm / norm)
+		for _, p := range params {
+			tensor.ScaleInPlace(p.Grad, scale)
+		}
+	}
+	return norm
+}

@@ -1,0 +1,76 @@
+package nn
+
+import "ldbnadapt/internal/tensor"
+
+// Sequential chains layers, forwarding left-to-right and backwarding
+// right-to-left. It itself satisfies Layer, so sequences nest.
+type Sequential struct {
+	name   string
+	Layers []Layer
+}
+
+// NewSequential constructs a layer chain.
+func NewSequential(name string, layers ...Layer) *Sequential {
+	return &Sequential{name: name, Layers: layers}
+}
+
+// Name returns the chain identifier.
+func (s *Sequential) Name() string { return s.name }
+
+// Append adds layers to the end of the chain.
+func (s *Sequential) Append(layers ...Layer) { s.Layers = append(s.Layers, layers...) }
+
+// Forward runs each layer in order.
+func (s *Sequential) Forward(x *tensor.Tensor, mode Mode) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, mode)
+	}
+	return x
+}
+
+// Backward runs each layer's backward pass in reverse order.
+func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params concatenates all layer parameters in order.
+func (s *Sequential) Params() []*Param {
+	var out []*Param
+	for _, l := range s.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// BatchNorms returns every BatchNorm2D in the chain, recursing into
+// nested Sequential and BatchNormCarrier layers. The adaptation
+// algorithms use this to locate the parameters they update.
+func (s *Sequential) BatchNorms() []*BatchNorm2D {
+	var out []*BatchNorm2D
+	for _, l := range s.Layers {
+		out = append(out, CollectBatchNorms(l)...)
+	}
+	return out
+}
+
+// BatchNormCarrier is implemented by composite layers (e.g. residual
+// blocks) that contain BatchNorm2D layers and want them discoverable by
+// the adaptation algorithms.
+type BatchNormCarrier interface {
+	BatchNorms() []*BatchNorm2D
+}
+
+// CollectBatchNorms extracts the BatchNorm2D layers reachable from l.
+func CollectBatchNorms(l Layer) []*BatchNorm2D {
+	switch v := l.(type) {
+	case *BatchNorm2D:
+		return []*BatchNorm2D{v}
+	case BatchNormCarrier:
+		return v.BatchNorms()
+	default:
+		return nil
+	}
+}

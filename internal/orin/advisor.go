@@ -1,0 +1,70 @@
+package orin
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Requirement captures the deployment constraints of the paper's §IV
+// discussion: a latency deadline, a power budget, and whether the
+// vehicle faces multi-target conditions (where the paper recommends
+// the more robust R-34).
+type Requirement struct {
+	// DeadlineMs is the per-frame latency budget (e.g. Deadline30FPS).
+	DeadlineMs float64
+	// PowerBudgetW caps the power mode (0 = unconstrained).
+	PowerBudgetW int
+	// MultiTarget prefers the more robust backbone when it still meets
+	// the deadline (the paper: "if a more robust model is required
+	// ... then R-34 should be selected").
+	MultiTarget bool
+}
+
+// Candidate is one (model, mode) deployment option.
+type Candidate struct {
+	// Estimate is the priced deployment.
+	Estimate Estimate
+	// Robust marks the more robust backbone (R-34 in the paper).
+	Robust bool
+}
+
+// Recommendation is the advisor's answer.
+type Recommendation struct {
+	// Chosen is the selected deployment.
+	Chosen Candidate
+	// Feasible lists every candidate that met the constraints, best
+	// (lowest power, then lowest latency) first.
+	Feasible []Candidate
+}
+
+// Select implements the paper's model-selection logic over a candidate
+// set: filter by power budget and deadline; among survivors prefer the
+// robust backbone when MultiTarget is set, otherwise the lowest-power,
+// then lowest-latency option.
+func Select(req Requirement, candidates []Candidate) (Recommendation, error) {
+	var feasible []Candidate
+	for _, c := range candidates {
+		if req.PowerBudgetW > 0 && c.Estimate.Mode.Watts > req.PowerBudgetW {
+			continue
+		}
+		if !c.Estimate.Meets(req.DeadlineMs) {
+			continue
+		}
+		feasible = append(feasible, c)
+	}
+	if len(feasible) == 0 {
+		return Recommendation{}, fmt.Errorf("orin: no candidate meets %.1f ms within %d W",
+			req.DeadlineMs, req.PowerBudgetW)
+	}
+	sort.SliceStable(feasible, func(i, j int) bool {
+		a, b := feasible[i], feasible[j]
+		if req.MultiTarget && a.Robust != b.Robust {
+			return a.Robust // robust models first
+		}
+		if a.Estimate.Mode.Watts != b.Estimate.Mode.Watts {
+			return a.Estimate.Mode.Watts < b.Estimate.Mode.Watts
+		}
+		return a.Estimate.TotalMs < b.Estimate.TotalMs
+	})
+	return Recommendation{Chosen: feasible[0], Feasible: feasible}, nil
+}

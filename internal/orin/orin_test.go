@@ -1,0 +1,229 @@
+package orin
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ldbnadapt/internal/resnet"
+	"ldbnadapt/internal/ufld"
+)
+
+func costFor(v resnet.Variant) resnet.ModelCost {
+	return ufld.DescribeModel(ufld.FullScale(v, 4))
+}
+
+func TestModeByWatts(t *testing.T) {
+	for _, w := range []int{15, 30, 50, 60} {
+		m, err := ModeByWatts(w)
+		if err != nil || m.Watts != w {
+			t.Fatalf("ModeByWatts(%d): %v %v", w, m, err)
+		}
+	}
+	if _, err := ModeByWatts(25); err == nil {
+		t.Fatal("unknown wattage accepted")
+	}
+}
+
+func TestModesAreMonotonic(t *testing.T) {
+	for i := 1; i < len(Modes); i++ {
+		if Modes[i].Watts <= Modes[i-1].Watts {
+			t.Fatal("modes must ascend in power")
+		}
+		if Modes[i].EffGFLOPS <= Modes[i-1].EffGFLOPS {
+			t.Fatal("throughput must rise with power")
+		}
+		if Modes[i].MemBWGBs <= Modes[i-1].MemBWGBs {
+			t.Fatal("bandwidth must rise with power")
+		}
+	}
+}
+
+func TestLatencyDecreasesWithPower(t *testing.T) {
+	cost := costFor(resnet.R18)
+	prev := -1.0
+	for i := len(Modes) - 1; i >= 0; i-- {
+		e := EstimateFrame("R-18", cost, Modes[i], 1)
+		if prev >= 0 && e.TotalMs <= prev {
+			t.Fatalf("latency must increase as power drops: %v", Modes[i].Name)
+		}
+		prev = e.TotalMs
+	}
+}
+
+func TestR34SlowerThanR18(t *testing.T) {
+	c18, c34 := costFor(resnet.R18), costFor(resnet.R34)
+	for _, m := range Modes {
+		e18 := EstimateFrame("R-18", c18, m, 1)
+		e34 := EstimateFrame("R-34", c34, m, 1)
+		if e34.TotalMs <= e18.TotalMs {
+			t.Fatalf("%s: R-34 (%.1f ms) must be slower than R-18 (%.1f ms)", m.Name, e34.TotalMs, e18.TotalMs)
+		}
+	}
+}
+
+func TestAdaptPhaseAddsLatency(t *testing.T) {
+	cost := costFor(resnet.R18)
+	for _, m := range Modes {
+		with := EstimateFrame("R-18", cost, m, 1)
+		without := EstimateInferenceOnly("R-18", cost, m)
+		if with.TotalMs <= without.TotalMs {
+			t.Fatalf("%s: adaptation must add latency", m.Name)
+		}
+		if with.AdaptMs <= 0 || without.TotalMs <= 0 {
+			t.Fatal("phases must be positive")
+		}
+	}
+}
+
+func TestBatchSizeAmortizesAdaptation(t *testing.T) {
+	cost := costFor(resnet.R18)
+	e1 := EstimateFrame("R-18", cost, Mode60W, 1)
+	e2 := EstimateFrame("R-18", cost, Mode60W, 2)
+	e4 := EstimateFrame("R-18", cost, Mode60W, 4)
+	if !(e1.AdaptMs > e2.AdaptMs && e2.AdaptMs > e4.AdaptMs) {
+		t.Fatal("larger batches must amortize adaptation cost")
+	}
+	if e1.InferenceMs != e4.InferenceMs {
+		t.Fatal("inference cost must not depend on adaptation batch")
+	}
+}
+
+// TestFig3DeadlinePlacement pins the paper's headline hardware result:
+// R-18 at 60 W meets 30 FPS; R-18 at 50 W and R-34 at 60 W meet only
+// 18 FPS; R-34 at 50 W and everything at ≤30 W misses both.
+func TestFig3DeadlinePlacement(t *testing.T) {
+	c18, c34 := costFor(resnet.R18), costFor(resnet.R34)
+	type row struct {
+		cost     resnet.ModelCost
+		mode     PowerMode
+		meets30  bool
+		meets18  bool
+		whatisit string
+	}
+	rows := []row{
+		{c18, Mode60W, true, true, "R-18@60W"},
+		{c18, Mode50W, false, true, "R-18@50W"},
+		{c34, Mode60W, false, true, "R-34@60W"},
+		{c34, Mode50W, false, false, "R-34@50W"},
+		{c18, Mode30W, false, false, "R-18@30W"},
+		{c34, Mode30W, false, false, "R-34@30W"},
+		{c18, Mode15W, false, false, "R-18@15W"},
+		{c34, Mode15W, false, false, "R-34@15W"},
+	}
+	for _, r := range rows {
+		e := EstimateFrame(r.whatisit, r.cost, r.mode, 1)
+		if got := e.Meets(Deadline30FPS); got != r.meets30 {
+			t.Errorf("%s: meets 30FPS = %v (%.1f ms), want %v", r.whatisit, got, e.TotalMs, r.meets30)
+		}
+		if got := e.Meets(Deadline18FPS); got != r.meets18 {
+			t.Errorf("%s: meets 18FPS = %v (%.1f ms), want %v", r.whatisit, got, e.TotalMs, r.meets18)
+		}
+	}
+}
+
+func TestEnergyScalesWithWatts(t *testing.T) {
+	cost := costFor(resnet.R18)
+	e60 := EstimateFrame("R-18", cost, Mode60W, 1)
+	if e60.EnergyMJ <= 0 {
+		t.Fatal("energy must be positive")
+	}
+	// Energy = W × t; verify consistency.
+	if diff := e60.EnergyMJ - float64(Mode60W.Watts)*e60.TotalMs; diff > 1e-9 {
+		t.Fatal("energy accounting inconsistent")
+	}
+}
+
+func TestFPSInverse(t *testing.T) {
+	cost := costFor(resnet.R18)
+	e := EstimateFrame("R-18", cost, Mode60W, 1)
+	if f := e.FPS(); f < 1 || f > 1000 {
+		t.Fatalf("FPS %v implausible", f)
+	}
+	if e.FPS()*e.TotalMs < 999 || e.FPS()*e.TotalMs > 1001 {
+		t.Fatal("FPS inconsistent with TotalMs")
+	}
+}
+
+func TestSOTAEpochExceedsOneHour(t *testing.T) {
+	// The paper §II: "Each epoch on Orin took greater than 1 hour".
+	cost := costFor(resnet.R18)
+	d := SOTAEpochCost(cost, CARLANEScaleWorkload(), Mode60W)
+	if d < time.Hour {
+		t.Fatalf("SOTA epoch %v, paper reports > 1 h", d)
+	}
+	// Sanity upper bound: it is hours, not days.
+	if d > 12*time.Hour {
+		t.Fatalf("SOTA epoch %v implausibly long", d)
+	}
+}
+
+func TestSOTAvsLDBNAdaptGap(t *testing.T) {
+	// The whole point: per-frame LD-BN-ADAPT adaptation is ~6 orders
+	// of magnitude cheaper than one SOTA epoch.
+	cost := costFor(resnet.R18)
+	frame := LDBNAdaptPerFrameCost(cost, Mode60W)
+	epoch := SOTAEpochCost(cost, CARLANEScaleWorkload(), Mode60W)
+	if ratio := float64(epoch) / float64(frame); ratio < 1e4 {
+		t.Fatalf("cost gap only %.0fx — too small", ratio)
+	}
+}
+
+func TestSelectPrefersLowPowerFeasible(t *testing.T) {
+	c18, c34 := costFor(resnet.R18), costFor(resnet.R34)
+	var cands []Candidate
+	for _, m := range Modes {
+		cands = append(cands,
+			Candidate{Estimate: EstimateFrame("R-18", c18, m, 1), Robust: false},
+			Candidate{Estimate: EstimateFrame("R-34", c34, m, 1), Robust: true})
+	}
+	// Strict 30 FPS: only R-18@60W survives (per Fig. 3).
+	rec, err := Select(Requirement{DeadlineMs: Deadline30FPS}, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Chosen.Estimate.ModelName != "R-18" || rec.Chosen.Estimate.Mode.Watts != 60 {
+		t.Fatalf("30FPS choice = %s@%dW", rec.Chosen.Estimate.ModelName, rec.Chosen.Estimate.Mode.Watts)
+	}
+	// Relaxed deadline with a 50 W cap: paper says R-18 at 50 W.
+	rec, err = Select(Requirement{DeadlineMs: Deadline18FPS, PowerBudgetW: 50}, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Chosen.Estimate.ModelName != "R-18" || rec.Chosen.Estimate.Mode.Watts != 50 {
+		t.Fatalf("50W choice = %s@%dW", rec.Chosen.Estimate.ModelName, rec.Chosen.Estimate.Mode.Watts)
+	}
+	// Relaxed deadline, multi-target: paper recommends R-34.
+	rec, err = Select(Requirement{DeadlineMs: Deadline18FPS, MultiTarget: true}, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Chosen.Estimate.ModelName != "R-34" {
+		t.Fatalf("multi-target choice = %s", rec.Chosen.Estimate.ModelName)
+	}
+	// Impossible requirement errors out.
+	if _, err := Select(Requirement{DeadlineMs: 1}, cands); err == nil {
+		t.Fatal("infeasible requirement accepted")
+	}
+}
+
+func TestWriteLatencyTable(t *testing.T) {
+	cost := costFor(resnet.R18)
+	var sb strings.Builder
+	WriteLatencyTable(&sb, []Estimate{EstimateFrame("R-18", cost, Mode60W, 1)})
+	out := sb.String()
+	for _, want := range []string{"R-18", "MAXN", "meet"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEstimateFramePanicsOnBadBatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bs=0 accepted")
+		}
+	}()
+	EstimateFrame("x", costFor(resnet.R18), Mode60W, 0)
+}

@@ -1,0 +1,276 @@
+package stream
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ldbnadapt/internal/adapt"
+	"ldbnadapt/internal/carlane"
+	"ldbnadapt/internal/orin"
+	"ldbnadapt/internal/resnet"
+	"ldbnadapt/internal/tensor"
+	"ldbnadapt/internal/ufld"
+)
+
+type fixture struct {
+	bench *carlane.Benchmark
+	model *ufld.Model
+	rng   *tensor.RNG
+}
+
+var (
+	fixOnce sync.Once
+	fix     fixture
+)
+
+func getFixture(t *testing.T) *fixture {
+	t.Helper()
+	fixOnce.Do(func() {
+		rng := tensor.NewRNG(99)
+		b := carlane.Build(carlane.MoLane, resnet.R18, ufld.Tiny,
+			carlane.Sizes{SourceTrain: 40, SourceVal: 12, TargetTrain: 24, TargetVal: 16}, 13)
+		m := ufld.MustNewModel(b.Cfg, rng)
+		tc := ufld.DefaultTrainConfig()
+		tc.Epochs = 4
+		if _, err := ufld.TrainSource(m, b.SourceTrain, tc, rng.Split()); err != nil {
+			panic(err)
+		}
+		fix = fixture{bench: b, model: m, rng: rng}
+	})
+	return &fix
+}
+
+func TestSourceTimestamps(t *testing.T) {
+	f := getFixture(t)
+	src := NewSource(f.bench.TargetTrain, 30)
+	if len(src.Frames) != f.bench.TargetTrain.Len() {
+		t.Fatal("frame count wrong")
+	}
+	period := src.Period()
+	if period != time.Second/30 {
+		t.Fatalf("period %v", period)
+	}
+	for i, fr := range src.Frames {
+		if fr.Index != i {
+			t.Fatal("indices must be ordered")
+		}
+		if fr.Arrival != time.Duration(i)*period {
+			t.Fatalf("frame %d arrival %v", i, fr.Arrival)
+		}
+	}
+}
+
+func TestNewSourceRejectsBadFPS(t *testing.T) {
+	f := getFixture(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("fps=0 accepted")
+		}
+	}()
+	NewSource(f.bench.TargetTrain, 0)
+}
+
+func TestRunMeets30FPSWithR18At60W(t *testing.T) {
+	f := getFixture(t)
+	m := f.model.Clone(f.rng.Split())
+	src := NewSource(f.bench.TargetTrain, 30)
+	res := Run(m, resnet.R18, src, Config{
+		Method:     adapt.NewLDBNAdapt(m, adapt.DefaultConfig()),
+		BatchSize:  1,
+		Mode:       orin.Mode60W,
+		DeadlineMs: orin.Deadline30FPS,
+	})
+	// The paper's headline: R-18 at 60 W meets every 33.3 ms deadline.
+	if res.MissRate != 0 {
+		t.Fatalf("R-18@60W miss rate %.2f, want 0", res.MissRate)
+	}
+	if res.AdaptSteps != len(src.Frames) {
+		t.Fatalf("bs=1 must adapt once per frame: %d vs %d", res.AdaptSteps, len(src.Frames))
+	}
+	if res.OnlineAccuracy <= 0 || res.OnlineAccuracy > 1 {
+		t.Fatalf("online accuracy %v", res.OnlineAccuracy)
+	}
+}
+
+func TestRunMissesDeadlineAtLowPower(t *testing.T) {
+	f := getFixture(t)
+	m := f.model.Clone(f.rng.Split())
+	src := NewSource(f.bench.TargetTrain, 30)
+	var log strings.Builder
+	res := Run(m, resnet.R18, src, Config{
+		Method:     adapt.NewLDBNAdapt(m, adapt.DefaultConfig()),
+		BatchSize:  1,
+		Mode:       orin.Mode15W,
+		DeadlineMs: orin.Deadline30FPS,
+		Log:        &log,
+	})
+	// 15 W misses every frame per Fig. 3.
+	if res.MissRate != 1 {
+		t.Fatalf("R-18@15W miss rate %.2f, want 1", res.MissRate)
+	}
+	if !strings.Contains(log.String(), "deadline") {
+		t.Fatal("misses must be logged")
+	}
+}
+
+func TestRunNoAdaptIsCheaper(t *testing.T) {
+	f := getFixture(t)
+	src := NewSource(f.bench.TargetTrain, 30)
+	mA := f.model.Clone(f.rng.Split())
+	withAdapt := Run(mA, resnet.R18, src, Config{
+		Method: adapt.NewLDBNAdapt(mA, adapt.DefaultConfig()), BatchSize: 1,
+		Mode: orin.Mode60W, DeadlineMs: orin.Deadline30FPS,
+	})
+	mB := f.model.Clone(f.rng.Split())
+	noAdapt := Run(mB, resnet.R18, src, Config{
+		Method: adapt.NewNoAdapt(), BatchSize: 1,
+		Mode: orin.Mode60W, DeadlineMs: orin.Deadline30FPS,
+	})
+	if noAdapt.MeanLatencyMs >= withAdapt.MeanLatencyMs {
+		t.Fatal("inference-only must be cheaper than inference+adaptation")
+	}
+}
+
+func TestRunTrailingPartialBatchAdapts(t *testing.T) {
+	f := getFixture(t)
+	m := f.model.Clone(f.rng.Split())
+	src := NewSource(f.bench.TargetTrain, 30) // 24 frames
+	res := Run(m, resnet.R18, src, Config{
+		Method:     adapt.NewLDBNAdapt(m, adapt.DefaultConfig()),
+		BatchSize:  5, // 24 = 4 full batches + trailing 4
+		Mode:       orin.Mode60W,
+		DeadlineMs: orin.Deadline18FPS,
+	})
+	want := (len(src.Frames) + 4) / 5
+	if res.AdaptSteps != want {
+		t.Fatalf("adapt steps %d, want %d", res.AdaptSteps, want)
+	}
+}
+
+func TestRunRecordsPerFrame(t *testing.T) {
+	f := getFixture(t)
+	m := f.model.Clone(f.rng.Split())
+	src := NewSource(f.bench.TargetTrain, 30)
+	res := Run(m, resnet.R18, src, Config{
+		Method: adapt.NewNoAdapt(), BatchSize: 2,
+		Mode: orin.Mode60W, DeadlineMs: orin.Deadline30FPS,
+	})
+	if len(res.Records) != len(src.Frames) {
+		t.Fatal("per-frame records missing")
+	}
+	for i, r := range res.Records {
+		if r.Index != i || r.LatencyMs <= 0 {
+			t.Fatalf("record %d malformed: %+v", i, r)
+		}
+		if r.DeadlineMet != (r.LatencyMs <= orin.Deadline30FPS) {
+			t.Fatal("deadline flag inconsistent")
+		}
+	}
+	if res.MaxLatencyMs < res.MeanLatencyMs-1e-9 {
+		t.Fatal("max < mean")
+	}
+}
+
+func TestRunAdaptationImprovesOverStream(t *testing.T) {
+	// Accuracy over the second half of the stream should be at least
+	// as good as the first half once adaptation kicks in.
+	f := getFixture(t)
+	m := f.model.Clone(f.rng.Split())
+	src := NewSource(f.bench.TargetTrain, 30)
+	res := Run(m, resnet.R18, src, Config{
+		Method:     adapt.NewLDBNAdapt(m, adapt.DefaultConfig()),
+		BatchSize:  1,
+		Mode:       orin.Mode60W,
+		DeadlineMs: orin.Deadline30FPS,
+	})
+	half := len(res.Records) / 2
+	score := func(rs []FrameRecord) float64 {
+		w, p := 0.0, 0
+		for _, r := range rs {
+			w += r.Accuracy * float64(r.Points)
+			p += r.Points
+		}
+		if p == 0 {
+			return 0
+		}
+		return w / float64(p)
+	}
+	first, second := score(res.Records[:half]), score(res.Records[half:])
+	if second+0.05 < first {
+		t.Fatalf("accuracy degraded over the stream: %.3f → %.3f", first, second)
+	}
+}
+
+func TestOverloadPolicyNames(t *testing.T) {
+	if DropNone.String() != "drop-none" || SkipAdapt.String() != "skip-adapt" || DropFrames.String() != "drop-frames" {
+		t.Fatal("policy names wrong")
+	}
+	if OverloadPolicy(9).String() == "" {
+		t.Fatal("unknown policy must render")
+	}
+}
+
+func TestOverloadDropFramesShedsLoad(t *testing.T) {
+	f := getFixture(t)
+	m := f.model.Clone(f.rng.Split())
+	src := NewSource(f.bench.TargetTrain, 30)
+	// 15 W is massively overloaded at 30 FPS: frames must be dropped.
+	res := RunWithOverload(m, resnet.R18, src, Config{
+		Method:     adapt.NewLDBNAdapt(m, adapt.DefaultConfig()),
+		BatchSize:  1,
+		Mode:       orin.Mode15W,
+		DeadlineMs: orin.Deadline30FPS,
+	}, DropFrames)
+	if res.FramesDropped == 0 {
+		t.Fatal("overloaded pipeline dropped no frames")
+	}
+	if res.FramesDropped+len(res.Records) != len(src.Frames) {
+		t.Fatal("dropped+processed != total")
+	}
+}
+
+func TestOverloadSkipAdaptKeepsEveryFrame(t *testing.T) {
+	f := getFixture(t)
+	m := f.model.Clone(f.rng.Split())
+	src := NewSource(f.bench.TargetTrain, 30)
+	res := RunWithOverload(m, resnet.R18, src, Config{
+		Method:     adapt.NewLDBNAdapt(m, adapt.DefaultConfig()),
+		BatchSize:  1,
+		Mode:       orin.Mode15W,
+		DeadlineMs: orin.Deadline30FPS,
+	}, SkipAdapt)
+	if len(res.Records) != len(src.Frames) {
+		t.Fatal("SkipAdapt must process every frame")
+	}
+	if res.AdaptsSkipped == 0 {
+		t.Fatal("overloaded pipeline skipped no adaptations")
+	}
+	if res.AdaptSteps+res.AdaptsSkipped != len(src.Frames) {
+		t.Fatal("adapt accounting inconsistent")
+	}
+}
+
+func TestOverloadNoShedWhenFast(t *testing.T) {
+	f := getFixture(t)
+	m := f.model.Clone(f.rng.Split())
+	src := NewSource(f.bench.TargetTrain, 30)
+	// 60 W fits the budget: nothing is shed under any policy.
+	for _, pol := range []OverloadPolicy{DropNone, SkipAdapt, DropFrames} {
+		mc := f.model.Clone(f.rng.Split())
+		res := RunWithOverload(mc, resnet.R18, src, Config{
+			Method:     adapt.NewLDBNAdapt(mc, adapt.DefaultConfig()),
+			BatchSize:  1,
+			Mode:       orin.Mode60W,
+			DeadlineMs: orin.Deadline30FPS,
+		}, pol)
+		if res.FramesDropped != 0 || res.AdaptsSkipped != 0 {
+			t.Fatalf("%v: shed work despite meeting the deadline", pol)
+		}
+		if len(res.Records) != len(src.Frames) {
+			t.Fatalf("%v: frames missing", pol)
+		}
+	}
+	_ = m
+}

@@ -1,0 +1,110 @@
+package tensor
+
+import "fmt"
+
+// ConvGeom describes the geometry of a 2-D convolution: kernel size,
+// stride and symmetric zero padding. It is shared by the convolution
+// layer, the pooling layers and the FLOPs model.
+type ConvGeom struct {
+	KH, KW int // kernel height and width
+	SH, SW int // stride
+	PH, PW int // zero padding (applied symmetrically)
+}
+
+// OutSize returns the output spatial size for an input of size (h, w).
+// It panics if the geometry does not fit the input.
+func (g ConvGeom) OutSize(h, w int) (oh, ow int) {
+	oh = (h+2*g.PH-g.KH)/g.SH + 1
+	ow = (w+2*g.PW-g.KW)/g.SW + 1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: conv geometry %+v does not fit input %dx%d", g, h, w))
+	}
+	return oh, ow
+}
+
+// Im2Col lowers a batched image tensor x with shape [n, c, h, w] into a
+// matrix of shape [c*kh*kw, n*oh*ow] so that convolution becomes a
+// single matrix product weights[outC, c*kh*kw] · cols.
+// Out-of-bounds taps read as zero (zero padding).
+func Im2Col(x *Tensor, g ConvGeom) *Tensor {
+	if x.NDim() != 4 {
+		panic(fmt.Sprintf("tensor: Im2Col needs [n,c,h,w] input, got %v", x.shape))
+	}
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	oh, ow := g.OutSize(h, w)
+	rows := c * g.KH * g.KW
+	cols := n * oh * ow
+	out := New(rows, cols)
+	// Row r of the output corresponds to (channel ci, kernel tap ky,kx);
+	// column corresponds to (image ni, output pixel oy,ox).
+	for ci := 0; ci < c; ci++ {
+		for ky := 0; ky < g.KH; ky++ {
+			for kx := 0; kx < g.KW; kx++ {
+				r := (ci*g.KH+ky)*g.KW + kx
+				dst := out.Data[r*cols : (r+1)*cols]
+				for ni := 0; ni < n; ni++ {
+					src := x.Data[(ni*c+ci)*h*w : (ni*c+ci+1)*h*w]
+					base := ni * oh * ow
+					for oy := 0; oy < oh; oy++ {
+						iy := oy*g.SH - g.PH + ky
+						if iy < 0 || iy >= h {
+							continue // leave zeros
+						}
+						rowSrc := src[iy*w : (iy+1)*w]
+						dcol := base + oy*ow
+						ix := -g.PW + kx
+						for ox := 0; ox < ow; ox++ {
+							if ix >= 0 && ix < w {
+								dst[dcol+ox] = rowSrc[ix]
+							}
+							ix += g.SW
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Col2Im is the adjoint of Im2Col: it scatters a [c*kh*kw, n*oh*ow]
+// matrix back into a [n, c, h, w] tensor, accumulating where kernel
+// windows overlap. It is the gradient of Im2Col and is used by the
+// convolution backward pass.
+func Col2Im(cols *Tensor, n, c, h, w int, g ConvGeom) *Tensor {
+	oh, ow := g.OutSize(h, w)
+	rows := c * g.KH * g.KW
+	nc := n * oh * ow
+	if cols.NDim() != 2 || cols.shape[0] != rows || cols.shape[1] != nc {
+		panic(fmt.Sprintf("tensor: Col2Im got %v, want [%d,%d]", cols.shape, rows, nc))
+	}
+	out := New(n, c, h, w)
+	for ci := 0; ci < c; ci++ {
+		for ky := 0; ky < g.KH; ky++ {
+			for kx := 0; kx < g.KW; kx++ {
+				r := (ci*g.KH+ky)*g.KW + kx
+				src := cols.Data[r*nc : (r+1)*nc]
+				for ni := 0; ni < n; ni++ {
+					dst := out.Data[(ni*c+ci)*h*w : (ni*c+ci+1)*h*w]
+					base := ni * oh * ow
+					for oy := 0; oy < oh; oy++ {
+						iy := oy*g.SH - g.PH + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						dstRow := dst[iy*w : (iy+1)*w]
+						scol := base + oy*ow
+						ix := -g.PW + kx
+						for ox := 0; ox < ow; ox++ {
+							if ix >= 0 && ix < w {
+								dstRow[ix] += src[scol+ox]
+							}
+							ix += g.SW
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// MatMul computes the matrix product a·b of two 2-D tensors
+// ([m,k]·[k,n] → [m,n]). The kernel is cache-blocked over k and
+// parallelized over row bands when more than one CPU is available.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.NDim() != 2 || b.NDim() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul needs 2-D operands, got %v × %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner-dimension mismatch %v × %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	matmulInto(out.Data, a.Data, b.Data, m, k, n)
+	return out
+}
+
+// MatMulInto computes out = a·b, reusing out's storage. Shapes must
+// already agree; out must not alias a or b.
+func MatMulInto(out, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	if b.shape[0] != k || out.shape[0] != m || out.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto shape mismatch %v = %v × %v", out.shape, a.shape, b.shape))
+	}
+	out.Zero()
+	matmulInto(out.Data, a.Data, b.Data, m, k, n)
+}
+
+// matmulInto accumulates a·b into dst (dst must be zeroed by callers
+// that need a pure product). The i-k-j loop order keeps the inner loop
+// streaming over contiguous rows of b and dst, which is the fastest
+// pure-Go arrangement for row-major data.
+func matmulInto(dst, a, b []float32, m, k, n int) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	if workers <= 1 || m*n*k < 1<<16 {
+		matmulRows(dst, a, b, 0, m, k, n)
+		return
+	}
+	var wg sync.WaitGroup
+	band := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * band
+		hi := lo + band
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matmulRows(dst, a, b, lo, hi, k, n)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// matmulRows computes rows [lo,hi) of dst += a·b.
+func matmulRows(dst, a, b []float32, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		ai := a[i*k : (i+1)*k]
+		di := dst[i*n : (i+1)*n]
+		for p, av := range ai {
+			if av == 0 {
+				continue
+			}
+			bp := b[p*n : (p+1)*n]
+			axpyRow(di, bp, av)
+		}
+	}
+}
+
+// axpyRow computes di += av*bp with 4-way unrolling.
+func axpyRow(di, bp []float32, av float32) {
+	n := len(di)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		di[i] += av * bp[i]
+		di[i+1] += av * bp[i+1]
+		di[i+2] += av * bp[i+2]
+		di[i+3] += av * bp[i+3]
+	}
+	for ; i < n; i++ {
+		di[i] += av * bp[i]
+	}
+}
+
+// MatMulTA computes aᵀ·b for a:[k,m], b:[k,n] → [m,n] without
+// materializing the transpose.
+func MatMulTA(a, b *Tensor) *Tensor {
+	if a.NDim() != 2 || b.NDim() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTA needs 2-D operands, got %v × %v", a.shape, b.shape))
+	}
+	k, m := a.shape[0], a.shape[1]
+	if b.shape[0] != k {
+		panic(fmt.Sprintf("tensor: MatMulTA inner-dimension mismatch %v × %v", a.shape, b.shape))
+	}
+	n := b.shape[1]
+	out := New(m, n)
+	for p := 0; p < k; p++ {
+		ap := a.Data[p*m : (p+1)*m]
+		bp := b.Data[p*n : (p+1)*n]
+		for i, av := range ap {
+			if av == 0 {
+				continue
+			}
+			axpyRow(out.Data[i*n:(i+1)*n], bp, av)
+		}
+	}
+	return out
+}
+
+// MatMulTB computes a·bᵀ for a:[m,k], b:[n,k] → [m,n] without
+// materializing the transpose.
+func MatMulTB(a, b *Tensor) *Tensor {
+	if a.NDim() != 2 || b.NDim() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTB needs 2-D operands, got %v × %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	if b.shape[1] != k {
+		panic(fmt.Sprintf("tensor: MatMulTB inner-dimension mismatch %v × %v", a.shape, b.shape))
+	}
+	n := b.shape[0]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		ai := a.Data[i*k : (i+1)*k]
+		oi := out.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := b.Data[j*k : (j+1)*k]
+			s := float32(0)
+			p := 0
+			for ; p+4 <= k; p += 4 {
+				s += ai[p]*bj[p] + ai[p+1]*bj[p+1] + ai[p+2]*bj[p+2] + ai[p+3]*bj[p+3]
+			}
+			for ; p < k; p++ {
+				s += ai[p] * bj[p]
+			}
+			oi[j] = s
+		}
+	}
+	return out
+}

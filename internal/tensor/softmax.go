@@ -1,0 +1,89 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// SoftmaxRows applies a numerically-stable softmax independently to
+// each row of a 2-D tensor [rows, classes].
+func SoftmaxRows(logits *Tensor) *Tensor {
+	if logits.NDim() != 2 {
+		panic(fmt.Sprintf("tensor: SoftmaxRows needs 2-D input, got %v", logits.shape))
+	}
+	r, c := logits.shape[0], logits.shape[1]
+	out := New(r, c)
+	for i := 0; i < r; i++ {
+		softmaxRow(out.Data[i*c:(i+1)*c], logits.Data[i*c:(i+1)*c])
+	}
+	return out
+}
+
+// softmaxRow writes softmax(src) into dst (same length).
+func softmaxRow(dst, src []float32) {
+	m := src[0]
+	for _, v := range src[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	sum := 0.0
+	for i, v := range src {
+		e := math.Exp(float64(v - m))
+		dst[i] = float32(e)
+		sum += e
+	}
+	inv := float32(1.0 / sum)
+	for i := range dst {
+		dst[i] *= inv
+	}
+}
+
+// LogSoftmaxRows applies a numerically-stable log-softmax to each row
+// of a 2-D tensor.
+func LogSoftmaxRows(logits *Tensor) *Tensor {
+	if logits.NDim() != 2 {
+		panic(fmt.Sprintf("tensor: LogSoftmaxRows needs 2-D input, got %v", logits.shape))
+	}
+	r, c := logits.shape[0], logits.shape[1]
+	out := New(r, c)
+	for i := 0; i < r; i++ {
+		src := logits.Data[i*c : (i+1)*c]
+		dst := out.Data[i*c : (i+1)*c]
+		m := src[0]
+		for _, v := range src[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		sum := 0.0
+		for _, v := range src {
+			sum += math.Exp(float64(v - m))
+		}
+		lse := float32(math.Log(sum)) + m
+		for j, v := range src {
+			dst[j] = v - lse
+		}
+	}
+	return out
+}
+
+// RowEntropy returns the Shannon entropy (in nats) of each row of a
+// 2-D probability tensor. Zero probabilities contribute zero.
+func RowEntropy(probs *Tensor) []float64 {
+	if probs.NDim() != 2 {
+		panic(fmt.Sprintf("tensor: RowEntropy needs 2-D input, got %v", probs.shape))
+	}
+	r, c := probs.shape[0], probs.shape[1]
+	out := make([]float64, r)
+	for i := 0; i < r; i++ {
+		h := 0.0
+		for _, p := range probs.Data[i*c : (i+1)*c] {
+			if p > 0 {
+				h -= float64(p) * math.Log(float64(p))
+			}
+		}
+		out[i] = h
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+// Package ufld implements the Ultra-Fast Lane Detection (UFLD)
+// formulation used by the paper: lanes are detected as a per-row-anchor
+// classification over horizontal grid cells (Qin et al., ECCV 2020).
+// For each of Lanes lanes and each of RowAnchors image rows, the model
+// selects one of GridCells cells — or an extra "no lane" class. The
+// package provides the model (ResNet backbone + group-classification
+// head), lane decoding, the TuSimple-style accuracy metric, the
+// structural losses and supervised source-domain training.
+package ufld
+
+import (
+	"fmt"
+
+	"ldbnadapt/internal/resnet"
+)
+
+// Config describes a UFLD detector.
+type Config struct {
+	// GridCells is the number of horizontal location cells per row
+	// anchor (the paper uses 100).
+	GridCells int
+	// RowAnchors is the number of predefined rows (the paper uses 56).
+	RowAnchors int
+	// Lanes is the number of lanes (2 for MoLane, 4 for TuLane/MuLane).
+	Lanes int
+	// InputH, InputW are the model input dimensions.
+	InputH, InputW int
+	// Backbone configures the ResNet feature extractor.
+	Backbone resnet.Config
+	// NeckChannels is the channel count after the 1×1 reduction conv.
+	NeckChannels int
+	// HiddenDim is the width of the head's hidden FC layer.
+	HiddenDim int
+}
+
+// Classes returns GridCells+1 (the extra class is "no lane on this
+// row anchor").
+func (c Config) Classes() int { return c.GridCells + 1 }
+
+// Groups returns the number of classification groups (= output rows
+// per sample): Lanes × RowAnchors.
+func (c Config) Groups() int { return c.Lanes * c.RowAnchors }
+
+// Validate checks the configuration for consistency.
+func (c Config) Validate() error {
+	switch {
+	case c.GridCells < 2:
+		return fmt.Errorf("ufld: GridCells = %d, want ≥ 2", c.GridCells)
+	case c.RowAnchors < 2:
+		return fmt.Errorf("ufld: RowAnchors = %d, want ≥ 2", c.RowAnchors)
+	case c.Lanes < 1:
+		return fmt.Errorf("ufld: Lanes = %d, want ≥ 1", c.Lanes)
+	case c.InputH < 8 || c.InputW < 8:
+		return fmt.Errorf("ufld: input %dx%d too small", c.InputH, c.InputW)
+	case c.NeckChannels < 1:
+		return fmt.Errorf("ufld: NeckChannels = %d, want ≥ 1", c.NeckChannels)
+	case c.HiddenDim < 1:
+		return fmt.Errorf("ufld: HiddenDim = %d, want ≥ 1", c.HiddenDim)
+	}
+	return nil
+}
+
+// FullScale returns the published UFLD configuration: 288×800 input
+// (resized from the 1280×720 camera), 100 grid cells, 56 row anchors.
+func FullScale(v resnet.Variant, lanes int) Config {
+	return Config{
+		GridCells:    100,
+		RowAnchors:   56,
+		Lanes:        lanes,
+		InputH:       288,
+		InputW:       800,
+		Backbone:     resnet.FullScale(v),
+		NeckChannels: 8,
+		HiddenDim:    2048,
+	}
+}
+
+// Repro returns the reduced configuration used for CPU training: the
+// same formulation at 64×160 input, 25 cells × 14 anchors, width-8
+// backbone.
+func Repro(v resnet.Variant, lanes int) Config {
+	return Config{
+		GridCells:    25,
+		RowAnchors:   14,
+		Lanes:        lanes,
+		InputH:       64,
+		InputW:       160,
+		Backbone:     resnet.Repro(v),
+		NeckChannels: 4,
+		HiddenDim:    64,
+	}
+}
+
+// Tiny returns a minimal configuration for fast unit tests.
+func Tiny(v resnet.Variant, lanes int) Config {
+	cfg := Config{
+		GridCells:    10,
+		RowAnchors:   6,
+		Lanes:        lanes,
+		InputH:       32,
+		InputW:       80,
+		Backbone:     resnet.Repro(v),
+		NeckChannels: 2,
+		HiddenDim:    32,
+	}
+	cfg.Backbone.BaseWidth = 4
+	return cfg
+}
+
+// Small returns the experiment profile used by the figure-regeneration
+// harness: large enough that domain shift and adaptation behave like
+// the full-scale system, small enough that a single-core CPU trains it
+// in about a minute.
+func Small(v resnet.Variant, lanes int) Config {
+	cfg := Config{
+		GridCells:    20,
+		RowAnchors:   10,
+		Lanes:        lanes,
+		InputH:       48,
+		InputW:       120,
+		Backbone:     resnet.Repro(v),
+		NeckChannels: 4,
+		HiddenDim:    48,
+	}
+	cfg.Backbone.BaseWidth = 6
+	return cfg
+}

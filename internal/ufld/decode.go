@@ -1,0 +1,69 @@
+package ufld
+
+import (
+	"ldbnadapt/internal/tensor"
+)
+
+// LanePoint is one decoded lane location on a row anchor.
+type LanePoint struct {
+	// Present reports whether the model predicts a lane on this anchor.
+	Present bool
+	// Cell is the continuous horizontal location in cell units
+	// (expectation decode per the UFLD paper), valid when Present.
+	Cell float64
+}
+
+// Prediction holds the decoded lanes of one image:
+// Points[lane][anchor].
+type Prediction struct {
+	// Points is indexed [lane][anchor].
+	Points [][]LanePoint
+}
+
+// Decode converts logits rows (as returned by Model.Forward) into
+// per-sample predictions. Following UFLD: the "no lane" decision uses
+// the argmax over all Classes; the location uses the expectation of
+// the cell index under the softmax restricted to the location cells.
+func Decode(cfg Config, logitsRows *tensor.Tensor, n int) []Prediction {
+	classes := cfg.Classes()
+	probs := tensor.SoftmaxRows(logitsRows)
+	preds := make([]Prediction, n)
+	for ni := 0; ni < n; ni++ {
+		pts := make([][]LanePoint, cfg.Lanes)
+		for lane := 0; lane < cfg.Lanes; lane++ {
+			pts[lane] = make([]LanePoint, cfg.RowAnchors)
+			for a := 0; a < cfg.RowAnchors; a++ {
+				row := (ni*cfg.Lanes+lane)*cfg.RowAnchors + a
+				p := probs.Data[row*classes : (row+1)*classes]
+				best := 0
+				for j, v := range p {
+					if v > p[best] {
+						best = j
+					}
+				}
+				if best == cfg.GridCells { // "no lane" class wins
+					continue
+				}
+				// Expectation over location cells only.
+				sum, loc := 0.0, 0.0
+				for k := 0; k < cfg.GridCells; k++ {
+					sum += float64(p[k])
+					loc += float64(k) * float64(p[k])
+				}
+				if sum <= 0 {
+					continue
+				}
+				pts[lane][a] = LanePoint{Present: true, Cell: loc / sum}
+			}
+		}
+		preds[ni] = Prediction{Points: pts}
+	}
+	return preds
+}
+
+// CellToPixel converts a cell coordinate to an image-x pixel for the
+// given configuration (cell centres are evenly spaced across the
+// width).
+func CellToPixel(cfg Config, cell float64) float64 {
+	return (cell + 0.5) * float64(cfg.InputW) / float64(cfg.GridCells)
+}

@@ -1,0 +1,63 @@
+package ufld
+
+import "ldbnadapt/internal/resnet"
+
+// DescribeModel prices the complete detector (backbone + neck + head)
+// analytically for the Orin performance model, without allocating
+// weights. The layer list matches NewModel's construction.
+func DescribeModel(cfg Config) resnet.ModelCost {
+	cost := resnet.Describe(cfg.Backbone, cfg.InputH, cfg.InputW)
+	oh, ow := cost.OutH, cost.OutW
+	featC := cost.OutC
+
+	// Neck: 1×1 conv + BN + ReLU.
+	neckParams := int64(cfg.NeckChannels) * int64(featC)
+	cost.Layers = append(cost.Layers, resnet.LayerCost{
+		Name: "neck.conv", Kind: "conv",
+		FLOPs:       2 * int64(cfg.NeckChannels) * int64(oh) * int64(ow) * int64(featC),
+		Params:      neckParams,
+		ActBytes:    4 * int64(cfg.NeckChannels) * int64(oh) * int64(ow),
+		WeightBytes: 4 * neckParams,
+		OutC:        cfg.NeckChannels, OutH: oh, OutW: ow,
+	})
+	cost.Layers = append(cost.Layers, resnet.LayerCost{
+		Name: "neck.bn", Kind: "bn",
+		FLOPs:       4 * int64(cfg.NeckChannels) * int64(oh) * int64(ow),
+		Params:      2 * int64(cfg.NeckChannels),
+		BNParams:    2 * int64(cfg.NeckChannels),
+		ActBytes:    4 * int64(cfg.NeckChannels) * int64(oh) * int64(ow),
+		WeightBytes: 8 * int64(cfg.NeckChannels),
+		OutC:        cfg.NeckChannels, OutH: oh, OutW: ow,
+	})
+	cost.Layers = append(cost.Layers, resnet.LayerCost{
+		Name: "neck.relu", Kind: "relu",
+		FLOPs:    int64(cfg.NeckChannels) * int64(oh) * int64(ow),
+		ActBytes: 4 * int64(cfg.NeckChannels) * int64(oh) * int64(ow),
+		OutC:     cfg.NeckChannels, OutH: oh, OutW: ow,
+	})
+
+	// Head: two fully-connected layers.
+	flat := int64(cfg.NeckChannels) * int64(oh) * int64(ow)
+	hid := int64(cfg.HiddenDim)
+	out := int64(cfg.Groups()) * int64(cfg.Classes())
+	fc1Params := flat*hid + hid
+	cost.Layers = append(cost.Layers, resnet.LayerCost{
+		Name: "head.fc1", Kind: "linear",
+		FLOPs:       2 * flat * hid,
+		Params:      fc1Params,
+		ActBytes:    4 * hid,
+		WeightBytes: 4 * fc1Params,
+		OutC:        int(hid), OutH: 1, OutW: 1,
+	})
+	fc2Params := hid*out + out
+	cost.Layers = append(cost.Layers, resnet.LayerCost{
+		Name: "head.fc2", Kind: "linear",
+		FLOPs:       2 * hid * out,
+		Params:      fc2Params,
+		ActBytes:    4 * out,
+		WeightBytes: 4 * fc2Params,
+		OutC:        int(out), OutH: 1, OutW: 1,
+	})
+	cost.OutC, cost.OutH, cost.OutW = int(out), 1, 1
+	return cost
+}

@@ -1,0 +1,113 @@
+package ufld
+
+import (
+	"math"
+
+	"ldbnadapt/internal/tensor"
+)
+
+// SimilarityLoss is the UFLD structural loss L_sim: adjacent row
+// anchors of the same lane should produce similar classification
+// distributions. It is the mean L1 distance between the logits of
+// neighbouring anchors; the returned gradient has the layout of the
+// logits rows.
+func SimilarityLoss(cfg Config, logitsRows *tensor.Tensor, n int) (float64, *tensor.Tensor) {
+	classes := cfg.Classes()
+	grad := tensor.New(logitsRows.Dim(0), classes)
+	pairs := n * cfg.Lanes * (cfg.RowAnchors - 1)
+	if pairs == 0 {
+		return 0, grad
+	}
+	inv := 1.0 / float64(pairs*classes)
+	total := 0.0
+	for ni := 0; ni < n; ni++ {
+		for lane := 0; lane < cfg.Lanes; lane++ {
+			base := (ni*cfg.Lanes + lane) * cfg.RowAnchors
+			for a := 0; a+1 < cfg.RowAnchors; a++ {
+				r0 := (base + a) * classes
+				r1 := (base + a + 1) * classes
+				for k := 0; k < classes; k++ {
+					d := float64(logitsRows.Data[r0+k] - logitsRows.Data[r1+k])
+					if d == 0 {
+						continue // L1 subgradient at zero
+					}
+					total += math.Abs(d)
+					s := float32(inv)
+					if d < 0 {
+						s = -s
+					}
+					grad.Data[r0+k] += s
+					grad.Data[r1+k] -= s
+				}
+			}
+		}
+	}
+	return total * inv, grad
+}
+
+// ShapeLoss is the UFLD second-order structural loss L_shp: the
+// expected lane location should vary smoothly (small second
+// difference) down consecutive row anchors. Returns the loss and its
+// gradient w.r.t. the logits rows.
+func ShapeLoss(cfg Config, logitsRows *tensor.Tensor, n int) (float64, *tensor.Tensor) {
+	classes := cfg.Classes()
+	cells := cfg.GridCells
+	rows := logitsRows.Dim(0)
+	grad := tensor.New(rows, classes)
+	if cfg.RowAnchors < 3 {
+		return 0, grad
+	}
+	// Expectation location per row over the location cells only, via a
+	// softmax restricted to cells [0, GridCells).
+	probs := make([][]float64, rows)
+	locs := make([]float64, rows)
+	for r := 0; r < rows; r++ {
+		src := logitsRows.Data[r*classes : r*classes+cells]
+		mx := src[0]
+		for _, v := range src[1:] {
+			if v > mx {
+				mx = v
+			}
+		}
+		sum := 0.0
+		p := make([]float64, cells)
+		for k, v := range src {
+			e := math.Exp(float64(v - mx))
+			p[k] = e
+			sum += e
+		}
+		loc := 0.0
+		for k := range p {
+			p[k] /= sum
+			loc += float64(k) * p[k]
+		}
+		probs[r] = p
+		locs[r] = loc
+	}
+	triples := n * cfg.Lanes * (cfg.RowAnchors - 2)
+	inv := 1.0 / float64(triples)
+	total := 0.0
+	// dLoc_r/dz_k = p_k (k − loc_r); accumulate via chain rule.
+	addLocGrad := func(r int, coeff float64) {
+		p := probs[r]
+		loc := locs[r]
+		g := grad.Data[r*classes : r*classes+cells]
+		for k := 0; k < cells; k++ {
+			g[k] += float32(coeff * p[k] * (float64(k) - loc))
+		}
+	}
+	for ni := 0; ni < n; ni++ {
+		for lane := 0; lane < cfg.Lanes; lane++ {
+			base := (ni*cfg.Lanes + lane) * cfg.RowAnchors
+			for a := 0; a+2 < cfg.RowAnchors; a++ {
+				d := locs[base+a] - 2*locs[base+a+1] + locs[base+a+2]
+				total += d * d * inv
+				c := 2 * d * inv
+				addLocGrad(base+a, c)
+				addLocGrad(base+a+1, -2*c)
+				addLocGrad(base+a+2, c)
+			}
+		}
+	}
+	return total, grad
+}

@@ -1,0 +1,185 @@
+package ufld
+
+import (
+	"fmt"
+	"strings"
+
+	"ldbnadapt/internal/nn"
+	"ldbnadapt/internal/resnet"
+	"ldbnadapt/internal/tensor"
+)
+
+// Model is the UFLD detector: ResNet backbone → 1×1 reduction conv →
+// flatten → hidden FC → output FC producing one logit per
+// (lane, row anchor, cell) triple.
+type Model struct {
+	// Cfg is the detector configuration.
+	Cfg Config
+	net *nn.Sequential
+
+	backbone *resnet.ResNet
+	neckConv *nn.Conv2D
+	neckBN   *nn.BatchNorm2D
+	fc1, fc2 *nn.Linear
+	lastN    int
+}
+
+// NewModel builds a UFLD detector with weights drawn from rng.
+func NewModel(cfg Config, rng *tensor.RNG) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	backbone := resnet.New(cfg.Backbone, rng)
+	oh, ow := backbone.OutSpatial(cfg.InputH, cfg.InputW)
+	neckConv := nn.NewConv2D("neck.conv", backbone.OutChannels(), cfg.NeckChannels,
+		tensor.ConvGeom{KH: 1, KW: 1, SH: 1, SW: 1}, false, rng)
+	neckBN := nn.NewBatchNorm2D("neck.bn", cfg.NeckChannels)
+	flatDim := cfg.NeckChannels * oh * ow
+	fc1 := nn.NewLinear("head.fc1", flatDim, cfg.HiddenDim, rng)
+	fc2 := nn.NewLinear("head.fc2", cfg.HiddenDim, cfg.Groups()*cfg.Classes(), rng)
+	net := nn.NewSequential("ufld",
+		backbone,
+		neckConv,
+		neckBN,
+		nn.NewReLU("neck.relu"),
+		nn.NewFlatten("head.flatten"),
+		fc1,
+		nn.NewReLU("head.relu"),
+		fc2,
+	)
+	return &Model{Cfg: cfg, net: net, backbone: backbone,
+		neckConv: neckConv, neckBN: neckBN, fc1: fc1, fc2: fc2}, nil
+}
+
+// MustNewModel is NewModel that panics on configuration errors
+// (convenient in examples and tests).
+func MustNewModel(cfg Config, rng *tensor.RNG) *Model {
+	m, err := NewModel(cfg, rng)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Forward runs the detector on a batch [n, 3, H, W] and returns the
+// classification logits as rows: shape [n·Lanes·RowAnchors, Classes].
+// Row (ni, lane, anchor) lives at index (ni·Lanes+lane)·RowAnchors+anchor.
+func (m *Model) Forward(x *tensor.Tensor, mode nn.Mode) *tensor.Tensor {
+	if x.NDim() != 4 || x.Dim(2) != m.Cfg.InputH || x.Dim(3) != m.Cfg.InputW {
+		panic(fmt.Sprintf("ufld: input %v, want [n,3,%d,%d]", x.Shape(), m.Cfg.InputH, m.Cfg.InputW))
+	}
+	n := x.Dim(0)
+	m.lastN = n
+	out := m.net.Forward(x, mode) // [n, groups*classes]
+	return out.Reshape(n*m.Cfg.Groups(), m.Cfg.Classes())
+}
+
+// Backward propagates a gradient with the same row layout Forward
+// returns, and returns the input gradient.
+func (m *Model) Backward(gradRows *tensor.Tensor) *tensor.Tensor {
+	g := gradRows.Reshape(m.lastN, m.Cfg.Groups()*m.Cfg.Classes())
+	return m.net.Backward(g)
+}
+
+// Params returns every trainable parameter.
+func (m *Model) Params() []*nn.Param { return m.net.Params() }
+
+// BatchNorms returns every BN layer (backbone + neck).
+func (m *Model) BatchNorms() []*nn.BatchNorm2D { return m.net.BatchNorms() }
+
+// BNParams returns only the γ/β parameters of every BatchNorm layer —
+// the parameter set LD-BN-ADAPT updates.
+func (m *Model) BNParams() []*nn.Param {
+	var out []*nn.Param
+	for _, bn := range m.BatchNorms() {
+		out = append(out, bn.Params()...)
+	}
+	return out
+}
+
+// ConvParams returns the convolution weights (the ablation's
+// "convolutional adaptation" parameter set).
+func (m *Model) ConvParams() []*nn.Param {
+	return nn.FilterParams(m.Params(), func(p *nn.Param) bool {
+		return strings.Contains(p.Name, "conv") && strings.HasSuffix(p.Name, ".weight")
+	})
+}
+
+// FCParams returns the fully-connected head parameters (the ablation's
+// "fully-connected adaptation" set).
+func (m *Model) FCParams() []*nn.Param {
+	return append(append([]*nn.Param{}, m.fc1.Params()...), m.fc2.Params()...)
+}
+
+// Backbone exposes the ResNet feature extractor (used by the CARLANE
+// SOTA baseline to compute embeddings and by the performance model).
+func (m *Model) Backbone() *resnet.ResNet { return m.backbone }
+
+// Embed runs the backbone and global-average-pools the feature map
+// into one embedding vector per sample: [n, OutChannels]. The SOTA
+// baseline clusters these embeddings to encode the semantic structure
+// of the source and target domains.
+func (m *Model) Embed(x *tensor.Tensor, mode nn.Mode) *tensor.Tensor {
+	feats := m.backbone.Forward(x, mode)
+	n, c, h, w := feats.Dim(0), feats.Dim(1), feats.Dim(2), feats.Dim(3)
+	out := tensor.New(n, c)
+	hw := h * w
+	inv := 1.0 / float64(hw)
+	for i := 0; i < n*c; i++ {
+		s := 0.0
+		for _, v := range feats.Data[i*hw : (i+1)*hw] {
+			s += float64(v)
+		}
+		out.Data[i] = float32(s * inv)
+	}
+	return out
+}
+
+// RowIndex returns the logits-row index for (sample, lane, anchor).
+func (m *Model) RowIndex(sample, lane, anchor int) int {
+	return (sample*m.Cfg.Lanes+lane)*m.Cfg.RowAnchors + anchor
+}
+
+// Clone returns a deep copy of the model (weights, BN running stats).
+// The clone shares no storage with the original, so adapting one does
+// not disturb the other.
+func (m *Model) Clone(rng *tensor.RNG) *Model {
+	c := MustNewModel(m.Cfg, rng)
+	src, dst := m.Params(), c.Params()
+	for i := range src {
+		dst[i].Value.CopyFrom(src[i].Value)
+	}
+	sb, db := m.BatchNorms(), c.BatchNorms()
+	for i := range sb {
+		db[i].SetRunningStats(sb[i].RunningMean, sb[i].RunningVar)
+		db[i].Momentum = sb[i].Momentum
+		db[i].AdaptMomentum = sb[i].AdaptMomentum
+	}
+	return c
+}
+
+// BNStateExtras bundles the BN running statistics under stable names
+// for serialization alongside SaveParams.
+func (m *Model) BNStateExtras() map[string]*tensor.Tensor {
+	extras := make(map[string]*tensor.Tensor)
+	for _, bn := range m.BatchNorms() {
+		extras[bn.Name()+".running_mean"] = bn.RunningMean
+		extras[bn.Name()+".running_var"] = bn.RunningVar
+	}
+	return extras
+}
+
+// ApplyBNStateExtras restores running statistics saved with
+// BNStateExtras. Unknown entries are ignored; missing entries are an
+// error.
+func (m *Model) ApplyBNStateExtras(extras map[string]*tensor.Tensor) error {
+	for _, bn := range m.BatchNorms() {
+		mean, ok1 := extras[bn.Name()+".running_mean"]
+		varc, ok2 := extras[bn.Name()+".running_var"]
+		if !ok1 || !ok2 {
+			return fmt.Errorf("ufld: missing running stats for %s", bn.Name())
+		}
+		bn.SetRunningStats(mean, varc)
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package ufld
+
+import (
+	"fmt"
+
+	"ldbnadapt/internal/tensor"
+)
+
+// Absent marks a row anchor with no lane in a label vector.
+const Absent = -1
+
+// Sample is one labeled image: the input tensor and, for every
+// (lane, anchor) pair, the ground-truth cell index (or Absent).
+// Unsupervised consumers simply ignore Cells.
+type Sample struct {
+	// Image has shape [3, H, W] with values in [0, 1].
+	Image *tensor.Tensor
+	// Cells is indexed lane·RowAnchors+anchor; values in
+	// [0, GridCells) or Absent.
+	Cells []int
+}
+
+// Dataset is an ordered collection of samples from one domain.
+type Dataset struct {
+	// Name identifies the split (e.g. "molane/target-val").
+	Name string
+	// Domain is "sim", "molane-real" or "tulane-real".
+	Domain string
+	// Samples holds the data.
+	Samples []Sample
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.Samples) }
+
+// Batch assembles samples[idx] into an input tensor [len(idx),3,H,W]
+// and the concatenated target cells (one entry per logits row).
+func Batch(cfg Config, samples []Sample, idx []int) (*tensor.Tensor, []int) {
+	if len(idx) == 0 {
+		panic("ufld: empty batch")
+	}
+	chw := 3 * cfg.InputH * cfg.InputW
+	x := tensor.New(len(idx), 3, cfg.InputH, cfg.InputW)
+	targets := make([]int, 0, len(idx)*cfg.Groups())
+	for bi, si := range idx {
+		s := samples[si]
+		if s.Image.Size() != chw {
+			panic(fmt.Sprintf("ufld: sample %d image %v, want [3,%d,%d]", si, s.Image.Shape(), cfg.InputH, cfg.InputW))
+		}
+		copy(x.Data[bi*chw:(bi+1)*chw], s.Image.Data)
+		if len(s.Cells) != cfg.Groups() {
+			panic(fmt.Sprintf("ufld: sample %d has %d cells, want %d", si, len(s.Cells), cfg.Groups()))
+		}
+		for _, c := range s.Cells {
+			if c == Absent {
+				targets = append(targets, cfg.GridCells) // "no lane" class
+			} else {
+				targets = append(targets, c)
+			}
+		}
+	}
+	return x, targets
+}
+
+// Images assembles an unlabeled input batch (targets discarded).
+func Images(cfg Config, samples []Sample, idx []int) *tensor.Tensor {
+	x, _ := Batch(cfg, samples, idx)
+	return x
+}

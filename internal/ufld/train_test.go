@@ -1,0 +1,103 @@
+package ufld
+
+import (
+	"strings"
+	"testing"
+
+	"ldbnadapt/internal/resnet"
+	"ldbnadapt/internal/tensor"
+)
+
+// tinyDataset builds n trivially-learnable samples (same scene).
+func tinyDataset(cfg Config, n int, rng *tensor.RNG) *Dataset {
+	ds := &Dataset{Name: "toy", Domain: "sim"}
+	for i := 0; i < n; i++ {
+		img := tensor.New(3, cfg.InputH, cfg.InputW)
+		rng.FillUniform(img, 0, 0.1)
+		cells := make([]int, cfg.Groups())
+		for lane := 0; lane < cfg.Lanes; lane++ {
+			cell := (lane*cfg.GridCells/cfg.Lanes + cfg.GridCells/4) % cfg.GridCells
+			x := (cell * cfg.InputW) / cfg.GridCells
+			for a := 0; a < cfg.RowAnchors; a++ {
+				cells[lane*cfg.RowAnchors+a] = cell
+			}
+			// Draw a bright vertical stripe at the labeled cell.
+			for y := cfg.InputH / 3; y < cfg.InputH; y++ {
+				for dx := 0; dx < 2 && x+dx < cfg.InputW; dx++ {
+					img.Set(0.95, 0, y, x+dx)
+					img.Set(0.95, 1, y, x+dx)
+					img.Set(0.95, 2, y, x+dx)
+				}
+			}
+		}
+		ds.Samples = append(ds.Samples, Sample{Image: img, Cells: cells})
+	}
+	return ds
+}
+
+func TestTrainSourceRejectsBadInput(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	cfg := Tiny(resnet.R18, 2)
+	m := MustNewModel(cfg, rng)
+	if _, err := TrainSource(m, &Dataset{}, DefaultTrainConfig(), rng); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+	bad := DefaultTrainConfig()
+	bad.BatchSize = 0
+	ds := tinyDataset(cfg, 4, rng)
+	if _, err := TrainSource(m, ds, bad, rng); err == nil {
+		t.Fatal("batch size 0 accepted")
+	}
+}
+
+func TestTrainSourceLearnsToyTask(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	cfg := Tiny(resnet.R18, 2)
+	m := MustNewModel(cfg, rng)
+	ds := tinyDataset(cfg, 12, rng)
+	tc := DefaultTrainConfig()
+	tc.Epochs = 20
+	tc.BatchSize = 4
+	tc.LR = 4e-3
+	var log strings.Builder
+	tc.Log = &log
+	last, err := TrainSource(m, ds, tc, rng.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last > 1.0 {
+		t.Fatalf("final loss %.3f did not converge on a trivial task", last)
+	}
+	if !strings.Contains(log.String(), "epoch 1/20") {
+		t.Fatal("training log missing")
+	}
+	acc := Evaluate(m, ds, 4).Accuracy
+	if acc < 0.85 {
+		t.Fatalf("toy-task accuracy %.3f, want ≥ 0.85", acc)
+	}
+}
+
+func TestNewModelRejectsInvalidConfig(t *testing.T) {
+	cfg := Tiny(resnet.R18, 2)
+	cfg.GridCells = 0
+	if _, err := NewModel(cfg, tensor.NewRNG(1)); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNewModel did not panic")
+		}
+	}()
+	MustNewModel(cfg, tensor.NewRNG(1))
+}
+
+func TestForwardRejectsWrongGeometry(t *testing.T) {
+	cfg := Tiny(resnet.R18, 2)
+	m := MustNewModel(cfg, tensor.NewRNG(3))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong input size accepted")
+		}
+	}()
+	m.Forward(tensor.New(1, 3, cfg.InputH+2, cfg.InputW), 0)
+}

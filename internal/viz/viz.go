@@ -1,0 +1,166 @@
+// Package viz renders benchmark images and detector predictions for
+// inspection: binary PPM image export (viewable everywhere, zero
+// dependencies) and compact ASCII overlays for terminals and test
+// logs. Ground truth is drawn alongside predictions so sim-to-real
+// failures and adaptation recoveries are visible at a glance.
+package viz
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"ldbnadapt/internal/tensor"
+	"ldbnadapt/internal/ufld"
+)
+
+// WritePPM serializes a [3, H, W] image tensor (values in [0, 1]) as a
+// binary PPM (P6).
+func WritePPM(w io.Writer, img *tensor.Tensor) error {
+	if img.NDim() != 3 || img.Dim(0) != 3 {
+		return fmt.Errorf("viz: image must be [3,h,w], got %v", img.Shape())
+	}
+	h, wd := img.Dim(1), img.Dim(2)
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P6\n%d %d\n255\n", wd, h); err != nil {
+		return err
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < wd; x++ {
+			for c := 0; c < 3; c++ {
+				v := img.At(c, y, x)
+				if v < 0 {
+					v = 0
+				}
+				if v > 1 {
+					v = 1
+				}
+				if err := bw.WriteByte(byte(v*255 + 0.5)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Overlay draws ground-truth cells (green) and predicted lane points
+// (red; yellow where they coincide) onto a copy of the image.
+func Overlay(cfg ufld.Config, img *tensor.Tensor, gt []int, pred *ufld.Prediction) *tensor.Tensor {
+	out := img.Clone()
+	h, w := out.Dim(1), out.Dim(2)
+	anchorY := func(a int) int {
+		// Mirror the anchor placement of the carlane generator: evenly
+		// spaced rows in the lower two thirds of the frame.
+		y0 := int(0.38 * float64(h))
+		y1 := int(0.98 * float64(h))
+		return y0 + (y1-y0)*a/(cfg.RowAnchors-1)
+	}
+	mark := func(y, x int, r, g, b float32) {
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				yy, xx := y+dy, x+dx
+				if yy < 0 || yy >= h || xx < 0 || xx >= w {
+					continue
+				}
+				out.Set(r, 0, yy, xx)
+				out.Set(g, 1, yy, xx)
+				out.Set(b, 2, yy, xx)
+			}
+		}
+	}
+	for lane := 0; lane < cfg.Lanes; lane++ {
+		for a := 0; a < cfg.RowAnchors; a++ {
+			y := anchorY(a)
+			if gt != nil {
+				if c := gt[lane*cfg.RowAnchors+a]; c != ufld.Absent {
+					mark(y, int(ufld.CellToPixel(cfg, float64(c))), 0, 1, 0)
+				}
+			}
+			if pred != nil {
+				p := pred.Points[lane][a]
+				if p.Present {
+					mark(y, int(ufld.CellToPixel(cfg, p.Cell)), 1, 0, 0)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ASCII renders the image as a character grid (rows×cols downsampled
+// luminance ramp) with ground truth (o) and predictions (x, or * when
+// both land on the same character cell) overlaid. Useful in terminals
+// and failure messages.
+func ASCII(cfg ufld.Config, img *tensor.Tensor, gt []int, pred *ufld.Prediction, rows, cols int) string {
+	if rows < 2 || cols < 2 {
+		panic(fmt.Sprintf("viz: ASCII grid %dx%d too small", rows, cols))
+	}
+	h, w := img.Dim(1), img.Dim(2)
+	ramp := []byte(" .:-=+#%@")
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = make([]byte, cols)
+		for c := range grid[r] {
+			// Average luminance over the source block.
+			y0, y1 := r*h/rows, (r+1)*h/rows
+			x0, x1 := c*w/cols, (c+1)*w/cols
+			sum, n := 0.0, 0
+			for y := y0; y < y1; y++ {
+				for x := x0; x < x1; x++ {
+					sum += float64(img.At(0, y, x)+img.At(1, y, x)+img.At(2, y, x)) / 3
+					n++
+				}
+			}
+			lum := 0.0
+			if n > 0 {
+				lum = sum / float64(n)
+			}
+			idx := int(lum * float64(len(ramp)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			grid[r][c] = ramp[idx]
+		}
+	}
+	place := func(a int, px float64, ch byte) {
+		y0 := int(0.38 * float64(h))
+		y1 := int(0.98 * float64(h))
+		y := y0 + (y1-y0)*a/(cfg.RowAnchors-1)
+		r := y * rows / h
+		c := int(px) * cols / w
+		if r < 0 || r >= rows || c < 0 || c >= cols {
+			return
+		}
+		if (ch == 'x' && grid[r][c] == 'o') || (ch == 'o' && grid[r][c] == 'x') {
+			grid[r][c] = '*'
+			return
+		}
+		grid[r][c] = ch
+	}
+	for lane := 0; lane < cfg.Lanes; lane++ {
+		for a := 0; a < cfg.RowAnchors; a++ {
+			if gt != nil {
+				if cell := gt[lane*cfg.RowAnchors+a]; cell != ufld.Absent {
+					place(a, ufld.CellToPixel(cfg, float64(cell)), 'o')
+				}
+			}
+			if pred != nil {
+				p := pred.Points[lane][a]
+				if p.Present {
+					place(a, ufld.CellToPixel(cfg, p.Cell), 'x')
+				}
+			}
+		}
+	}
+	var b strings.Builder
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

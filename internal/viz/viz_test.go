@@ -1,0 +1,134 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ldbnadapt/internal/resnet"
+	"ldbnadapt/internal/tensor"
+	"ldbnadapt/internal/ufld"
+)
+
+func testImage(cfg ufld.Config) *tensor.Tensor {
+	img := tensor.New(3, cfg.InputH, cfg.InputW)
+	rng := tensor.NewRNG(1)
+	rng.FillUniform(img, 0.2, 0.8)
+	return img
+}
+
+func TestWritePPMFormat(t *testing.T) {
+	cfg := ufld.Tiny(resnet.R18, 2)
+	img := testImage(cfg)
+	var buf bytes.Buffer
+	if err := WritePPM(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	head := buf.String()[:20]
+	if !strings.HasPrefix(head, "P6\n80 32\n255\n") {
+		t.Fatalf("PPM header wrong: %q", head)
+	}
+	wantLen := len("P6\n80 32\n255\n") + 3*cfg.InputH*cfg.InputW
+	if buf.Len() != wantLen {
+		t.Fatalf("PPM size %d, want %d", buf.Len(), wantLen)
+	}
+}
+
+func TestWritePPMRejectsBadShape(t *testing.T) {
+	if err := WritePPM(&bytes.Buffer{}, tensor.New(1, 4, 4)); err == nil {
+		t.Fatal("1-channel image accepted")
+	}
+}
+
+func TestWritePPMClampsOutOfRange(t *testing.T) {
+	img := tensor.Full(2.0, 3, 2, 2) // above 1
+	var buf bytes.Buffer
+	if err := WritePPM(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	payload := buf.Bytes()[buf.Len()-12:]
+	for _, b := range payload {
+		if b != 255 {
+			t.Fatalf("clamp failed: byte %d", b)
+		}
+	}
+}
+
+func TestOverlayMarksPoints(t *testing.T) {
+	cfg := ufld.Tiny(resnet.R18, 2)
+	img := tensor.New(3, cfg.InputH, cfg.InputW) // black
+	gt := make([]int, cfg.Groups())
+	for i := range gt {
+		gt[i] = ufld.Absent
+	}
+	gt[0] = 5
+	pred := &ufld.Prediction{Points: make([][]ufld.LanePoint, cfg.Lanes)}
+	for l := range pred.Points {
+		pred.Points[l] = make([]ufld.LanePoint, cfg.RowAnchors)
+	}
+	pred.Points[1][2] = ufld.LanePoint{Present: true, Cell: 8}
+	out := Overlay(cfg, img, gt, pred)
+	// Original must be untouched.
+	if img.Max() != 0 {
+		t.Fatal("Overlay mutated input")
+	}
+	// Output must contain pure-green (gt) and pure-red (pred) pixels.
+	green, red := 0, 0
+	for y := 0; y < cfg.InputH; y++ {
+		for x := 0; x < cfg.InputW; x++ {
+			r, g, b := out.At(0, y, x), out.At(1, y, x), out.At(2, y, x)
+			if g > 0.9 && r < 0.1 && b < 0.1 {
+				green++
+			}
+			if r > 0.9 && g < 0.1 && b < 0.1 {
+				red++
+			}
+		}
+	}
+	if green == 0 {
+		t.Fatal("no green ground-truth markers drawn")
+	}
+	if red == 0 {
+		t.Fatal("no red prediction markers drawn")
+	}
+}
+
+func TestASCIIDimensionsAndMarkers(t *testing.T) {
+	cfg := ufld.Tiny(resnet.R18, 2)
+	img := testImage(cfg)
+	gt := make([]int, cfg.Groups())
+	for i := range gt {
+		gt[i] = 5
+	}
+	pred := &ufld.Prediction{Points: make([][]ufld.LanePoint, cfg.Lanes)}
+	for l := range pred.Points {
+		pred.Points[l] = make([]ufld.LanePoint, cfg.RowAnchors)
+		for a := range pred.Points[l] {
+			pred.Points[l][a] = ufld.LanePoint{Present: true, Cell: 5}
+		}
+	}
+	out := ASCII(cfg, img, gt, pred, 8, 40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 8 {
+		t.Fatalf("rows = %d", len(lines))
+	}
+	for _, l := range lines {
+		if len(l) != 40 {
+			t.Fatalf("row width %d", len(l))
+		}
+	}
+	// Coinciding gt+pred renders '*'.
+	if !strings.Contains(out, "*") {
+		t.Fatalf("coinciding markers not merged:\n%s", out)
+	}
+}
+
+func TestASCIIPanicsOnTinyGrid(t *testing.T) {
+	cfg := ufld.Tiny(resnet.R18, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("tiny grid accepted")
+		}
+	}()
+	ASCII(cfg, testImage(cfg), nil, nil, 1, 1)
+}

@@ -1,0 +1,35 @@
+# Build/test/bench entry points for the LD-BN-ADAPT reproduction.
+#
+#   make build   compile everything
+#   make vet     static analysis
+#   make test    full unit + property suite (tier-1 gate)
+#   make race    race-detector pass over the concurrent packages
+#   make bench   full benchmark suite (one iteration each)
+#   make serve-bench  the multi-stream serving benchmark only
+#   make ci      build + vet + test + race
+
+GO ?= go
+
+.PHONY: build vet test race bench serve-bench ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The serving engine and the tensor matmul pool are the concurrent
+# hot paths; stream exercises the adaptation methods they share.
+race:
+	$(GO) test -race ./internal/serve/... ./internal/tensor/... ./internal/nn/...
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem -benchtime 1x .
+
+serve-bench:
+	$(GO) test -run xxx -bench BenchmarkServeMultiStream -benchtime 3x .
+
+ci: build vet test race

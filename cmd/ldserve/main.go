@@ -1,0 +1,174 @@
+// Command ldserve runs the multi-stream batched serving engine over a
+// synthetic camera fleet: N streams with independent domain drift are
+// multiplexed onto shared-weight worker replicas with dynamic
+// batching and per-stream LD-BN-ADAPT, and the run is reported per
+// stream (throughput, priced p50/p99 latency, deadline-miss rate,
+// online accuracy).
+//
+//	ldserve -streams 8 -frames 48 -maxbatch 8 -adapt-every 4
+//	ldserve -streams 8 -weights molane_r18.ldp -naive
+//
+// Flag ↔ paper mapping (Fig. 3 deployment settings): -model and -watts
+// select the Fig. 3 row (backbone × power mode); -deadline-fps 30|18
+// selects the deadline column; -adapt-every is the adaptation batch
+// size bs of the Fig. 2/3 sweep (its cost amortization); -maxbatch and
+// -window are the serving extensions this engine adds on top of the
+// paper's single-camera deployment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ldbnadapt/internal/adapt"
+	"ldbnadapt/internal/carlane"
+	"ldbnadapt/internal/cli"
+	"ldbnadapt/internal/metrics"
+	"ldbnadapt/internal/nn"
+	"ldbnadapt/internal/orin"
+	"ldbnadapt/internal/serve"
+	"ldbnadapt/internal/tensor"
+	"ldbnadapt/internal/ufld"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ldserve:", err)
+	os.Exit(1)
+}
+
+func main() {
+	streams := flag.Int("streams", 8, "number of simulated camera streams")
+	frames := flag.Int("frames", 48, "frames per stream")
+	fps := flag.Float64("fps", 30, "camera rate per stream")
+	model := flag.String("model", "R-18", "backbone: R-18|R-34")
+	profile := flag.String("profile", "tiny", "config profile: tiny|small|repro")
+	lanes := flag.Int("lanes", 2, "lane count: 2 (MoLane-style fleet) or 4 (mixed TuLane/MoLane fleet)")
+	watts := flag.Int("watts", 60, "Orin power mode: 15|30|50|60")
+	deadlineFPS := flag.Float64("deadline-fps", 30, "frame-rate deadline (30 or 18 in the paper)")
+	maxBatch := flag.Int("maxbatch", 8, "dynamic batching cap")
+	windowMs := flag.Float64("window", 2, "batching window in ms")
+	workers := flag.Int("workers", 0, "worker replicas (0 = GOMAXPROCS)")
+	adaptEvery := flag.Int("adapt-every", 4, "LD-BN-ADAPT step per stream every N frames (0 = no adaptation)")
+	adaptBatch := flag.Int("adapt-batch", 1, "frames per adaptation step")
+	epochs := flag.Int("epochs", 5, "source pre-training epochs (ignored with -weights)")
+	weights := flag.String("weights", "", "optional weights file from ldtrain")
+	naive := flag.Bool("naive", false, "also run the unbatched one-goroutine-per-stream baseline")
+	seed := flag.Uint64("seed", 1, "seed for fleet generation and pre-training")
+	flag.Parse()
+
+	variant, err := cli.ParseVariant(*model)
+	if err != nil {
+		fail(err)
+	}
+	cfgFor, err := cli.ParseProfile(*profile)
+	if err != nil {
+		fail(err)
+	}
+	mode, err := orin.ModeByWatts(*watts)
+	if err != nil {
+		fail(err)
+	}
+	if *lanes != 2 && *lanes != 4 {
+		fail(fmt.Errorf("lanes must be 2 or 4, got %d", *lanes))
+	}
+
+	cfg := cfgFor(variant, *lanes)
+	rng := tensor.NewRNG(*seed)
+	m := ufld.MustNewModel(cfg, rng)
+	if *weights != "" {
+		f, err := os.Open(*weights)
+		if err != nil {
+			fail(err)
+		}
+		extras, err := nn.LoadParams(f, m.Params())
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		if err := m.ApplyBNStateExtras(extras); err != nil {
+			fail(err)
+		}
+	} else {
+		layout := carlane.Ego2
+		if *lanes == 4 {
+			layout = carlane.Quad4
+		}
+		src := carlane.Generate(cfg, carlane.SplitSpec{
+			Name:    "ldserve/source-train",
+			Layouts: []carlane.Layout{layout},
+			Domains: []carlane.Domain{carlane.Sim},
+			N:       80,
+			Seed:    *seed + 1000,
+		})
+		tc := ufld.DefaultTrainConfig()
+		tc.Epochs = *epochs
+		fmt.Fprintln(os.Stderr, "pre-training on simulator source...")
+		if _, err := ufld.TrainSource(m, src, tc, rng.Split()); err != nil {
+			fail(err)
+		}
+	}
+
+	fleet := serve.SyntheticFleet(cfg, *streams, *frames, *fps, *seed+2000)
+	scfg := serve.Config{
+		Variant:    variant,
+		Workers:    *workers,
+		MaxBatch:   *maxBatch,
+		Window:     time.Duration(*windowMs * float64(time.Millisecond)),
+		AdaptEvery: *adaptEvery,
+		AdaptBatch: *adaptBatch,
+		Adapt:      adapt.DefaultConfig(),
+		Mode:       mode,
+		DeadlineMs: 1000.0 / *deadlineFPS,
+	}
+
+	e := serve.New(m, scfg)
+	rep := e.Run(fleet)
+	printReport("batched engine", rep)
+
+	if *naive {
+		// The unbatched baseline adapts on every frame (the paper's
+		// bs=1 loop) when the engine adapts at all, and not at all when
+		// adaptation is disabled, so the ratio compares like with like.
+		naiveEvery := 0
+		if *adaptEvery > 0 {
+			naiveEvery = 1
+		}
+		nrep := serve.RunNaive(m, serve.Config{
+			Variant:    variant,
+			AdaptEvery: naiveEvery,
+			Adapt:      adapt.DefaultConfig(),
+			Mode:       mode,
+			DeadlineMs: 1000.0 / *deadlineFPS,
+		}, fleet)
+		fmt.Println()
+		printReport("naive baseline", nrep)
+		if nrep.ThroughputFPS > 0 {
+			naiveDesc := "no adaptation"
+			if naiveEvery > 0 {
+				naiveDesc = "adapt every frame"
+			}
+			fmt.Printf("\nbatched (maxbatch %d, adapt every %d) vs naive (unbatched, %s): %.2fx throughput\n",
+				*maxBatch, *adaptEvery, naiveDesc, rep.ThroughputFPS/nrep.ThroughputFPS)
+		}
+	}
+}
+
+// printReport renders one run as a per-stream table plus totals.
+func printReport(label string, rep serve.Report) {
+	fmt.Printf("%s: %d frames, %.1f frames/s host throughput, mean batch %.2f\n",
+		label, rep.Frames, rep.ThroughputFPS, rep.MeanBatch)
+	tb := metrics.NewTable("stream", "frames", "online acc", "p50 ms", "p99 ms", "miss rate", "adapt steps")
+	for _, sr := range rep.Streams {
+		tb.AddRow(fmt.Sprintf("#%02d", sr.Stream), sr.Frames, metrics.FormatPct(sr.OnlineAccuracy),
+			fmt.Sprintf("%.1f", sr.P50LatencyMs), fmt.Sprintf("%.1f", sr.P99LatencyMs),
+			metrics.FormatPct(sr.MissRate), sr.AdaptSteps)
+	}
+	if _, err := tb.WriteTo(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+	fmt.Printf("fleet: accuracy %s, p50 %.1f ms, p99 %.1f ms, miss rate %s\n",
+		metrics.FormatPct(rep.OnlineAccuracy), rep.P50LatencyMs, rep.P99LatencyMs,
+		metrics.FormatPct(rep.MissRate))
+}

@@ -1,0 +1,3 @@
+module ldbnadapt
+
+go 1.21

@@ -22,7 +22,18 @@ func (r *ReLU) Name() string { return r.name }
 func (r *ReLU) Params() []*Param { return nil }
 
 // Forward computes max(0, x), caching the pass-through mask.
-func (r *ReLU) Forward(x *tensor.Tensor, _ Mode) *tensor.Tensor {
+// In Infer mode it clamps in place (the input is an upstream layer's
+// scratch buffer that is not read again) and keeps no mask.
+func (r *ReLU) Forward(x *tensor.Tensor, mode Mode) *tensor.Tensor {
+	if mode == Infer {
+		r.lastMask = nil // Backward after an Infer forward must panic
+		for i, v := range x.Data {
+			if v <= 0 {
+				x.Data[i] = 0
+			}
+		}
+		return x
+	}
 	out := tensor.New(x.Shape()...)
 	if cap(r.lastMask) < x.Size() {
 		r.lastMask = make([]bool, x.Size())

@@ -43,6 +43,22 @@ type BatchNorm2D struct {
 	lastMode     Mode
 	lastShape    []int
 	lastAdaptMom float32
+
+	// Infer-mode state: reusable output buffer and optional per-sample
+	// statistics sources (multi-stream batched serving).
+	scratchOut []float32
+	sampleSrc  []*BNSource
+}
+
+// BNSource supplies the complete normalization state of one stream for
+// Infer-mode forwards: the multi-stream serving engine coalesces frames
+// from different camera streams into one batched forward pass, and each
+// stream carries its own adapted statistics and affine parameters.
+type BNSource struct {
+	// Mean, Var are the stream's running statistics, [C].
+	Mean, Var []float32
+	// Gamma, Beta are the stream's adapted affine parameters, [C].
+	Gamma, Beta []float32
 }
 
 // NewBatchNorm2D constructs a BN layer with γ=1, β=0, running stats
@@ -67,14 +83,28 @@ func (b *BatchNorm2D) Name() string { return b.name }
 // Params returns γ and β.
 func (b *BatchNorm2D) Params() []*Param { return []*Param{b.Gamma, b.Beta} }
 
+// SetSampleSources installs per-sample normalization state for
+// subsequent Infer-mode forwards: sample i is normalized with src[i]
+// instead of the layer's own running statistics and γ/β. Pass nil to
+// restore the layer's own state. Modes other than Infer panic while
+// sources are installed, so adaptation passes cannot silently pick up
+// another stream's state.
+func (b *BatchNorm2D) SetSampleSources(src []*BNSource) { b.sampleSrc = src }
+
 // Forward normalizes x according to the mode.
 func (b *BatchNorm2D) Forward(x *tensor.Tensor, mode Mode) *tensor.Tensor {
 	if x.NDim() != 4 || x.Dim(1) != b.C {
 		panic(fmt.Sprintf("nn: %s: input %v, want [n,%d,h,w]", b.name, x.Shape(), b.C))
 	}
+	if b.sampleSrc != nil && mode != Infer {
+		panic(fmt.Sprintf("nn: %s: sample sources installed but mode is %v", b.name, mode))
+	}
 	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
 	hw := h * w
 	cnt := n * hw
+	if mode == Infer {
+		return b.forwardInfer(x, n, h, w)
+	}
 	out := tensor.New(n, b.C, h, w)
 	b.lastMode = mode
 	b.lastShape = []int{n, b.C, h, w}
@@ -152,6 +182,40 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, mode Mode) *tensor.Tensor {
 	}
 	b.lastXHat = xhat
 	b.lastInvStd = invStd
+	return out
+}
+
+// forwardInfer is the serving fast path: Eval-mode arithmetic (bitwise
+// identical per sample) without the x̂ backward cache, writing into a
+// reusable scratch buffer. When sample sources are installed each
+// sample is normalized with its own stream's statistics and γ/β.
+func (b *BatchNorm2D) forwardInfer(x *tensor.Tensor, n, h, w int) *tensor.Tensor {
+	if b.sampleSrc != nil && len(b.sampleSrc) != n {
+		panic(fmt.Sprintf("nn: %s: %d sample sources for batch of %d", b.name, len(b.sampleSrc), n))
+	}
+	hw := h * w
+	out := scratchFor(&b.scratchOut, n, b.C, h, w)
+	b.lastXHat = nil // Backward after an Infer forward must panic
+	for ni := 0; ni < n; ni++ {
+		mean, varc := b.RunningMean.Data, b.RunningVar.Data
+		gamma, beta := b.Gamma.Value.Data, b.Beta.Value.Data
+		if b.sampleSrc != nil {
+			src := b.sampleSrc[ni]
+			mean, varc, gamma, beta = src.Mean, src.Var, src.Gamma, src.Beta
+		}
+		for c := 0; c < b.C; c++ {
+			base := (ni*b.C + c) * hw
+			m := mean[c]
+			is := float32(1.0 / math.Sqrt(float64(varc[c])+float64(b.Eps)))
+			g, bt := gamma[c], beta[c]
+			xs := x.Data[base : base+hw]
+			os := out.Data[base : base+hw]
+			for i, v := range xs {
+				xh := (v - m) * is
+				os[i] = g*xh + bt
+			}
+		}
+	}
 	return out
 }
 

@@ -18,6 +18,11 @@ type Conv2D struct {
 	lastCols     []*tensor.Tensor
 	lastIn       []int // cached input shape [n,c,h,w]
 	lastOutShape []int
+
+	// Infer-mode scratch: im2col lowering and output buffers reused
+	// across calls (no backward caches are kept on this path).
+	scratchCols []float32
+	scratchOut  []float32
 }
 
 // NewConv2D constructs a convolution layer with Kaiming-initialized
@@ -52,22 +57,37 @@ func (c *Conv2D) Params() []*Param {
 // Forward computes the convolution sample by sample: per sample the
 // im2col matrix has shape [inC*kh*kw, oh*ow] and the product
 // W[outC, inC*kh*kw]·cols lands directly in the output layout.
-func (c *Conv2D) Forward(x *tensor.Tensor, _ Mode) *tensor.Tensor {
+// In Infer mode the im2col and output buffers are layer-owned scratch
+// reused across calls, and no backward caches are kept.
+func (c *Conv2D) Forward(x *tensor.Tensor, mode Mode) *tensor.Tensor {
 	if x.NDim() != 4 || x.Dim(1) != c.InC {
 		panic(fmt.Sprintf("nn: %s: input %v, want [n,%d,h,w]", c.name, x.Shape(), c.InC))
 	}
 	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
 	oh, ow := c.Geom.OutSize(h, w)
-	out := tensor.New(n, c.OutC, oh, ow)
+	infer := mode == Infer
+	var out *tensor.Tensor
+	if infer {
+		out = scratchFor(&c.scratchOut, n, c.OutC, oh, ow)
+		c.lastCols = nil // Backward after an Infer forward must panic
+	} else {
+		out = tensor.New(n, c.OutC, oh, ow)
+		c.lastCols = make([]*tensor.Tensor, n)
+		c.lastIn = []int{n, c.InC, h, w}
+		c.lastOutShape = []int{n, c.OutC, oh, ow}
+	}
 	wm := c.Weight.Value.Reshape(c.OutC, c.InC*c.Geom.KH*c.Geom.KW)
-	c.lastCols = make([]*tensor.Tensor, n)
-	c.lastIn = []int{n, c.InC, h, w}
-	c.lastOutShape = []int{n, c.OutC, oh, ow}
 	hw := oh * ow
 	for ni := 0; ni < n; ni++ {
 		xi := tensor.FromSlice(x.Data[ni*c.InC*h*w:(ni+1)*c.InC*h*w], 1, c.InC, h, w)
-		cols := tensor.Im2Col(xi, c.Geom)
-		c.lastCols[ni] = cols
+		var cols *tensor.Tensor
+		if infer {
+			cols = scratchFor(&c.scratchCols, c.InC*c.Geom.KH*c.Geom.KW, hw)
+			tensor.Im2ColInto(cols, xi, c.Geom)
+		} else {
+			cols = tensor.Im2Col(xi, c.Geom)
+			c.lastCols[ni] = cols
+		}
 		oi := tensor.FromSlice(out.Data[ni*c.OutC*hw:(ni+1)*c.OutC*hw], c.OutC, hw)
 		tensor.MatMulInto(oi, wm, cols)
 		if c.Bias != nil {

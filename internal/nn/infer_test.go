@@ -1,0 +1,135 @@
+package nn
+
+import (
+	"testing"
+
+	"ldbnadapt/internal/tensor"
+)
+
+// inferNet builds a small conv→bn→relu→pool→flatten→linear chain with
+// non-trivial BN state, exercising every layer that has an Infer fast
+// path.
+func inferNet(rng *tensor.RNG) *Sequential {
+	conv := NewConv2D("c", 3, 4, tensor.ConvGeom{KH: 3, KW: 3, SH: 1, SW: 1, PH: 1, PW: 1}, true, rng)
+	bn := NewBatchNorm2D("b", 4)
+	for c := 0; c < 4; c++ {
+		bn.RunningMean.Data[c] = float32(rng.Range(-0.5, 0.5))
+		bn.RunningVar.Data[c] = float32(rng.Range(0.5, 2))
+		bn.Gamma.Value.Data[c] = float32(rng.Range(0.5, 1.5))
+		bn.Beta.Value.Data[c] = float32(rng.Range(-0.3, 0.3))
+	}
+	pool := NewMaxPool2D("p", tensor.ConvGeom{KH: 2, KW: 2, SH: 2, SW: 2})
+	fc := NewLinear("f", 4*4*5, 7, rng)
+	return NewSequential("net", conv, bn, NewReLU("r"), pool, NewFlatten("fl"), fc)
+}
+
+func randInput(rng *tensor.RNG, n int) *tensor.Tensor {
+	x := tensor.New(n, 3, 8, 10)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.Range(-1, 1))
+	}
+	return x
+}
+
+// TestInferMatchesEval asserts the Infer fast path is bitwise identical
+// to Eval-mode arithmetic, including across repeated calls that reuse
+// the scratch buffers.
+func TestInferMatchesEval(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	net := inferNet(rng)
+	for trial := 0; trial < 4; trial++ {
+		x := randInput(rng, 1+trial%3)
+		want := net.Forward(x, Eval).Clone()
+		got := net.Forward(x, Infer)
+		if !want.AllClose(got, 0) {
+			t.Fatalf("trial %d: Infer output differs from Eval", trial)
+		}
+	}
+}
+
+// TestInferSampleSources asserts per-sample BN conditioning: a batch
+// whose samples carry different BNSource states must reproduce, per
+// sample, the output of Eval mode with that state installed.
+func TestInferSampleSources(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	net := inferNet(rng)
+	var bn *BatchNorm2D
+	for _, l := range net.Layers {
+		if b, ok := l.(*BatchNorm2D); ok {
+			bn = b
+		}
+	}
+	const n = 3
+	srcs := make([]*BNSource, n)
+	for i := range srcs {
+		s := &BNSource{
+			Mean:  make([]float32, bn.C),
+			Var:   make([]float32, bn.C),
+			Gamma: make([]float32, bn.C),
+			Beta:  make([]float32, bn.C),
+		}
+		for c := 0; c < bn.C; c++ {
+			s.Mean[c] = float32(rng.Range(-0.4, 0.4))
+			s.Var[c] = float32(rng.Range(0.6, 1.8))
+			s.Gamma[c] = float32(rng.Range(0.7, 1.3))
+			s.Beta[c] = float32(rng.Range(-0.2, 0.2))
+		}
+		srcs[i] = s
+	}
+	x := randInput(rng, n)
+	bn.SetSampleSources(srcs)
+	got := net.Forward(x, Infer).Clone()
+	bn.SetSampleSources(nil)
+
+	chw := 3 * 8 * 10
+	outDim := got.Dim(1)
+	for i := 0; i < n; i++ {
+		// Install sample i's state as the layer state and run Eval on
+		// just that sample.
+		copy(bn.RunningMean.Data, srcs[i].Mean)
+		copy(bn.RunningVar.Data, srcs[i].Var)
+		copy(bn.Gamma.Value.Data, srcs[i].Gamma)
+		copy(bn.Beta.Value.Data, srcs[i].Beta)
+		xi := tensor.FromSlice(x.Data[i*chw:(i+1)*chw], 1, 3, 8, 10)
+		want := net.Forward(xi, Eval)
+		for j := 0; j < outDim; j++ {
+			if want.Data[j] != got.Data[i*outDim+j] {
+				t.Fatalf("sample %d logit %d: batched %g, sequential %g", i, j, got.Data[i*outDim+j], want.Data[j])
+			}
+		}
+	}
+}
+
+// TestInferForbidsBackward asserts the Infer path invalidates backward
+// caches so a stale Backward cannot silently use them.
+func TestInferForbidsBackward(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	conv := NewConv2D("c", 3, 4, tensor.ConvGeom{KH: 3, KW: 3, SH: 1, SW: 1, PH: 1, PW: 1}, false, rng)
+	x := randInput(rng, 2)
+	out := conv.Forward(x, Infer)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Backward after Infer forward did not panic")
+		}
+	}()
+	conv.Backward(tensor.New(out.Shape()...))
+}
+
+// TestInferSourcesPanicOutsideInfer asserts the mode guard: installed
+// sample sources must not leak into Eval/Train/Adapt forwards.
+func TestInferSourcesPanicOutsideInfer(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	bn := NewBatchNorm2D("b", 2)
+	src := &BNSource{Mean: make([]float32, 2), Var: []float32{1, 1}, Gamma: []float32{1, 1}, Beta: make([]float32, 2)}
+	bn.SetSampleSources([]*BNSource{src})
+	x := tensor.New(1, 2, 2, 2)
+	for i := range x.Data {
+		x.Data[i] = float32(rng.Range(-1, 1))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Eval forward with sample sources installed did not panic")
+		}
+	}()
+	bn.Forward(x, Eval)
+}

@@ -33,6 +33,14 @@ const (
 	// refresh the running statistics so subsequent Eval passes see the
 	// target domain.
 	Adapt
+	// Infer is the serving fast path: numerically identical to Eval but
+	// layers skip every backward cache and reuse layer-owned scratch
+	// buffers for their outputs. A tensor returned by an Infer forward
+	// is only valid until the layer's next Infer forward, and Backward
+	// after an Infer forward panics. BatchNorm2D additionally honours
+	// per-sample statistics sources in this mode (multi-stream batched
+	// serving, see SetSampleSources).
+	Infer
 )
 
 // String returns the mode name.
@@ -44,6 +52,8 @@ func (m Mode) String() string {
 		return "eval"
 	case Adapt:
 		return "adapt"
+	case Infer:
+		return "infer"
 	}
 	return fmt.Sprintf("Mode(%d)", int(m))
 }

@@ -13,6 +13,8 @@ type Linear struct {
 	Weight  *Param // [out, in]
 	Bias    *Param // [out]
 	lastX   *tensor.Tensor
+
+	scratchOut []float32 // Infer-mode output buffer
 }
 
 // NewLinear constructs a Kaiming-initialized fully-connected layer.
@@ -34,13 +36,21 @@ func (l *Linear) Name() string { return l.name }
 // Params returns weight and bias.
 func (l *Linear) Params() []*Param { return []*Param{l.Weight, l.Bias} }
 
-// Forward computes x·Wᵀ + b.
-func (l *Linear) Forward(x *tensor.Tensor, _ Mode) *tensor.Tensor {
+// Forward computes x·Wᵀ + b. In Infer mode the output lands in a
+// reusable scratch buffer and no backward cache is kept.
+func (l *Linear) Forward(x *tensor.Tensor, mode Mode) *tensor.Tensor {
 	if x.NDim() != 2 || x.Dim(1) != l.In {
 		panic(fmt.Sprintf("nn: %s: input %v, want [n,%d]", l.name, x.Shape(), l.In))
 	}
-	l.lastX = x
-	out := tensor.MatMulTB(x, l.Weight.Value) // [n, out]
+	var out *tensor.Tensor
+	if mode == Infer {
+		l.lastX = nil // Backward after an Infer forward must panic
+		out = scratchFor(&l.scratchOut, x.Dim(0), l.Out)
+		tensor.MatMulTBInto(out, x, l.Weight.Value)
+	} else {
+		l.lastX = x
+		out = tensor.MatMulTB(x, l.Weight.Value) // [n, out]
+	}
 	n := x.Dim(0)
 	for i := 0; i < n; i++ {
 		row := out.Data[i*l.Out : (i+1)*l.Out]

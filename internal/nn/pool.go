@@ -14,6 +14,8 @@ type MaxPool2D struct {
 	lastIdx  []int32 // flat source index per output element (-1 for all-padding windows)
 	lastIn   []int
 	lastOutN int
+
+	scratchOut []float32 // Infer-mode output buffer
 }
 
 // NewMaxPool2D constructs a max-pool layer with the given geometry.
@@ -28,16 +30,25 @@ func (p *MaxPool2D) Name() string { return p.name }
 func (p *MaxPool2D) Params() []*Param { return nil }
 
 // Forward computes the windowed maximum, remembering argmax indices.
-func (p *MaxPool2D) Forward(x *tensor.Tensor, _ Mode) *tensor.Tensor {
+// In Infer mode the output lands in a reusable scratch buffer and the
+// argmax cache is skipped.
+func (p *MaxPool2D) Forward(x *tensor.Tensor, mode Mode) *tensor.Tensor {
 	if x.NDim() != 4 {
 		panic(fmt.Sprintf("nn: %s: input %v, want [n,c,h,w]", p.name, x.Shape()))
 	}
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	oh, ow := p.Geom.OutSize(h, w)
-	out := tensor.New(n, c, oh, ow)
-	p.lastIdx = make([]int32, n*c*oh*ow)
-	p.lastIn = []int{n, c, h, w}
-	p.lastOutN = n * c * oh * ow
+	record := mode != Infer
+	var out *tensor.Tensor
+	if record {
+		out = tensor.New(n, c, oh, ow)
+		p.lastIdx = make([]int32, n*c*oh*ow)
+		p.lastIn = []int{n, c, h, w}
+		p.lastOutN = n * c * oh * ow
+	} else {
+		out = scratchFor(&p.scratchOut, n, c, oh, ow)
+		p.lastIdx = nil // Backward after an Infer forward must panic
+	}
 	oi := 0
 	for ni := 0; ni < n; ni++ {
 		for ci := 0; ci < c; ci++ {
@@ -67,7 +78,9 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, _ Mode) *tensor.Tensor {
 						best = 0
 					}
 					out.Data[oi] = best
-					p.lastIdx[oi] = bestIdx
+					if record {
+						p.lastIdx[oi] = bestIdx
+					}
 					oi++
 				}
 			}

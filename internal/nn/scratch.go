@@ -1,0 +1,18 @@
+package nn
+
+import "ldbnadapt/internal/tensor"
+
+// scratchFor returns a tensor with the given shape backed by *buf,
+// growing *buf when it is too small. Infer-mode forwards use it to
+// reuse their output storage across calls; the returned tensor is only
+// valid until the next call that borrows the same buffer.
+func scratchFor(buf *[]float32, shape ...int) *tensor.Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if cap(*buf) < n {
+		*buf = make([]float32, n)
+	}
+	return tensor.FromSlice((*buf)[:n], shape...)
+}

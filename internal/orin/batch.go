@@ -1,0 +1,63 @@
+package orin
+
+import (
+	"fmt"
+
+	"ldbnadapt/internal/resnet"
+)
+
+// BatchEstimate prices one coalesced inference batch on the Orin: the
+// multi-stream serving engine runs frames from several cameras through
+// a single batched forward pass, and the deadline accounting must
+// reflect how that batch prices out on device.
+type BatchEstimate struct {
+	// ModelName labels the network ("R-18", "R-34").
+	ModelName string
+	// Mode is the power mode evaluated.
+	Mode PowerMode
+	// BatchSize is the number of coalesced frames.
+	BatchSize int
+	// BatchMs is the whole-batch latency (one fixed overhead, one
+	// batched forward).
+	BatchMs float64
+	// PerFrameMs = BatchMs / BatchSize — the amortized latency each
+	// frame in the batch pays.
+	PerFrameMs float64
+	// EnergyMJ is the per-frame energy in millijoules.
+	EnergyMJ float64
+}
+
+// EstimateInferenceBatch prices a batched forward pass of bs frames
+// under a power mode with the same per-layer roofline used by
+// EstimateFrame, extended to batched execution: compute and activation
+// traffic scale with the batch size, while the layer weights are read
+// once per batch and the fixed per-invocation overhead (capture copy,
+// resize, host↔device traffic, kernel launches) is paid once. This is
+// the mechanism that makes batched serving cheaper per frame — weights
+// and overhead amortize — and it degenerates exactly to
+// EstimateInferenceOnly at bs = 1.
+func EstimateInferenceBatch(name string, cost resnet.ModelCost, mode PowerMode, bs int) BatchEstimate {
+	if bs < 1 {
+		panic(fmt.Sprintf("orin: batch size %d", bs))
+	}
+	totalUs := 0.0
+	for _, l := range cost.Layers {
+		computeUs := float64(bs) * float64(l.FLOPs) / mode.EffGFLOPS / 1e3
+		bytes := float64(bs)*float64(2*l.ActBytes) + float64(l.WeightBytes)
+		memUs := bytes / mode.MemBWGBs / 1e3
+		if memUs > computeUs {
+			totalUs += memUs
+		} else {
+			totalUs += computeUs
+		}
+	}
+	e := BatchEstimate{
+		ModelName: name,
+		Mode:      mode,
+		BatchSize: bs,
+		BatchMs:   mode.OverheadMs + totalUs/1e3,
+	}
+	e.PerFrameMs = e.BatchMs / float64(bs)
+	e.EnergyMJ = float64(mode.Watts) * e.PerFrameMs
+	return e
+}

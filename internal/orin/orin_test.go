@@ -227,3 +227,71 @@ func TestEstimateFramePanicsOnBadBatch(t *testing.T) {
 	}()
 	EstimateFrame("x", costFor(resnet.R18), Mode60W, 0)
 }
+
+// TestBatchPricingMonotone is the serving-engine deadline-accounting
+// contract: whole-batch latency must rise with batch size while the
+// amortized per-frame latency must fall (weights and fixed overhead are
+// read once per batch), for both backbones under every power mode.
+func TestBatchPricingMonotone(t *testing.T) {
+	for _, v := range []resnet.Variant{resnet.R18, resnet.R34} {
+		cost := costFor(v)
+		for _, m := range Modes {
+			prevBatch, prevFrame := -1.0, -1.0
+			for bs := 1; bs <= 16; bs *= 2 {
+				e := EstimateInferenceBatch(v.String(), cost, m, bs)
+				if e.BatchMs <= 0 || e.PerFrameMs <= 0 {
+					t.Fatalf("%s@%s bs=%d: non-positive estimate %+v", v, m.Name, bs, e)
+				}
+				if prevBatch >= 0 && e.BatchMs <= prevBatch {
+					t.Fatalf("%s@%s bs=%d: batch latency %f not increasing (prev %f)",
+						v, m.Name, bs, e.BatchMs, prevBatch)
+				}
+				if prevFrame >= 0 && e.PerFrameMs >= prevFrame {
+					t.Fatalf("%s@%s bs=%d: per-frame latency %f not decreasing (prev %f)",
+						v, m.Name, bs, e.PerFrameMs, prevFrame)
+				}
+				if diff := e.PerFrameMs*float64(e.BatchSize) - e.BatchMs; diff > 1e-9 || diff < -1e-9 {
+					t.Fatalf("%s@%s bs=%d: PerFrameMs inconsistent with BatchMs", v, m.Name, bs)
+				}
+				prevBatch, prevFrame = e.BatchMs, e.PerFrameMs
+			}
+		}
+	}
+}
+
+// TestBatchPricingDegeneratesToSingleFrame pins bs=1 to the existing
+// single-frame inference pricing so the two models cannot drift apart.
+func TestBatchPricingDegeneratesToSingleFrame(t *testing.T) {
+	cost := costFor(resnet.R18)
+	for _, m := range Modes {
+		single := EstimateInferenceOnly("R-18", cost, m)
+		batch := EstimateInferenceBatch("R-18", cost, m, 1)
+		if diff := batch.BatchMs - single.TotalMs; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("%s: bs=1 batch %.6f ms != single-frame %.6f ms", m.Name, batch.BatchMs, single.TotalMs)
+		}
+	}
+}
+
+// TestBatchPricingSublinear asserts the serving win exists in the cost
+// model: an 8-frame batch must be strictly cheaper than 8 single-frame
+// invocations (which each pay the fixed overhead and weight traffic).
+func TestBatchPricingSublinear(t *testing.T) {
+	cost := costFor(resnet.R18)
+	for _, m := range Modes {
+		single := EstimateInferenceOnly("R-18", cost, m)
+		batch := EstimateInferenceBatch("R-18", cost, m, 8)
+		if batch.BatchMs >= 8*single.TotalMs {
+			t.Fatalf("%s: batched 8 frames (%.2f ms) not cheaper than 8 single frames (%.2f ms)",
+				m.Name, batch.BatchMs, 8*single.TotalMs)
+		}
+	}
+}
+
+func TestEstimateInferenceBatchPanicsOnBadBatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bs=0 accepted")
+		}
+	}()
+	EstimateInferenceBatch("x", costFor(resnet.R18), Mode60W, 0)
+}

@@ -137,6 +137,18 @@ func (b *BasicBlock) Forward(x *tensor.Tensor, mode nn.Mode) *tensor.Tensor {
 		short = b.dsConv.Forward(x, mode)
 		short = b.dsBN.Forward(short, mode)
 	}
+	if mode == nn.Infer {
+		// Serving fast path: the residual add and final ReLU run in
+		// place on bn2's scratch output; no mask is cached.
+		b.lastMask = nil
+		tensor.AddInPlace(main, short)
+		for i, v := range main.Data {
+			if v <= 0 {
+				main.Data[i] = 0
+			}
+		}
+		return main
+	}
 	out := tensor.Add(main, short)
 	if cap(b.lastMask) < out.Size() {
 		b.lastMask = make([]bool, out.Size())

@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"ldbnadapt/internal/adapt"
+	"ldbnadapt/internal/orin"
+	"ldbnadapt/internal/resnet"
+	"ldbnadapt/internal/ufld"
+)
+
+// TestFrameLatencyComposition pins the pricing formula: window wait +
+// amortized batched inference + amortized adaptation.
+func TestFrameLatencyComposition(t *testing.T) {
+	m := testModel(31)
+	cost := ufld.DescribeModel(ufld.FullScale(resnet.R18, m.Cfg.Lanes))
+	for _, tc := range []struct {
+		name       string
+		adaptEvery int
+		mode       orin.PowerMode
+	}{
+		{"noadapt-60W", 0, orin.Mode60W},
+		{"adapt4-60W", 4, orin.Mode60W},
+		{"adapt1-30W", 1, orin.Mode30W},
+	} {
+		e := New(m, Config{
+			Variant:    resnet.R18,
+			MaxBatch:   8,
+			Window:     2 * time.Millisecond,
+			AdaptEvery: tc.adaptEvery,
+			Mode:       tc.mode,
+		})
+		for k := 1; k <= 8; k++ {
+			want := 2.0 + orin.EstimateInferenceBatch("R-18", cost, tc.mode, k).PerFrameMs
+			if tc.adaptEvery > 0 {
+				want += orin.EstimateFrame("R-18", cost, tc.mode, 1).AdaptMs / float64(tc.adaptEvery)
+			}
+			got := e.FrameLatencyMs(k)
+			if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("%s k=%d: latency %.6f, want %.6f", tc.name, k, got, want)
+			}
+		}
+	}
+}
+
+// TestFrameLatencyMonotoneInBatch asserts bigger coalesced batches
+// never price worse per frame.
+func TestFrameLatencyMonotoneInBatch(t *testing.T) {
+	e := New(testModel(32), Config{MaxBatch: 8, AdaptEvery: 4})
+	prev := e.FrameLatencyMs(1)
+	for k := 2; k <= 8; k++ {
+		lat := e.FrameLatencyMs(k)
+		if lat >= prev {
+			t.Fatalf("batch %d latency %.4f not below batch %d latency %.4f", k, lat, k-1, prev)
+		}
+		prev = lat
+	}
+}
+
+// TestFrameLatencyAmortizesAdaptation asserts the AdaptEvery knob
+// amortizes exactly like the paper's adaptation batch size.
+func TestFrameLatencyAmortizesAdaptation(t *testing.T) {
+	m := testModel(33)
+	e1 := New(m, Config{AdaptEvery: 1})
+	e4 := New(m, Config{AdaptEvery: 4})
+	e0 := New(m, Config{AdaptEvery: 0})
+	l1, l4, l0 := e1.FrameLatencyMs(1), e4.FrameLatencyMs(1), e0.FrameLatencyMs(1)
+	if !(l1 > l4 && l4 > l0) {
+		t.Fatalf("amortization broken: every=1 %.3f, every=4 %.3f, none %.3f", l1, l4, l0)
+	}
+}
+
+// TestEngineReportsMissesExactly is the deadline-accounting contract:
+// with MaxBatch=1 every frame's priced latency is deterministic, so a
+// deadline a hair above it must report zero misses and a hair below it
+// must report 100% misses — on every frame of every stream.
+func TestEngineReportsMissesExactly(t *testing.T) {
+	m := testModel(34)
+	fleet := SyntheticFleet(m.Cfg, 2, 6, 30, 11)
+	for _, tc := range []struct {
+		name       string
+		adaptEvery int
+		slackMs    float64
+		wantMiss   float64
+	}{
+		{"meets-noadapt", 0, +0.1, 0},
+		{"misses-noadapt", 0, -0.1, 1},
+		{"meets-adapt", 3, +0.1, 0},
+		{"misses-adapt", 3, -0.1, 1},
+	} {
+		probe := New(m, Config{MaxBatch: 1, AdaptEvery: tc.adaptEvery, Adapt: adapt.DefaultConfig()})
+		deadline := probe.FrameLatencyMs(1) + tc.slackMs
+		e := New(m, Config{
+			MaxBatch:   1,
+			AdaptEvery: tc.adaptEvery,
+			Adapt:      adapt.DefaultConfig(),
+			DeadlineMs: deadline,
+		})
+		rep := e.Run(fleet)
+		if rep.MissRate != tc.wantMiss {
+			t.Fatalf("%s: miss rate %.3f, want %.0f (deadline %.3f ms)", tc.name, rep.MissRate, tc.wantMiss, deadline)
+		}
+		for si, sr := range rep.Streams {
+			if sr.MissRate != tc.wantMiss {
+				t.Fatalf("%s: stream %d miss rate %.3f, want %.0f", tc.name, si, sr.MissRate, tc.wantMiss)
+			}
+		}
+	}
+}

@@ -1,0 +1,513 @@
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ldbnadapt/internal/adapt"
+	"ldbnadapt/internal/metrics"
+	"ldbnadapt/internal/nn"
+	"ldbnadapt/internal/orin"
+	"ldbnadapt/internal/resnet"
+	"ldbnadapt/internal/stream"
+	"ldbnadapt/internal/tensor"
+	"ldbnadapt/internal/ufld"
+)
+
+// Config parameterizes the serving engine.
+type Config struct {
+	// Variant names the deployed full-scale backbone for Orin pricing.
+	Variant resnet.Variant
+	// Workers is the number of model replicas serving batches
+	// (default GOMAXPROCS). Replicas share all conv/FC weight tensors.
+	Workers int
+	// MaxBatch caps how many frames one batched forward coalesces
+	// (default 8).
+	MaxBatch int
+	// Window is the batching grace: once a batch is opened the engine
+	// waits at most this long for it to fill before dispatching
+	// (default 2 ms). It is also priced into every frame's latency as
+	// the worst-case queuing delay.
+	Window time.Duration
+	// AdaptEvery runs one LD-BN-ADAPT step per stream every AdaptEvery
+	// frames — the paper's batch-size amortization, which the Orin
+	// prices as one batch-independent adaptation step shared by the
+	// window (orin.EstimateFrame). 0 disables adaptation entirely.
+	AdaptEvery int
+	// AdaptBatch is how many of the window's most recent frames feed
+	// the adaptation step (default 1, capped at AdaptEvery).
+	AdaptBatch int
+	// Adapt carries the LD-BN-ADAPT hyperparameters.
+	Adapt adapt.Config
+	// Mode is the Orin power mode used for pricing (default 60 W).
+	Mode orin.PowerMode
+	// DeadlineMs is the per-frame budget (default the 30 FPS budget).
+	DeadlineMs float64
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Variant == 0 {
+		c.Variant = resnet.R18
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.Window <= 0 {
+		c.Window = 2 * time.Millisecond
+	}
+	if c.AdaptBatch <= 0 {
+		c.AdaptBatch = 1
+	}
+	if c.AdaptEvery > 0 && c.AdaptBatch > c.AdaptEvery {
+		c.AdaptBatch = c.AdaptEvery
+	}
+	if c.Mode.Name == "" {
+		c.Mode = orin.Mode60W
+	}
+	if c.DeadlineMs <= 0 {
+		c.DeadlineMs = orin.Deadline30FPS
+	}
+	return c
+}
+
+// FrameRecord is the serving outcome of one frame.
+type FrameRecord struct {
+	// Stream and Index identify the frame.
+	Stream, Index int
+	// LatencyMs is the Orin-priced per-frame latency: window wait +
+	// amortized batched inference + amortized adaptation.
+	LatencyMs float64
+	// DeadlineMet reports LatencyMs ≤ deadline.
+	DeadlineMet bool
+	// Accuracy and Points score the frame against its hidden labels.
+	Accuracy float64
+	Points   int
+	// BatchSize is the size of the coalesced batch that served the
+	// frame.
+	BatchSize int
+}
+
+// StreamReport aggregates one stream's serving outcomes.
+type StreamReport struct {
+	// Stream is the stream id.
+	Stream int
+	// Frames is the number of frames served.
+	Frames int
+	// OnlineAccuracy is the point-weighted accuracy over the stream.
+	OnlineAccuracy float64
+	// MeanLatencyMs, P50LatencyMs, P99LatencyMs, MaxLatencyMs
+	// summarize the priced latency distribution.
+	MeanLatencyMs, P50LatencyMs, P99LatencyMs, MaxLatencyMs float64
+	// MissRate is the fraction of frames over deadline.
+	MissRate float64
+	// AdaptSteps counts the stream's adaptation steps.
+	AdaptSteps int
+}
+
+// Report aggregates a full engine run.
+type Report struct {
+	// Streams holds per-stream outcomes indexed by stream id.
+	Streams []StreamReport
+	// Frames is the total frame count across streams.
+	Frames int
+	// Batches is the number of coalesced forward passes; MeanBatch is
+	// Frames / Batches.
+	Batches   int
+	MeanBatch float64
+	// WallSeconds is the host wall-clock duration of the run and
+	// ThroughputFPS the resulting frames/s (host measurement, not Orin
+	// pricing).
+	WallSeconds   float64
+	ThroughputFPS float64
+	// OnlineAccuracy is the point-weighted accuracy over all streams.
+	OnlineAccuracy float64
+	// MissRate, P50LatencyMs, P99LatencyMs summarize priced latency
+	// over all frames.
+	MissRate                   float64
+	P50LatencyMs, P99LatencyMs float64
+}
+
+// Engine serves a fleet of camera streams with one shared-weight model.
+type Engine struct {
+	cfg   Config
+	model *ufld.Model
+
+	adaptPerStepMs float64
+	batchEst       []orin.BatchEstimate // index 1..MaxBatch
+}
+
+// New builds an engine around a deployed model. Latency pricing uses
+// the full-scale architecture of cfg.Variant, mirroring
+// stream.Run's convention of running the repro-scale model
+// functionally while pricing the deployed one.
+func New(m *ufld.Model, cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	cost := ufld.DescribeModel(ufld.FullScale(cfg.Variant, m.Cfg.Lanes))
+	e := &Engine{
+		cfg:      cfg,
+		model:    m,
+		batchEst: make([]orin.BatchEstimate, cfg.MaxBatch+1),
+	}
+	name := cfg.Variant.String()
+	// bs=1 makes AdaptMs the full (batch-size-independent) step cost.
+	e.adaptPerStepMs = orin.EstimateFrame(name, cost, cfg.Mode, 1).AdaptMs
+	for k := 1; k <= cfg.MaxBatch; k++ {
+		e.batchEst[k] = orin.EstimateInferenceBatch(name, cost, cfg.Mode, k)
+	}
+	return e
+}
+
+// Config returns the engine configuration after defaulting.
+func (e *Engine) Config() Config { return e.cfg }
+
+// FrameLatencyMs prices one frame served in a coalesced batch of the
+// given size: worst-case batching-window wait, the frame's amortized
+// share of the batched forward, and (when adaptation is enabled) the
+// amortized share of its stream's adaptation step.
+func (e *Engine) FrameLatencyMs(batchSize int) float64 {
+	if batchSize < 1 || batchSize > e.cfg.MaxBatch {
+		panic(fmt.Sprintf("serve: batch size %d outside [1,%d]", batchSize, e.cfg.MaxBatch))
+	}
+	lat := float64(e.cfg.Window) / float64(time.Millisecond)
+	lat += e.batchEst[batchSize].PerFrameMs
+	if e.cfg.AdaptEvery > 0 {
+		lat += e.adaptPerStepMs / float64(e.cfg.AdaptEvery)
+	}
+	return lat
+}
+
+// frameIn is one frame tagged with its stream, flowing source →
+// batcher → worker.
+type frameIn struct {
+	stream int
+	frame  stream.Frame
+}
+
+// Run serves every frame of every source to completion and reports.
+//
+// With Workers > 1 a stream's frames can be split across batches that
+// finish out of order, so — like any concurrent serving system — the
+// engine relaxes the paper's strictly sequential inference-then-adapt
+// ordering: a frame may occasionally be scored against BN state that
+// already saw a slightly later frame, and OnlineAccuracy is therefore
+// not bitwise reproducible across runs. Frame, batch and
+// adaptation-step counts are exact regardless. Use Workers: 1 when
+// sequential reproducibility matters more than parallelism.
+func (e *Engine) Run(sources []*stream.Source) Report {
+	nStreams := len(sources)
+	if nStreams == 0 {
+		return Report{}
+	}
+	states := make([]*streamState, nStreams)
+	for i := range states {
+		states[i] = newStreamState(e.model, e.cfg.Adapt)
+	}
+
+	in := make(chan frameIn, 4*e.cfg.MaxBatch)
+	batches := make(chan []frameIn, e.cfg.Workers)
+	records := make(chan FrameRecord, 4*e.cfg.MaxBatch)
+	var batchCount atomic.Int64
+
+	start := time.Now()
+
+	// Stage 1: sources. One producer goroutine per stream replays its
+	// frames in arrival order.
+	var producers sync.WaitGroup
+	for si, src := range sources {
+		producers.Add(1)
+		go func(si int, src *stream.Source) {
+			defer producers.Done()
+			for _, fr := range src.Frames {
+				in <- frameIn{stream: si, frame: fr}
+			}
+		}(si, src)
+	}
+	go func() {
+		producers.Wait()
+		close(in)
+	}()
+
+	// Stage 2: dynamic batcher. The first frame opens a batch; it is
+	// dispatched when full (MaxBatch) or when the window grace expires.
+	go func() {
+		defer close(batches)
+		var cur []frameIn
+		var timer *time.Timer
+		var expired <-chan time.Time
+		flush := func() {
+			if len(cur) > 0 {
+				batchCount.Add(1)
+				batches <- cur
+				cur = nil
+			}
+			if timer != nil {
+				timer.Stop()
+				timer, expired = nil, nil
+			}
+		}
+		for {
+			if cur == nil {
+				fi, ok := <-in
+				if !ok {
+					return
+				}
+				cur = make([]frameIn, 0, e.cfg.MaxBatch)
+				cur = append(cur, fi)
+				timer = time.NewTimer(e.cfg.Window)
+				expired = timer.C
+				if len(cur) == e.cfg.MaxBatch {
+					flush()
+				}
+				continue
+			}
+			select {
+			case fi, ok := <-in:
+				if !ok {
+					flush()
+					return
+				}
+				cur = append(cur, fi)
+				if len(cur) == e.cfg.MaxBatch {
+					flush()
+				}
+			case <-expired:
+				flush()
+			}
+		}
+	}()
+
+	// Stage 3: worker pool. Each worker owns a shared-weight replica.
+	var workers sync.WaitGroup
+	for w := 0; w < e.cfg.Workers; w++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			wk := e.newWorker()
+			for batch := range batches {
+				wk.serve(batch, states, records)
+			}
+		}()
+	}
+	go func() {
+		workers.Wait()
+		close(records)
+	}()
+
+	// Stage 4: collector.
+	type agg struct {
+		frames, points int
+		accW, latSum   float64
+		misses         int
+		lats           []float64
+	}
+	aggs := make([]agg, nStreams)
+	for rec := range records {
+		a := &aggs[rec.Stream]
+		a.frames++
+		a.accW += rec.Accuracy * float64(rec.Points)
+		a.points += rec.Points
+		a.latSum += rec.LatencyMs
+		a.lats = append(a.lats, rec.LatencyMs)
+		if !rec.DeadlineMet {
+			a.misses++
+		}
+	}
+	wall := time.Since(start)
+
+	rep := Report{Streams: make([]StreamReport, nStreams), WallSeconds: wall.Seconds()}
+	var allLats []float64
+	totalPoints, totalAccW, totalMisses := 0, 0.0, 0
+	for si := range aggs {
+		a := &aggs[si]
+		sr := StreamReport{Stream: si, Frames: a.frames, AdaptSteps: states[si].steps}
+		if a.points > 0 {
+			sr.OnlineAccuracy = a.accW / float64(a.points)
+		}
+		if a.frames > 0 {
+			sr.MeanLatencyMs = a.latSum / float64(a.frames)
+			sr.MissRate = float64(a.misses) / float64(a.frames)
+			sr.P50LatencyMs = metrics.Percentile(a.lats, 50)
+			sr.P99LatencyMs = metrics.Percentile(a.lats, 99)
+			sr.MaxLatencyMs = metrics.Percentile(a.lats, 100)
+		}
+		rep.Streams[si] = sr
+		rep.Frames += a.frames
+		totalPoints += a.points
+		totalAccW += a.accW
+		totalMisses += a.misses
+		allLats = append(allLats, a.lats...)
+	}
+	rep.Batches = int(batchCount.Load())
+	if rep.Batches > 0 {
+		rep.MeanBatch = float64(rep.Frames) / float64(rep.Batches)
+	}
+	if totalPoints > 0 {
+		rep.OnlineAccuracy = totalAccW / float64(totalPoints)
+	}
+	if rep.Frames > 0 {
+		rep.MissRate = float64(totalMisses) / float64(rep.Frames)
+		rep.P50LatencyMs = metrics.Percentile(allLats, 50)
+		rep.P99LatencyMs = metrics.Percentile(allLats, 99)
+	}
+	if rep.WallSeconds > 0 {
+		rep.ThroughputFPS = float64(rep.Frames) / rep.WallSeconds
+	}
+	return rep
+}
+
+// worker is one serving replica with its reusable batch buffers.
+type worker struct {
+	e        *Engine
+	model    *ufld.Model
+	bns      []*nn.BatchNorm2D
+	bnParams []*nn.Param
+
+	inBuf    []float32       // [MaxBatch, 3, H, W] assembly buffer
+	adaptBuf []float32       // [AdaptBatch, 3, H, W] adaptation buffer
+	srcs     [][]nn.BNSource // per BN layer: per-sample state copies
+	srcPtrs  [][]*nn.BNSource
+}
+
+// newWorker builds a worker around a fresh shared-weight replica.
+func (e *Engine) newWorker() *worker {
+	// The rng only seeds weights that are immediately aliased or
+	// overwritten by Replica, so a fixed seed keeps workers cheap and
+	// deterministic.
+	m := e.model.Replica(tensor.NewRNG(1))
+	wk := &worker{e: e, model: m, bns: m.BatchNorms(), bnParams: m.BNParams()}
+	chw := 3 * m.Cfg.InputH * m.Cfg.InputW
+	wk.inBuf = make([]float32, e.cfg.MaxBatch*chw)
+	wk.adaptBuf = make([]float32, e.cfg.AdaptBatch*chw)
+	wk.srcs = make([][]nn.BNSource, len(wk.bns))
+	wk.srcPtrs = make([][]*nn.BNSource, len(wk.bns))
+	for j, b := range wk.bns {
+		wk.srcs[j] = make([]nn.BNSource, e.cfg.MaxBatch)
+		wk.srcPtrs[j] = make([]*nn.BNSource, e.cfg.MaxBatch)
+		for i := range wk.srcs[j] {
+			wk.srcs[j][i] = nn.BNSource{
+				Mean:  make([]float32, b.C),
+				Var:   make([]float32, b.C),
+				Gamma: make([]float32, b.C),
+				Beta:  make([]float32, b.C),
+			}
+			wk.srcPtrs[j][i] = &wk.srcs[j][i]
+		}
+	}
+	return wk
+}
+
+// serve runs one coalesced batch: per-stream-conditioned batched
+// inference, scoring, then any adaptation steps that became due.
+func (wk *worker) serve(batch []frameIn, states []*streamState, records chan<- FrameRecord) {
+	e := wk.e
+	mcfg := wk.model.Cfg
+	chw := 3 * mcfg.InputH * mcfg.InputW
+	n := len(batch)
+
+	// Assemble the input batch and copy each frame's stream BN state
+	// into the worker arena (briefly locking one stream at a time, so
+	// a concurrent adaptation step on another worker cannot tear it).
+	for i, fi := range batch {
+		img := fi.frame.Sample.Image
+		if img.Size() != chw {
+			panic(fmt.Sprintf("serve: stream %d frame %d image %v, want [3,%d,%d]",
+				fi.stream, fi.frame.Index, img.Shape(), mcfg.InputH, mcfg.InputW))
+		}
+		copy(wk.inBuf[i*chw:(i+1)*chw], img.Data)
+		st := states[fi.stream]
+		st.mu.Lock()
+		for j := range wk.bns {
+			dst := &wk.srcs[j][i]
+			copy(dst.Mean, st.bn[j].Mean)
+			copy(dst.Var, st.bn[j].Var)
+			copy(dst.Gamma, st.bn[j].Gamma)
+			copy(dst.Beta, st.bn[j].Beta)
+		}
+		st.mu.Unlock()
+	}
+
+	// Batched inference with per-sample BN conditioning.
+	x := tensor.FromSlice(wk.inBuf[:n*chw], n, 3, mcfg.InputH, mcfg.InputW)
+	for j, b := range wk.bns {
+		b.SetSampleSources(wk.srcPtrs[j][:n])
+	}
+	logits := wk.model.ForwardInfer(x)
+	preds := ufld.Decode(mcfg, logits, n)
+	for _, b := range wk.bns {
+		b.SetSampleSources(nil)
+	}
+
+	lat := e.FrameLatencyMs(n)
+	met := lat <= e.cfg.DeadlineMs
+	for i, fi := range batch {
+		acc, pts := stream.ScoreSample(mcfg, preds[i], fi.frame.Sample)
+		records <- FrameRecord{
+			Stream: fi.stream, Index: fi.frame.Index,
+			LatencyMs: lat, DeadlineMet: met,
+			Accuracy: acc, Points: pts, BatchSize: n,
+		}
+	}
+
+	// Adaptation stage: frames join their stream's window; a full
+	// window triggers one LD-BN-ADAPT step on the stream's snapshot.
+	if e.cfg.AdaptEvery <= 0 {
+		return
+	}
+	for _, fi := range batch {
+		st := states[fi.stream]
+		st.mu.Lock()
+		st.pending = append(st.pending, fi.frame.Sample)
+		if len(st.pending) >= e.cfg.AdaptEvery {
+			wk.adaptLocked(st)
+			st.pending = st.pending[:0]
+		}
+		st.mu.Unlock()
+	}
+}
+
+// adaptLocked runs one LD-BN-ADAPT step for a stream on this worker's
+// replica (caller holds st.mu): swap the stream's BN state in, run the
+// entropy step on the window's most recent AdaptBatch frames, and
+// capture the refreshed statistics and updated γ/β back out. This
+// mirrors adapt.LDBNAdapt's step with model-portable optimizer state.
+func (wk *worker) adaptLocked(st *streamState) {
+	e := wk.e
+	mcfg := wk.model.Cfg
+	chw := 3 * mcfg.InputH * mcfg.InputW
+	nb := e.cfg.AdaptBatch
+	if nb > len(st.pending) {
+		nb = len(st.pending)
+	}
+	tail := st.pending[len(st.pending)-nb:]
+	for i, s := range tail {
+		copy(wk.adaptBuf[i*chw:(i+1)*chw], s.Image.Data)
+	}
+	xa := tensor.FromSlice(wk.adaptBuf[:nb*chw], nb, 3, mcfg.InputH, mcfg.InputW)
+
+	st.swapInto(wk.bns)
+	nn.ZeroGrads(wk.model.Params())
+	logits := wk.model.Forward(xa, nn.Adapt)
+	var grad *tensor.Tensor
+	switch e.cfg.Adapt.Loss {
+	case adapt.Confidence:
+		_, grad = nn.ConfidenceLoss(logits)
+	default:
+		_, grad = nn.EntropyLoss(logits)
+	}
+	if st.steps >= e.cfg.Adapt.WarmupSteps {
+		wk.model.Backward(grad)
+		if e.cfg.Adapt.ClipNorm > 0 {
+			nn.ClipGradNorm(wk.bnParams, e.cfg.Adapt.ClipNorm)
+		}
+		st.opt.apply(wk.bnParams)
+	}
+	st.steps++
+	st.captureFrom(wk.bns)
+}

@@ -1,0 +1,39 @@
+package serve
+
+import (
+	"fmt"
+
+	"ldbnadapt/internal/carlane"
+	"ldbnadapt/internal/stream"
+	"ldbnadapt/internal/ufld"
+)
+
+// SyntheticFleet generates n simulated camera streams for a detector
+// config: each stream renders its own scenes under its own seed and
+// target domain, so the streams drift independently like cameras on
+// different vehicles. Two-lane configs draw every stream from the
+// MoLane-style model-vehicle shift; four-lane configs alternate
+// TuLane-style highway and MoLane-style shifts so the fleet mixes
+// domains.
+func SyntheticFleet(cfg ufld.Config, streams, framesPerStream int, fps float64, seed uint64) []*stream.Source {
+	out := make([]*stream.Source, streams)
+	for i := range out {
+		layout, domain := carlane.Ego2, carlane.MoReal
+		if cfg.Lanes == 4 {
+			if i%2 == 0 {
+				layout, domain = carlane.Quad4, carlane.TuReal
+			} else {
+				layout, domain = carlane.Mo4, carlane.MoReal
+			}
+		}
+		ds := carlane.Generate(cfg, carlane.SplitSpec{
+			Name:    fmt.Sprintf("fleet/stream-%02d", i),
+			Layouts: []carlane.Layout{layout},
+			Domains: []carlane.Domain{domain},
+			N:       framesPerStream,
+			Seed:    seed + uint64(i)*101,
+		})
+		out[i] = stream.NewSource(ds, fps)
+	}
+	return out
+}

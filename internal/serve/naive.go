@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"ldbnadapt/internal/adapt"
+	"ldbnadapt/internal/nn"
+	"ldbnadapt/internal/orin"
+	"ldbnadapt/internal/stream"
+	"ldbnadapt/internal/tensor"
+	"ldbnadapt/internal/ufld"
+)
+
+// RunNaive is the unbatched reference deployment the engine is
+// measured against: one goroutine per stream, each running the paper's
+// single-camera loop — per-frame eval-mode inference through the
+// allocating Forward path, then one bs=1 LD-BN-ADAPT step on every
+// frame — on its own shared-weight replica. There is no coalescing, no
+// adaptation amortization and no scratch reuse; per-frame priced
+// latency is the single-stream orin.EstimateFrame total. AdaptEvery
+// only gates whether adaptation runs at all (≤ 0 disables it, anything
+// positive adapts on every frame); Config fields other than Variant,
+// AdaptEvery, Adapt, Mode and DeadlineMs are ignored.
+func RunNaive(m *ufld.Model, cfg Config, sources []*stream.Source) Report {
+	cfg = cfg.withDefaults()
+	nStreams := len(sources)
+	if nStreams == 0 {
+		return Report{}
+	}
+	cost := ufld.DescribeModel(ufld.FullScale(cfg.Variant, m.Cfg.Lanes))
+	noAdapt := cfg.AdaptEvery <= 0
+	var lat float64
+	if noAdapt {
+		lat = orin.EstimateInferenceOnly(cfg.Variant.String(), cost, cfg.Mode).TotalMs
+	} else {
+		lat = orin.EstimateFrame(cfg.Variant.String(), cost, cfg.Mode, 1).TotalMs
+	}
+	met := lat <= cfg.DeadlineMs
+
+	start := time.Now()
+	reports := make([]StreamReport, nStreams)
+	pointsBy := make([]int, nStreams)
+	accWBy := make([]float64, nStreams)
+	missesBy := make([]int, nStreams)
+	var wg sync.WaitGroup
+	for si, src := range sources {
+		wg.Add(1)
+		go func(si int, src *stream.Source) {
+			defer wg.Done()
+			replica := m.Replica(tensor.NewRNG(1))
+			var method adapt.Method = adapt.NewNoAdapt()
+			if !noAdapt {
+				method = adapt.NewLDBNAdapt(replica, cfg.Adapt)
+			}
+			accW, points, misses := 0.0, 0, 0
+			for _, fr := range src.Frames {
+				x, _ := ufld.Batch(replica.Cfg, []ufld.Sample{fr.Sample}, []int{0})
+				logits := replica.Forward(x, nn.Eval)
+				preds := ufld.Decode(replica.Cfg, logits, 1)
+				acc, pts := stream.ScoreSample(replica.Cfg, preds[0], fr.Sample)
+				accW += acc * float64(pts)
+				points += pts
+				if !met {
+					misses++
+				}
+				if !noAdapt {
+					method.Adapt(x)
+				}
+			}
+			sr := StreamReport{
+				Stream: si, Frames: len(src.Frames),
+				MeanLatencyMs: lat, P50LatencyMs: lat, P99LatencyMs: lat, MaxLatencyMs: lat,
+				AdaptSteps: method.Steps(),
+			}
+			if noAdapt {
+				sr.AdaptSteps = 0
+			}
+			if points > 0 {
+				sr.OnlineAccuracy = accW / float64(points)
+			}
+			if sr.Frames > 0 {
+				sr.MissRate = float64(misses) / float64(sr.Frames)
+			}
+			reports[si] = sr
+			pointsBy[si], accWBy[si], missesBy[si] = points, accW, misses
+		}(si, src)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := Report{Streams: reports, WallSeconds: wall.Seconds()}
+	totalMisses, totalPoints, totalAccW := 0, 0, 0.0
+	for si, sr := range reports {
+		rep.Frames += sr.Frames
+		totalMisses += missesBy[si]
+		totalPoints += pointsBy[si]
+		totalAccW += accWBy[si]
+	}
+	rep.Batches = rep.Frames
+	if rep.Frames > 0 {
+		rep.MeanBatch = 1
+		rep.MissRate = float64(totalMisses) / float64(rep.Frames)
+		rep.P50LatencyMs, rep.P99LatencyMs = lat, lat
+	}
+	if totalPoints > 0 {
+		rep.OnlineAccuracy = totalAccW / float64(totalPoints)
+	}
+	if rep.WallSeconds > 0 {
+		rep.ThroughputFPS = float64(rep.Frames) / rep.WallSeconds
+	}
+	return rep
+}

@@ -1,0 +1,25 @@
+// Package serve is the multi-stream batched serving engine: it
+// multiplexes N simulated camera streams (each an internal/stream
+// frame source with its own domain drift) onto a shared worker pool
+// with dynamic batching.
+//
+// Frames arriving within a batching window are coalesced into one
+// batched forward pass through the ufld detector's allocation-free
+// Infer path, with per-sample BatchNorm conditioning so every frame
+// is normalized by its own stream's adapted statistics. After
+// inference, per-stream LD-BN-ADAPT updates run against per-stream BN
+// snapshots (γ, β, running µ/σ² and optimizer moments), so streams
+// adapt to their own domains independently while all heavy
+// convolution and FC weights exist exactly once in memory, shared
+// read-only across every worker replica and stream.
+//
+// Latency and deadline accounting are priced by the Orin performance
+// model (internal/orin), not by host wall-clock: a frame's priced
+// latency is the batching-window wait, plus the amortized per-frame
+// share of its coalesced batched forward, plus the amortized
+// adaptation share (one adaptation step per AdaptEvery frames per
+// stream — the paper's batch-size amortization, which on the Orin GPU
+// is free because a small-batch adaptation step costs the same as a
+// bs=1 step). Host wall-clock only determines the reported engine
+// throughput.
+package serve

@@ -55,6 +55,20 @@ func (s *Source) Period() time.Duration {
 	return time.Duration(float64(time.Second) / s.FPS)
 }
 
+// ScoreSample is the scoring stage shared by the single-camera
+// simulator and the multi-stream serving engine: it counts the labeled
+// ground-truth points of s and computes the TuSimple accuracy of pred
+// against them.
+func ScoreSample(cfg ufld.Config, pred ufld.Prediction, s ufld.Sample) (acc float64, points int) {
+	for _, c := range s.Cells {
+		if c != ufld.Absent {
+			points++
+		}
+	}
+	acc = ufld.Accuracy(cfg, []ufld.Prediction{pred}, []ufld.Sample{s}, []int{0})
+	return acc, points
+}
+
 // Config describes one deployment to simulate.
 type Config struct {
 	// Method adapts the model (use adapt.NewNoAdapt() to disable).
@@ -129,13 +143,7 @@ func Run(m *ufld.Model, variant resnet.Variant, src *Source, cfg Config) Result 
 		x, _ := ufld.Batch(m.Cfg, []ufld.Sample{fr.Sample}, []int{0})
 		logits := m.Forward(x, nn.Eval)
 		preds := ufld.Decode(m.Cfg, logits, 1)
-		cnt := 0
-		for _, c := range fr.Sample.Cells {
-			if c != ufld.Absent {
-				cnt++
-			}
-		}
-		acc := ufld.Accuracy(m.Cfg, preds, []ufld.Sample{fr.Sample}, []int{0})
+		acc, cnt := ScoreSample(m.Cfg, preds[0], fr.Sample)
 		accW += acc * float64(cnt)
 		points += cnt
 
@@ -280,13 +288,7 @@ func RunWithOverload(m *ufld.Model, variant resnet.Variant, src *Source, cfg Con
 		x, _ := ufld.Batch(m.Cfg, []ufld.Sample{fr.Sample}, []int{0})
 		logits := m.Forward(x, nn.Eval)
 		preds := ufld.Decode(m.Cfg, logits, 1)
-		cnt := 0
-		for _, c := range fr.Sample.Cells {
-			if c != ufld.Absent {
-				cnt++
-			}
-		}
-		acc := ufld.Accuracy(m.Cfg, preds, []ufld.Sample{fr.Sample}, []int{0})
+		acc, cnt := ScoreSample(m.Cfg, preds[0], fr.Sample)
 		accW += acc * float64(cnt)
 		points += cnt
 		if doAdapt {

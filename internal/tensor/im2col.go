@@ -32,9 +32,26 @@ func Im2Col(x *Tensor, g ConvGeom) *Tensor {
 	}
 	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
 	oh, ow := g.OutSize(h, w)
+	out := New(c*g.KH*g.KW, n*oh*ow)
+	Im2ColInto(out, x, g)
+	return out
+}
+
+// Im2ColInto is Im2Col writing into a preallocated [c*kh*kw, n*oh*ow]
+// matrix, so inference-path callers can reuse the lowering buffer
+// across frames instead of allocating one per convolution call.
+func Im2ColInto(out, x *Tensor, g ConvGeom) {
+	if x.NDim() != 4 {
+		panic(fmt.Sprintf("tensor: Im2ColInto needs [n,c,h,w] input, got %v", x.shape))
+	}
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	oh, ow := g.OutSize(h, w)
 	rows := c * g.KH * g.KW
 	cols := n * oh * ow
-	out := New(rows, cols)
+	if out.NDim() != 2 || out.shape[0] != rows || out.shape[1] != cols {
+		panic(fmt.Sprintf("tensor: Im2ColInto dst %v, want [%d,%d]", out.shape, rows, cols))
+	}
+	out.Zero()
 	// Row r of the output corresponds to (channel ci, kernel tap ky,kx);
 	// column corresponds to (image ni, output pixel oy,ox).
 	for ci := 0; ci < c; ci++ {
@@ -64,7 +81,6 @@ func Im2Col(x *Tensor, g ConvGeom) *Tensor {
 			}
 		}
 	}
-	return out
 }
 
 // Col2Im is the adjoint of Im2Col: it scatters a [c*kh*kw, n*oh*ow]

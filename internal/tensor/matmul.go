@@ -129,12 +129,23 @@ func MatMulTB(a, b *Tensor) *Tensor {
 	if a.NDim() != 2 || b.NDim() != 2 {
 		panic(fmt.Sprintf("tensor: MatMulTB needs 2-D operands, got %v × %v", a.shape, b.shape))
 	}
-	m, k := a.shape[0], a.shape[1]
-	if b.shape[1] != k {
+	m := a.shape[0]
+	if b.shape[1] != a.shape[1] {
 		panic(fmt.Sprintf("tensor: MatMulTB inner-dimension mismatch %v × %v", a.shape, b.shape))
 	}
+	out := New(m, b.shape[0])
+	MatMulTBInto(out, a, b)
+	return out
+}
+
+// MatMulTBInto computes out = a·bᵀ reusing out's storage ([m,k]·[n,k]ᵀ
+// → [m,n]). Every element is overwritten; out must not alias a or b.
+func MatMulTBInto(out, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
 	n := b.shape[0]
-	out := New(m, n)
+	if b.shape[1] != k || out.shape[0] != m || out.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTBInto shape mismatch %v = %v × %vᵀ", out.shape, a.shape, b.shape))
+	}
 	for i := 0; i < m; i++ {
 		ai := a.Data[i*k : (i+1)*k]
 		oi := out.Data[i*n : (i+1)*n]
@@ -151,5 +162,4 @@ func MatMulTB(a, b *Tensor) *Tensor {
 			oi[j] = s
 		}
 	}
-	return out
 }

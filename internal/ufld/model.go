@@ -74,6 +74,23 @@ func (m *Model) Forward(x *tensor.Tensor, mode nn.Mode) *tensor.Tensor {
 	return out.Reshape(n*m.Cfg.Groups(), m.Cfg.Classes())
 }
 
+// ForwardInfer is the serving fast path: numerically identical to
+// Forward in Eval mode, but every layer skips its backward caches and
+// reuses layer-owned scratch buffers, so a steady-state serving loop
+// performs almost no per-call allocation. The returned logits alias
+// layer scratch storage and are only valid until the model's next
+// ForwardInfer call; Backward after ForwardInfer panics. Combined with
+// nn.BatchNorm2D.SetSampleSources this is the batched multi-stream
+// entry point used by internal/serve.
+func (m *Model) ForwardInfer(x *tensor.Tensor) *tensor.Tensor {
+	if x.NDim() != 4 || x.Dim(2) != m.Cfg.InputH || x.Dim(3) != m.Cfg.InputW {
+		panic(fmt.Sprintf("ufld: input %v, want [n,3,%d,%d]", x.Shape(), m.Cfg.InputH, m.Cfg.InputW))
+	}
+	n := x.Dim(0)
+	out := m.net.Forward(x, nn.Infer) // [n, groups*classes]
+	return out.Reshape(n*m.Cfg.Groups(), m.Cfg.Classes())
+}
+
 // Backward propagates a gradient with the same row layout Forward
 // returns, and returns the input gradient.
 func (m *Model) Backward(gradRows *tensor.Tensor) *tensor.Tensor {
@@ -148,6 +165,34 @@ func (m *Model) Clone(rng *tensor.RNG) *Model {
 	src, dst := m.Params(), c.Params()
 	for i := range src {
 		dst[i].Value.CopyFrom(src[i].Value)
+	}
+	sb, db := m.BatchNorms(), c.BatchNorms()
+	for i := range sb {
+		db[i].SetRunningStats(sb[i].RunningMean, sb[i].RunningVar)
+		db[i].Momentum = sb[i].Momentum
+		db[i].AdaptMomentum = sb[i].AdaptMomentum
+	}
+	return c
+}
+
+// Replica returns a model that literally shares m's convolution and
+// fully-connected weight tensors (read-only at serving time) while
+// owning private BatchNorm parameters, running statistics, gradient
+// accumulators and layer caches. The multi-stream serving engine gives
+// each worker a replica: concurrent forward passes never race because
+// all mutable per-pass state (caches, scratch, BN state) is
+// per-replica, yet the heavy weights exist once in memory. Only the BN
+// γ/β set may be updated on a replica (LD-BN-ADAPT's parameter set);
+// mutating shared conv/FC weights would corrupt every replica.
+func (m *Model) Replica(rng *tensor.RNG) *Model {
+	c := MustNewModel(m.Cfg, rng)
+	src, dst := m.Params(), c.Params()
+	for i := range src {
+		if strings.HasSuffix(src[i].Name, ".gamma") || strings.HasSuffix(src[i].Name, ".beta") {
+			dst[i].Value.CopyFrom(src[i].Value)
+		} else {
+			dst[i].Value = src[i].Value // alias the shared weights
+		}
 	}
 	sb, db := m.BatchNorms(), c.BatchNorms()
 	for i := range sb {

@@ -7,13 +7,25 @@
 //
 //	ldserve -streams 8 -frames 48 -maxbatch 8 -adapt-every 4
 //	ldserve -streams 8 -weights molane_r18.ldp -naive
+//	ldserve -streams 6 -watts 15 -workers 1 -policy drop-frames
+//	ldserve -streams 4 -fps 30 -fps-alt 15 -policy skip-adapt
+//
+// Latency accounting runs on an event-time virtual clock: each frame's
+// latency is its measured queue wait behind earlier work plus its
+// amortized batched-forward and adaptation shares, so overload
+// scenarios (low -watts, -workers 1, many streams) show real queue
+// growth. -policy picks what an overloaded fleet sheds — drop-none
+// (queues grow unbounded), skip-adapt (adaptation steps shed under
+// pressure), drop-frames (stale frames shed, waits stay within
+// -backlog camera periods) — and -fps-alt gives odd-numbered streams a
+// second camera rate for mixed-FPS fleets.
 //
 // Flag ↔ paper mapping (Fig. 3 deployment settings): -model and -watts
 // select the Fig. 3 row (backbone × power mode); -deadline-fps 30|18
 // selects the deadline column; -adapt-every is the adaptation batch
-// size bs of the Fig. 2/3 sweep (its cost amortization); -maxbatch and
-// -window are the serving extensions this engine adds on top of the
-// paper's single-camera deployment.
+// size bs of the Fig. 2/3 sweep (its cost amortization); -maxbatch,
+// -window, -policy and -backlog are the serving extensions this engine
+// adds on top of the paper's single-camera deployment.
 package main
 
 import (
@@ -29,6 +41,7 @@ import (
 	"ldbnadapt/internal/nn"
 	"ldbnadapt/internal/orin"
 	"ldbnadapt/internal/serve"
+	"ldbnadapt/internal/stream"
 	"ldbnadapt/internal/tensor"
 	"ldbnadapt/internal/ufld"
 )
@@ -42,6 +55,9 @@ func main() {
 	streams := flag.Int("streams", 8, "number of simulated camera streams")
 	frames := flag.Int("frames", 48, "frames per stream")
 	fps := flag.Float64("fps", 30, "camera rate per stream")
+	fpsAlt := flag.Float64("fps-alt", 0, "camera rate for odd-numbered streams (0 = same as -fps; mixed-FPS fleet)")
+	policyName := flag.String("policy", "drop-none", "overload policy: drop-none|skip-adapt|drop-frames")
+	backlog := flag.Int("backlog", 1, "per-stream backlog cap in camera periods before the policy sheds work")
 	model := flag.String("model", "R-18", "backbone: R-18|R-34")
 	profile := flag.String("profile", "tiny", "config profile: tiny|small|repro")
 	lanes := flag.Int("lanes", 2, "lane count: 2 (MoLane-style fleet) or 4 (mixed TuLane/MoLane fleet)")
@@ -72,6 +88,10 @@ func main() {
 	}
 	if *lanes != 2 && *lanes != 4 {
 		fail(fmt.Errorf("lanes must be 2 or 4, got %d", *lanes))
+	}
+	policy, err := stream.ParsePolicy(*policyName)
+	if err != nil {
+		fail(err)
 	}
 
 	cfg := cfgFor(variant, *lanes)
@@ -110,7 +130,11 @@ func main() {
 		}
 	}
 
-	fleet := serve.SyntheticFleet(cfg, *streams, *frames, *fps, *seed+2000)
+	rates := []float64{*fps}
+	if *fpsAlt > 0 {
+		rates = append(rates, *fpsAlt)
+	}
+	fleet := serve.SyntheticFleetRates(cfg, *streams, *frames, rates, *seed+2000)
 	scfg := serve.Config{
 		Variant:    variant,
 		Workers:    *workers,
@@ -121,6 +145,8 @@ func main() {
 		Adapt:      adapt.DefaultConfig(),
 		Mode:       mode,
 		DeadlineMs: 1000.0 / *deadlineFPS,
+		Policy:     policy,
+		Backlog:    *backlog,
 	}
 
 	e := serve.New(m, scfg)
@@ -157,18 +183,23 @@ func main() {
 
 // printReport renders one run as a per-stream table plus totals.
 func printReport(label string, rep serve.Report) {
-	fmt.Printf("%s: %d frames, %.1f frames/s host throughput, mean batch %.2f\n",
-		label, rep.Frames, rep.ThroughputFPS, rep.MeanBatch)
-	tb := metrics.NewTable("stream", "frames", "online acc", "p50 ms", "p99 ms", "miss rate", "adapt steps")
+	fmt.Printf("%s: %d frames, %.1f frames/s host throughput, mean batch %.2f, %.2f s virtual\n",
+		label, rep.Frames, rep.ThroughputFPS, rep.MeanBatch, rep.VirtualSeconds)
+	tb := metrics.NewTable("stream", "frames", "online acc", "p50 ms", "p99 ms", "queue ms", "miss rate", "adapt steps", "dropped", "skipped")
 	for _, sr := range rep.Streams {
 		tb.AddRow(fmt.Sprintf("#%02d", sr.Stream), sr.Frames, metrics.FormatPct(sr.OnlineAccuracy),
 			fmt.Sprintf("%.1f", sr.P50LatencyMs), fmt.Sprintf("%.1f", sr.P99LatencyMs),
-			metrics.FormatPct(sr.MissRate), sr.AdaptSteps)
+			fmt.Sprintf("%.1f", sr.MeanQueueMs), metrics.FormatPct(sr.MissRate),
+			sr.AdaptSteps, sr.FramesDropped, sr.AdaptsSkipped)
 	}
 	if _, err := tb.WriteTo(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 	}
-	fmt.Printf("fleet: accuracy %s, p50 %.1f ms, p99 %.1f ms, miss rate %s\n",
+	fmt.Printf("fleet: accuracy %s, p50 %.1f ms, p99 %.1f ms, mean queue %.1f ms, miss rate %s",
 		metrics.FormatPct(rep.OnlineAccuracy), rep.P50LatencyMs, rep.P99LatencyMs,
-		metrics.FormatPct(rep.MissRate))
+		rep.MeanQueueMs, metrics.FormatPct(rep.MissRate))
+	if rep.FramesDropped > 0 || rep.AdaptsSkipped > 0 {
+		fmt.Printf(", %d frames dropped, %d adapts skipped", rep.FramesDropped, rep.AdaptsSkipped)
+	}
+	fmt.Println()
 }

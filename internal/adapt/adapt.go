@@ -48,6 +48,14 @@ type Method interface {
 	Steps() int
 }
 
+// LossReporter is implemented by the entropy-based methods, which can
+// report the unsupervised loss of their most recent Adapt call. ok is
+// false when the last step computed no loss (no step yet, or a warmup
+// step that skipped its forward).
+type LossReporter interface {
+	LastStepLoss() (loss float64, ok bool)
+}
+
 // Config parameterizes the entropy-minimization methods.
 type Config struct {
 	// LR is the adaptation learning rate.
@@ -151,14 +159,21 @@ func (a *LDBNAdapt) Adapt(batch *tensor.Tensor) {
 	a.steps++
 }
 
+// LastStepLoss reports the most recent step's unsupervised loss. Every
+// LD-BN-ADAPT step computes one (warmup forwards still run, to refresh
+// the BN statistics), so it is valid as soon as one step has run.
+func (a *LDBNAdapt) LastStepLoss() (float64, bool) { return a.LastLoss, a.steps > 0 }
+
 // ConvAdapt is the paper's ablation: entropy adaptation of the
 // convolution weights only (BN statistics stay at their source values).
 type ConvAdapt struct {
-	model  *ufld.Model
-	cfg    Config
-	opt    nn.Optimizer
-	params []*nn.Param
-	steps  int
+	model    *ufld.Model
+	cfg      Config
+	opt      nn.Optimizer
+	params   []*nn.Param
+	steps    int
+	lastLoss float64
+	hasLoss  bool
 }
 
 // NewConvAdapt wires the ablation to a model.
@@ -172,20 +187,37 @@ func (a *ConvAdapt) Name() string { return "CONV-ADAPT" }
 // Steps reports adaptation steps taken.
 func (a *ConvAdapt) Steps() int { return a.steps }
 
-// Adapt performs one entropy step on the conv weights.
+// LastStepLoss reports the most recent step's loss (invalid during
+// warmup, whose forwards are skipped).
+func (a *ConvAdapt) LastStepLoss() (float64, bool) { return a.lastLoss, a.hasLoss }
+
+// Adapt performs one entropy step on the conv weights. Warmup steps
+// consume their batch without running the model at all: this ablation
+// adapts in Eval mode, so — unlike LD-BN-ADAPT, whose warmup forwards
+// refresh the BN statistics — a warmup forward here would compute
+// nothing that is kept. Updates still begin only after WarmupSteps
+// batches, keeping step counts comparable across methods.
 func (a *ConvAdapt) Adapt(batch *tensor.Tensor) {
-	entropyStep(a.model, batch, nn.Eval, a.params, a.opt, a.cfg, a.steps)
+	if a.steps < a.cfg.WarmupSteps {
+		a.steps++
+		a.hasLoss = false
+		return
+	}
+	a.lastLoss = entropyStep(a.model, batch, nn.Eval, a.params, a.opt, a.cfg, a.steps)
+	a.hasLoss = true
 	a.steps++
 }
 
 // FCAdapt is the paper's ablation: entropy adaptation of the
 // fully-connected head only.
 type FCAdapt struct {
-	model  *ufld.Model
-	cfg    Config
-	opt    nn.Optimizer
-	params []*nn.Param
-	steps  int
+	model    *ufld.Model
+	cfg      Config
+	opt      nn.Optimizer
+	params   []*nn.Param
+	steps    int
+	lastLoss float64
+	hasLoss  bool
 }
 
 // NewFCAdapt wires the ablation to a model.
@@ -199,9 +231,21 @@ func (a *FCAdapt) Name() string { return "FC-ADAPT" }
 // Steps reports adaptation steps taken.
 func (a *FCAdapt) Steps() int { return a.steps }
 
-// Adapt performs one entropy step on the FC head.
+// LastStepLoss reports the most recent step's loss (invalid during
+// warmup, whose forwards are skipped).
+func (a *FCAdapt) LastStepLoss() (float64, bool) { return a.lastLoss, a.hasLoss }
+
+// Adapt performs one entropy step on the FC head. As with ConvAdapt,
+// warmup steps skip the dead Eval-mode forward entirely: there are no
+// BN statistics to refresh, so the forward's result would be discarded.
 func (a *FCAdapt) Adapt(batch *tensor.Tensor) {
-	entropyStep(a.model, batch, nn.Eval, a.params, a.opt, a.cfg, a.steps)
+	if a.steps < a.cfg.WarmupSteps {
+		a.steps++
+		a.hasLoss = false
+		return
+	}
+	a.lastLoss = entropyStep(a.model, batch, nn.Eval, a.params, a.opt, a.cfg, a.steps)
+	a.hasLoss = true
 	a.steps++
 }
 
@@ -226,6 +270,10 @@ var (
 	_ Method = (*ConvAdapt)(nil)
 	_ Method = (*FCAdapt)(nil)
 	_ Method = (*NoAdapt)(nil)
+
+	_ LossReporter = (*LDBNAdapt)(nil)
+	_ LossReporter = (*ConvAdapt)(nil)
+	_ LossReporter = (*FCAdapt)(nil)
 )
 
 // OnlineResult summarizes an online adaptation run over a target
@@ -260,6 +308,7 @@ func RunOnline(m *ufld.Model, method Method, stream *ufld.Dataset, val *ufld.Dat
 	n := stream.Len()
 	pointsTotal := 0
 	accW := 0.0
+	lossSum, lossSteps := 0.0, 0
 	for lo := 0; lo < n; lo += bs {
 		hi := lo + bs
 		if hi > n {
@@ -285,6 +334,12 @@ func RunOnline(m *ufld.Model, method Method, stream *ufld.Dataset, val *ufld.Dat
 		pointsTotal += cnt
 		// Phase 2: adaptation on the same unlabeled batch.
 		method.Adapt(x)
+		if lr, ok := method.(LossReporter); ok {
+			if loss, valid := lr.LastStepLoss(); valid {
+				lossSum += loss
+				lossSteps++
+			}
+		}
 		res.Frames += len(idx)
 	}
 	if pointsTotal > 0 {
@@ -293,8 +348,8 @@ func RunOnline(m *ufld.Model, method Method, stream *ufld.Dataset, val *ufld.Dat
 	if val != nil {
 		res.FinalAccuracy = ufld.Evaluate(m, val, 8).Accuracy
 	}
-	if la, ok := method.(*LDBNAdapt); ok {
-		res.MeanLoss = la.LastLoss
+	if lossSteps > 0 {
+		res.MeanLoss = lossSum / float64(lossSteps)
 	}
 	return res
 }

@@ -320,3 +320,127 @@ func TestBatchSizeOneMatchesPaperBestOrdering(t *testing.T) {
 		}
 	}
 }
+
+// scriptedLossMethod is a Method+LossReporter whose per-step losses are
+// scripted, so RunOnline's mean-loss accounting can be pinned exactly.
+type scriptedLossMethod struct {
+	losses []float64
+	valid  []bool
+	steps  int
+}
+
+func (s *scriptedLossMethod) Name() string               { return "scripted" }
+func (s *scriptedLossMethod) Adapt(batch *tensor.Tensor) { s.steps++ }
+func (s *scriptedLossMethod) Steps() int                 { return s.steps }
+func (s *scriptedLossMethod) LastStepLoss() (float64, bool) {
+	i := s.steps - 1
+	if i < 0 || i >= len(s.losses) {
+		return 0, false
+	}
+	return s.losses[i], s.valid[i]
+}
+
+// TestRunOnlineMeanLossIsTrueMean is the regression test for the
+// MeanLoss accounting: the documented *mean* unsupervised loss over
+// adaptation steps, not the last step's loss, and steps that computed
+// no loss (skipped warmup forwards) are excluded from the mean.
+func TestRunOnlineMeanLossIsTrueMean(t *testing.T) {
+	f := getFixture(t)
+	n := f.bench.TargetTrain.Len()
+	bs := 2
+	steps := (n + bs - 1) / bs
+	meth := &scriptedLossMethod{losses: make([]float64, steps), valid: make([]bool, steps)}
+	for i := range meth.losses {
+		meth.losses[i] = float64(i + 1) // 1, 2, 3, ... — mean ≠ last
+		meth.valid[i] = true
+	}
+	meth.valid[0] = false // a warmup-style step with no loss
+	m := f.model.Clone(f.rng.Split())
+	res := RunOnline(m, meth, f.bench.TargetTrain, nil, bs)
+	want, cnt := 0.0, 0
+	for i := 1; i < steps; i++ {
+		want += meth.losses[i]
+		cnt++
+	}
+	want /= float64(cnt)
+	if math.Abs(res.MeanLoss-want) > 1e-12 {
+		t.Fatalf("MeanLoss %.6f, want mean-over-valid-steps %.6f (last loss %.6f)",
+			res.MeanLoss, want, meth.losses[steps-1])
+	}
+	if res.MeanLoss == meth.losses[steps-1] {
+		t.Fatal("MeanLoss still reports the final step's loss")
+	}
+}
+
+// TestRunOnlineMeanLossForAblations: the entropy ablations now report
+// losses too — RunOnline must surface a nonzero mean for them, not
+// only for LD-BN-ADAPT.
+func TestRunOnlineMeanLossForAblations(t *testing.T) {
+	f := getFixture(t)
+	for _, mk := range []struct {
+		name string
+		make func(m *ufld.Model) Method
+	}{
+		{"ldbn", func(m *ufld.Model) Method { return NewLDBNAdapt(m, DefaultConfig()) }},
+		{"conv", func(m *ufld.Model) Method {
+			cfg := DefaultConfig()
+			cfg.LR /= 10
+			return NewConvAdapt(m, cfg)
+		}},
+		{"fc", func(m *ufld.Model) Method {
+			cfg := DefaultConfig()
+			cfg.LR /= 10
+			return NewFCAdapt(m, cfg)
+		}},
+	} {
+		m := f.model.Clone(f.rng.Split())
+		res := RunOnline(m, mk.make(m), f.bench.TargetTrain, nil, 2)
+		if res.MeanLoss <= 0 {
+			t.Fatalf("%s: MeanLoss %.6f, want > 0", mk.name, res.MeanLoss)
+		}
+	}
+}
+
+// TestAblationWarmupSkipsDeadForward: Conv/FC warmup steps have no BN
+// statistics to refresh, so they must not run (and report) a forward;
+// updates still start only after WarmupSteps batches.
+func TestAblationWarmupSkipsDeadForward(t *testing.T) {
+	f := getFixture(t)
+	cfg := DefaultConfig()
+	cfg.LR /= 10
+	cfg.WarmupSteps = 2
+	m := f.model.Clone(f.rng.Split())
+	meth := NewConvAdapt(m, cfg)
+	before := make([]*tensor.Tensor, 0)
+	for _, p := range m.ConvParams() {
+		before = append(before, p.Value.Clone())
+	}
+	x := ufld.Images(m.Cfg, f.bench.TargetTrain.Samples, []int{0})
+	for step := 0; step < 2; step++ {
+		meth.Adapt(x)
+		if _, ok := meth.LastStepLoss(); ok {
+			t.Fatalf("warmup step %d reported a loss — dead forward still runs", step)
+		}
+		for i, p := range m.ConvParams() {
+			if !p.Value.AllClose(before[i], 0) {
+				t.Fatalf("warmup step %d moved %s", step, p.Name)
+			}
+		}
+	}
+	meth.Adapt(x)
+	if loss, ok := meth.LastStepLoss(); !ok || loss <= 0 {
+		t.Fatalf("post-warmup step loss (%v, %v), want a positive entropy", loss, ok)
+	}
+	moved := false
+	for i, p := range m.ConvParams() {
+		if !p.Value.AllClose(before[i], 0) {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("post-warmup step left conv weights untouched")
+	}
+	if meth.Steps() != 3 {
+		t.Fatalf("steps %d, want 3 (warmup steps still count)", meth.Steps())
+	}
+}

@@ -62,13 +62,7 @@ func EstimateFrame(name string, cost resnet.ModelCost, mode PowerMode, bs int) E
 		panic(fmt.Sprintf("orin: batch size %d", bs))
 	}
 	inference := phaseMs(cost, mode, 1, 1)
-	// Adaptation per batch: one adapt-mode forward (forward + BN
-	// statistics reduction ≈ 1.15× forward FLOPs on BN layers —
-	// folded into the 1.1 factor), one backward (≈ 2× forward), and
-	// the γ/β SGD update (negligible FLOPs, priced as bytes).
-	adaptForward := phaseMs(cost, mode, 1.1, 1)
-	backward := phaseMs(cost, mode, 2, 2)
-	adaptPerBatch := adaptForward + backward
+	adaptPerBatch := EstimateAdaptStep(cost, mode)
 	e := Estimate{
 		ModelName:   name,
 		Mode:        mode,
@@ -79,6 +73,18 @@ func EstimateFrame(name string, cost resnet.ModelCost, mode PowerMode, bs int) E
 	e.TotalMs = mode.OverheadMs + e.InferenceMs + e.AdaptMs
 	e.EnergyMJ = float64(mode.Watts) * e.TotalMs
 	return e
+}
+
+// EstimateAdaptStep prices one whole LD-BN-ADAPT step: one adapt-mode
+// forward (forward + BN statistics reduction ≈ 1.15× forward FLOPs on
+// BN layers — folded into the 1.1 factor), one backward (≈ 2× forward),
+// and the γ/β SGD update (negligible FLOPs, priced as bytes). On the
+// Orin GPU the step cost is independent of the (small) adaptation batch
+// size, so serving engines charge this price once per dispatched step
+// and amortize it over the frames the step serves — EstimateFrame's
+// per-frame AdaptMs is this value divided by the batch size.
+func EstimateAdaptStep(cost resnet.ModelCost, mode PowerMode) float64 {
+	return phaseMs(cost, mode, 1.1, 1) + phaseMs(cost, mode, 2, 2)
 }
 
 // EstimateInferenceOnly prices a frame without any adaptation (the

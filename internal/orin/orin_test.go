@@ -1,6 +1,7 @@
 package orin
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -294,4 +295,27 @@ func TestEstimateInferenceBatchPanicsOnBadBatch(t *testing.T) {
 		}
 	}()
 	EstimateInferenceBatch("x", costFor(resnet.R18), Mode60W, 0)
+}
+
+// TestEstimateAdaptStepMatchesFramePricing pins the per-dispatch step
+// price the serving engine charges: it must equal the bs=1 AdaptMs of
+// EstimateFrame (one whole step, before amortization) and shrink as
+// power modes speed up.
+func TestEstimateAdaptStepMatchesFramePricing(t *testing.T) {
+	cost := ufld.DescribeModel(ufld.FullScale(resnet.R18, 4))
+	prev := math.Inf(1)
+	for _, mode := range Modes {
+		step := EstimateAdaptStep(cost, mode)
+		if step <= 0 {
+			t.Fatalf("%s: non-positive step price %f", mode.Name, step)
+		}
+		want := EstimateFrame("R-18", cost, mode, 1).AdaptMs
+		if diff := step - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("%s: step %.6f ms != bs=1 AdaptMs %.6f ms", mode.Name, step, want)
+		}
+		if step >= prev {
+			t.Fatalf("%s: step price %.3f ms not below the slower mode's %.3f ms", mode.Name, step, prev)
+		}
+		prev = step
+	}
 }

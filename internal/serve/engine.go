@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"ldbnadapt/internal/adapt"
@@ -22,20 +21,23 @@ type Config struct {
 	// Variant names the deployed full-scale backbone for Orin pricing.
 	Variant resnet.Variant
 	// Workers is the number of model replicas serving batches
-	// (default GOMAXPROCS). Replicas share all conv/FC weight tensors.
+	// (default GOMAXPROCS). The same count drives both the virtual
+	// workers of the event-time scheduler and the host goroutines that
+	// execute the planned batches. Replicas share all conv/FC weight
+	// tensors.
 	Workers int
 	// MaxBatch caps how many frames one batched forward coalesces
 	// (default 8).
 	MaxBatch int
-	// Window is the batching grace: once a batch is opened the engine
-	// waits at most this long for it to fill before dispatching
-	// (default 2 ms). It is also priced into every frame's latency as
-	// the worst-case queuing delay.
+	// Window is the batching grace on the virtual clock: once the
+	// oldest queued frame opens a batch, dispatch waits at most this
+	// long for the batch to fill (default 2 ms).
 	Window time.Duration
 	// AdaptEvery runs one LD-BN-ADAPT step per stream every AdaptEvery
-	// frames — the paper's batch-size amortization, which the Orin
-	// prices as one batch-independent adaptation step shared by the
-	// window (orin.EstimateFrame). 0 disables adaptation entirely.
+	// frames — the paper's batch-size amortization. The step is priced
+	// per dispatch (orin.EstimateAdaptStep) and its cost is shared by
+	// the frames of the window that triggered it. 0 disables adaptation
+	// entirely.
 	AdaptEvery int
 	// AdaptBatch is how many of the window's most recent frames feed
 	// the adaptation step (default 1, capped at AdaptEvery).
@@ -46,6 +48,15 @@ type Config struct {
 	Mode orin.PowerMode
 	// DeadlineMs is the per-frame budget (default the 30 FPS budget).
 	DeadlineMs float64
+	// Policy selects what the scheduler sheds when a stream falls
+	// behind its camera (default stream.DropNone: nothing — the queue
+	// grows without bound under overload).
+	Policy stream.OverloadPolicy
+	// Backlog is the per-stream backlog cap in camera periods: a frame
+	// queued longer than Backlog periods marks its stream as behind,
+	// which is when SkipAdapt sheds adaptation steps and DropFrames
+	// sheds the stale frames themselves (default 1).
+	Backlog int
 }
 
 // withDefaults fills unset fields.
@@ -74,6 +85,9 @@ func (c Config) withDefaults() Config {
 	if c.DeadlineMs <= 0 {
 		c.DeadlineMs = orin.Deadline30FPS
 	}
+	if c.Backlog <= 0 {
+		c.Backlog = 1
+	}
 	return c
 }
 
@@ -81,8 +95,12 @@ func (c Config) withDefaults() Config {
 type FrameRecord struct {
 	// Stream and Index identify the frame.
 	Stream, Index int
-	// LatencyMs is the Orin-priced per-frame latency: window wait +
-	// amortized batched inference + amortized adaptation.
+	// QueueMs is the measured wait from camera arrival to batch
+	// dispatch on the scheduler's virtual clock.
+	QueueMs float64
+	// LatencyMs is the event-time per-frame latency: measured queue
+	// wait + amortized batched-forward share + the frame's share of any
+	// adaptation step its window triggered.
 	LatencyMs float64
 	// DeadlineMet reports LatencyMs ≤ deadline.
 	DeadlineMet bool
@@ -98,24 +116,33 @@ type FrameRecord struct {
 type StreamReport struct {
 	// Stream is the stream id.
 	Stream int
-	// Frames is the number of frames served.
+	// Frames is the number of frames served (dropped frames excluded).
 	Frames int
 	// OnlineAccuracy is the point-weighted accuracy over the stream.
 	OnlineAccuracy float64
 	// MeanLatencyMs, P50LatencyMs, P99LatencyMs, MaxLatencyMs
 	// summarize the priced latency distribution.
 	MeanLatencyMs, P50LatencyMs, P99LatencyMs, MaxLatencyMs float64
-	// MissRate is the fraction of frames over deadline.
+	// MeanQueueMs and MaxQueueMs summarize the measured queue waits.
+	MeanQueueMs, MaxQueueMs float64
+	// MaxQueueDepth is the deepest backlog (frames arrived but not yet
+	// served) the stream reached on the virtual clock.
+	MaxQueueDepth int
+	// MissRate is the fraction of served frames over deadline.
 	MissRate float64
-	// AdaptSteps counts the stream's adaptation steps.
+	// AdaptSteps counts the stream's executed adaptation steps.
 	AdaptSteps int
+	// FramesDropped counts frames shed by the DropFrames policy.
+	FramesDropped int
+	// AdaptsSkipped counts due adaptation steps shed by SkipAdapt.
+	AdaptsSkipped int
 }
 
 // Report aggregates a full engine run.
 type Report struct {
 	// Streams holds per-stream outcomes indexed by stream id.
 	Streams []StreamReport
-	// Frames is the total frame count across streams.
+	// Frames is the total served frame count across streams.
 	Frames int
 	// Batches is the number of coalesced forward passes; MeanBatch is
 	// Frames / Batches.
@@ -126,12 +153,22 @@ type Report struct {
 	// pricing).
 	WallSeconds   float64
 	ThroughputFPS float64
+	// VirtualSeconds is the Orin-clock makespan: when the last virtual
+	// worker went idle.
+	VirtualSeconds float64
 	// OnlineAccuracy is the point-weighted accuracy over all streams.
 	OnlineAccuracy float64
 	// MissRate, P50LatencyMs, P99LatencyMs summarize priced latency
-	// over all frames.
+	// over all served frames.
 	MissRate                   float64
 	P50LatencyMs, P99LatencyMs float64
+	// MeanQueueMs and P99QueueMs summarize measured queue waits over
+	// all served frames; MaxQueueDepth is the deepest per-stream
+	// backlog any stream reached.
+	MeanQueueMs, P99QueueMs float64
+	MaxQueueDepth           int
+	// FramesDropped and AdaptsSkipped total the overload shedding.
+	FramesDropped, AdaptsSkipped int
 }
 
 // Engine serves a fleet of camera streams with one shared-weight model.
@@ -139,6 +176,7 @@ type Engine struct {
 	cfg   Config
 	model *ufld.Model
 
+	windowMs       float64
 	adaptPerStepMs float64
 	batchEst       []orin.BatchEstimate // index 1..MaxBatch
 }
@@ -153,11 +191,11 @@ func New(m *ufld.Model, cfg Config) *Engine {
 	e := &Engine{
 		cfg:      cfg,
 		model:    m,
+		windowMs: float64(cfg.Window) / float64(time.Millisecond),
 		batchEst: make([]orin.BatchEstimate, cfg.MaxBatch+1),
 	}
 	name := cfg.Variant.String()
-	// bs=1 makes AdaptMs the full (batch-size-independent) step cost.
-	e.adaptPerStepMs = orin.EstimateFrame(name, cost, cfg.Mode, 1).AdaptMs
+	e.adaptPerStepMs = orin.EstimateAdaptStep(cost, cfg.Mode)
 	for k := 1; k <= cfg.MaxBatch; k++ {
 		e.batchEst[k] = orin.EstimateInferenceBatch(name, cost, cfg.Mode, k)
 	}
@@ -167,123 +205,64 @@ func New(m *ufld.Model, cfg Config) *Engine {
 // Config returns the engine configuration after defaulting.
 func (e *Engine) Config() Config { return e.cfg }
 
-// FrameLatencyMs prices one frame served in a coalesced batch of the
-// given size: worst-case batching-window wait, the frame's amortized
-// share of the batched forward, and (when adaptation is enabled) the
-// amortized share of its stream's adaptation step.
+// FrameLatencyMs prices the steady-state cost of one frame served in a
+// coalesced batch of the given size with zero queue wait: the frame's
+// amortized share of the batched forward plus (when adaptation is
+// enabled) the amortized share of its stream's adaptation step. Actual
+// served frames add their measured queue wait on top of this floor.
 func (e *Engine) FrameLatencyMs(batchSize int) float64 {
 	if batchSize < 1 || batchSize > e.cfg.MaxBatch {
 		panic(fmt.Sprintf("serve: batch size %d outside [1,%d]", batchSize, e.cfg.MaxBatch))
 	}
-	lat := float64(e.cfg.Window) / float64(time.Millisecond)
-	lat += e.batchEst[batchSize].PerFrameMs
+	lat := e.batchEst[batchSize].PerFrameMs
 	if e.cfg.AdaptEvery > 0 {
 		lat += e.adaptPerStepMs / float64(e.cfg.AdaptEvery)
 	}
 	return lat
 }
 
-// frameIn is one frame tagged with its stream, flowing source →
-// batcher → worker.
-type frameIn struct {
-	stream int
-	frame  stream.Frame
-}
-
 // Run serves every frame of every source to completion and reports.
 //
-// With Workers > 1 a stream's frames can be split across batches that
-// finish out of order, so — like any concurrent serving system — the
-// engine relaxes the paper's strictly sequential inference-then-adapt
-// ordering: a frame may occasionally be scored against BN state that
-// already saw a slightly later frame, and OnlineAccuracy is therefore
-// not bitwise reproducible across runs. Frame, batch and
-// adaptation-step counts are exact regardless. Use Workers: 1 when
-// sequential reproducibility matters more than parallelism.
+// Scheduling happens first, entirely on the virtual clock: the
+// event-time scheduler (see plan in sched.go) converts arrival
+// timestamps plus Orin-priced batch and adaptation costs into a
+// deterministic sequence of dispatches, with per-frame measured queue
+// waits and the overload policy's shed decisions. The planned batches
+// are then executed on the host worker pool for the functional results
+// (logits, scoring, BN adaptation).
+//
+// With Workers > 1 a stream's planned batches can execute out of
+// order, so — like any concurrent serving system — the engine relaxes
+// the paper's strictly sequential inference-then-adapt ordering: a
+// frame may occasionally be scored against BN state that already saw a
+// slightly later frame, and OnlineAccuracy is therefore not bitwise
+// reproducible across runs. Frame, batch, adaptation and shed counts,
+// and all virtual-clock accounting, are exact and deterministic
+// regardless. Use Workers: 1 when sequential reproducibility matters
+// more than parallelism.
 func (e *Engine) Run(sources []*stream.Source) Report {
 	nStreams := len(sources)
 	if nStreams == 0 {
 		return Report{}
 	}
+	sched := e.plan(sources)
+
 	states := make([]*streamState, nStreams)
 	for i := range states {
 		states[i] = newStreamState(e.model, e.cfg.Adapt)
 	}
 
-	in := make(chan frameIn, 4*e.cfg.MaxBatch)
-	batches := make(chan []frameIn, e.cfg.Workers)
+	batches := make(chan plannedBatch, e.cfg.Workers)
 	records := make(chan FrameRecord, 4*e.cfg.MaxBatch)
-	var batchCount atomic.Int64
 
 	start := time.Now()
-
-	// Stage 1: sources. One producer goroutine per stream replays its
-	// frames in arrival order.
-	var producers sync.WaitGroup
-	for si, src := range sources {
-		producers.Add(1)
-		go func(si int, src *stream.Source) {
-			defer producers.Done()
-			for _, fr := range src.Frames {
-				in <- frameIn{stream: si, frame: fr}
-			}
-		}(si, src)
-	}
-	go func() {
-		producers.Wait()
-		close(in)
-	}()
-
-	// Stage 2: dynamic batcher. The first frame opens a batch; it is
-	// dispatched when full (MaxBatch) or when the window grace expires.
 	go func() {
 		defer close(batches)
-		var cur []frameIn
-		var timer *time.Timer
-		var expired <-chan time.Time
-		flush := func() {
-			if len(cur) > 0 {
-				batchCount.Add(1)
-				batches <- cur
-				cur = nil
-			}
-			if timer != nil {
-				timer.Stop()
-				timer, expired = nil, nil
-			}
-		}
-		for {
-			if cur == nil {
-				fi, ok := <-in
-				if !ok {
-					return
-				}
-				cur = make([]frameIn, 0, e.cfg.MaxBatch)
-				cur = append(cur, fi)
-				timer = time.NewTimer(e.cfg.Window)
-				expired = timer.C
-				if len(cur) == e.cfg.MaxBatch {
-					flush()
-				}
-				continue
-			}
-			select {
-			case fi, ok := <-in:
-				if !ok {
-					flush()
-					return
-				}
-				cur = append(cur, fi)
-				if len(cur) == e.cfg.MaxBatch {
-					flush()
-				}
-			case <-expired:
-				flush()
-			}
+		for _, b := range sched.batches {
+			batches <- b
 		}
 	}()
 
-	// Stage 3: worker pool. Each worker owns a shared-weight replica.
 	var workers sync.WaitGroup
 	for w := 0; w < e.cfg.Workers; w++ {
 		workers.Add(1)
@@ -300,12 +279,11 @@ func (e *Engine) Run(sources []*stream.Source) Report {
 		close(records)
 	}()
 
-	// Stage 4: collector.
 	type agg struct {
 		frames, points int
 		accW, latSum   float64
 		misses         int
-		lats           []float64
+		lats, queues   []float64
 	}
 	aggs := make([]agg, nStreams)
 	for rec := range records {
@@ -315,18 +293,27 @@ func (e *Engine) Run(sources []*stream.Source) Report {
 		a.points += rec.Points
 		a.latSum += rec.LatencyMs
 		a.lats = append(a.lats, rec.LatencyMs)
+		a.queues = append(a.queues, rec.QueueMs)
 		if !rec.DeadlineMet {
 			a.misses++
 		}
 	}
 	wall := time.Since(start)
 
-	rep := Report{Streams: make([]StreamReport, nStreams), WallSeconds: wall.Seconds()}
-	var allLats []float64
+	rep := Report{
+		Streams:        make([]StreamReport, nStreams),
+		WallSeconds:    wall.Seconds(),
+		VirtualSeconds: sched.makespanMs / 1e3,
+	}
+	var allLats, allQueues []float64
 	totalPoints, totalAccW, totalMisses := 0, 0.0, 0
 	for si := range aggs {
 		a := &aggs[si]
-		sr := StreamReport{Stream: si, Frames: a.frames, AdaptSteps: states[si].steps}
+		ss := sched.streams[si]
+		sr := StreamReport{
+			Stream: si, Frames: a.frames, AdaptSteps: states[si].steps,
+			MaxQueueDepth: ss.maxDepth, FramesDropped: ss.dropped, AdaptsSkipped: ss.skipped,
+		}
 		if a.points > 0 {
 			sr.OnlineAccuracy = a.accW / float64(a.points)
 		}
@@ -336,15 +323,23 @@ func (e *Engine) Run(sources []*stream.Source) Report {
 			sr.P50LatencyMs = metrics.Percentile(a.lats, 50)
 			sr.P99LatencyMs = metrics.Percentile(a.lats, 99)
 			sr.MaxLatencyMs = metrics.Percentile(a.lats, 100)
+			sr.MeanQueueMs = metrics.Mean(a.queues)
+			sr.MaxQueueMs = metrics.Percentile(a.queues, 100)
 		}
 		rep.Streams[si] = sr
 		rep.Frames += a.frames
+		rep.FramesDropped += ss.dropped
+		rep.AdaptsSkipped += ss.skipped
+		if ss.maxDepth > rep.MaxQueueDepth {
+			rep.MaxQueueDepth = ss.maxDepth
+		}
 		totalPoints += a.points
 		totalAccW += a.accW
 		totalMisses += a.misses
 		allLats = append(allLats, a.lats...)
+		allQueues = append(allQueues, a.queues...)
 	}
-	rep.Batches = int(batchCount.Load())
+	rep.Batches = len(sched.batches)
 	if rep.Batches > 0 {
 		rep.MeanBatch = float64(rep.Frames) / float64(rep.Batches)
 	}
@@ -355,6 +350,8 @@ func (e *Engine) Run(sources []*stream.Source) Report {
 		rep.MissRate = float64(totalMisses) / float64(rep.Frames)
 		rep.P50LatencyMs = metrics.Percentile(allLats, 50)
 		rep.P99LatencyMs = metrics.Percentile(allLats, 99)
+		rep.MeanQueueMs = metrics.Mean(allQueues)
+		rep.P99QueueMs = metrics.Percentile(allQueues, 99)
 	}
 	if rep.WallSeconds > 0 {
 		rep.ThroughputFPS = float64(rep.Frames) / rep.WallSeconds
@@ -403,25 +400,28 @@ func (e *Engine) newWorker() *worker {
 	return wk
 }
 
-// serve runs one coalesced batch: per-stream-conditioned batched
-// inference, scoring, then any adaptation steps that became due.
-func (wk *worker) serve(batch []frameIn, states []*streamState, records chan<- FrameRecord) {
+// serve executes one planned batch: per-stream-conditioned batched
+// inference and scoring, then the adaptation steps the scheduler
+// decided. Latency, queue wait and deadline accounting were fixed at
+// planning time; this stage supplies the functional results.
+func (wk *worker) serve(pb plannedBatch, states []*streamState, records chan<- FrameRecord) {
 	e := wk.e
 	mcfg := wk.model.Cfg
 	chw := 3 * mcfg.InputH * mcfg.InputW
+	batch := pb.frames
 	n := len(batch)
 
 	// Assemble the input batch and copy each frame's stream BN state
 	// into the worker arena (briefly locking one stream at a time, so
 	// a concurrent adaptation step on another worker cannot tear it).
-	for i, fi := range batch {
-		img := fi.frame.Sample.Image
+	for i, pf := range batch {
+		img := pf.frame.Sample.Image
 		if img.Size() != chw {
 			panic(fmt.Sprintf("serve: stream %d frame %d image %v, want [3,%d,%d]",
-				fi.stream, fi.frame.Index, img.Shape(), mcfg.InputH, mcfg.InputW))
+				pf.stream, pf.frame.Index, img.Shape(), mcfg.InputH, mcfg.InputW))
 		}
 		copy(wk.inBuf[i*chw:(i+1)*chw], img.Data)
-		st := states[fi.stream]
+		st := states[pf.stream]
 		st.mu.Lock()
 		for j := range wk.bns {
 			dst := &wk.srcs[j][i]
@@ -444,28 +444,31 @@ func (wk *worker) serve(batch []frameIn, states []*streamState, records chan<- F
 		b.SetSampleSources(nil)
 	}
 
-	lat := e.FrameLatencyMs(n)
-	met := lat <= e.cfg.DeadlineMs
-	for i, fi := range batch {
-		acc, pts := stream.ScoreSample(mcfg, preds[i], fi.frame.Sample)
+	for i, pf := range batch {
+		acc, pts := stream.ScoreSample(mcfg, preds[i], pf.frame.Sample)
 		records <- FrameRecord{
-			Stream: fi.stream, Index: fi.frame.Index,
-			LatencyMs: lat, DeadlineMet: met,
-			Accuracy: acc, Points: pts, BatchSize: n,
+			Stream: pf.stream, Index: pf.frame.Index,
+			QueueMs: pf.queueMs, LatencyMs: pf.latencyMs,
+			DeadlineMet: pf.latencyMs <= e.cfg.DeadlineMs,
+			Accuracy:    acc, Points: pts, BatchSize: n,
 		}
 	}
 
-	// Adaptation stage: frames join their stream's window; a full
-	// window triggers one LD-BN-ADAPT step on the stream's snapshot.
+	// Adaptation stage: frames join their stream's window; the
+	// scheduler has already decided which frames complete a window and
+	// whether the due step runs or was shed under pressure.
 	if e.cfg.AdaptEvery <= 0 {
 		return
 	}
-	for _, fi := range batch {
-		st := states[fi.stream]
+	for _, pf := range batch {
+		st := states[pf.stream]
 		st.mu.Lock()
-		st.pending = append(st.pending, fi.frame.Sample)
-		if len(st.pending) >= e.cfg.AdaptEvery {
+		st.pending = append(st.pending, pf.frame.Sample)
+		switch pf.action {
+		case adaptStep:
 			wk.adaptLocked(st)
+			st.pending = st.pending[:0]
+		case adaptSkip:
 			st.pending = st.pending[:0]
 		}
 		st.mu.Unlock()

@@ -115,7 +115,9 @@ func TestEngineAdaptationIsPerStream(t *testing.T) {
 	fleet := SyntheticFleet(m.Cfg, 2, 8, 30, 9)
 	e := New(m, Config{Workers: 2, MaxBatch: 4, AdaptEvery: 2, Adapt: adapt.Config{LR: 1e-2, UseAdam: true}})
 
-	// Run through the internals to keep the states inspectable.
+	// Run through the internals to keep the states inspectable. Every
+	// second frame per stream completes its AdaptEvery=2 window, which
+	// the scheduler would tag adaptStep.
 	states := make([]*streamState, 2)
 	for i := range states {
 		states[i] = newStreamState(m, e.cfg.Adapt)
@@ -123,10 +125,14 @@ func TestEngineAdaptationIsPerStream(t *testing.T) {
 	wk := e.newWorker()
 	records := make(chan FrameRecord, 64)
 	for fi := 0; fi < 8; fi++ {
-		batch := []frameIn{
-			{stream: 0, frame: fleet[0].Frames[fi]},
-			{stream: 1, frame: fleet[1].Frames[fi]},
+		action := adaptNone
+		if fi%2 == 1 {
+			action = adaptStep
 		}
+		batch := plannedBatch{frames: []plannedFrame{
+			{stream: 0, frame: fleet[0].Frames[fi], action: action},
+			{stream: 1, frame: fleet[1].Frames[fi], action: action},
+		}}
 		wk.serve(batch, states, records)
 	}
 

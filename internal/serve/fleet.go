@@ -16,8 +16,17 @@ import (
 // TuLane-style highway and MoLane-style shifts so the fleet mixes
 // domains.
 func SyntheticFleet(cfg ufld.Config, streams, framesPerStream int, fps float64, seed uint64) []*stream.Source {
+	return SyntheticFleetRates(cfg, streams, framesPerStream, []float64{fps}, seed)
+}
+
+// SyntheticFleetRates is SyntheticFleet with explicit per-stream frame
+// rates: stream i runs at rates[i%len(rates)], so mixed-FPS fleets
+// (e.g. alternating 30 and 15 FPS cameras) exercise the event-time
+// scheduler's interleaved arrivals and per-stream backlog caps.
+func SyntheticFleetRates(cfg ufld.Config, streams, framesPerStream int, rates []float64, seed uint64) []*stream.Source {
 	out := make([]*stream.Source, streams)
 	for i := range out {
+		fps := rates[i%len(rates)]
 		layout, domain := carlane.Ego2, carlane.MoReal
 		if cfg.Lanes == 4 {
 			if i%2 == 0 {

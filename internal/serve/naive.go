@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"ldbnadapt/internal/adapt"
+	"ldbnadapt/internal/metrics"
 	"ldbnadapt/internal/nn"
 	"ldbnadapt/internal/orin"
 	"ldbnadapt/internal/stream"
@@ -17,11 +18,18 @@ import (
 // single-camera loop — per-frame eval-mode inference through the
 // allocating Forward path, then one bs=1 LD-BN-ADAPT step on every
 // frame — on its own shared-weight replica. There is no coalescing, no
-// adaptation amortization and no scratch reuse; per-frame priced
-// latency is the single-stream orin.EstimateFrame total. AdaptEvery
-// only gates whether adaptation runs at all (≤ 0 disables it, anything
-// positive adapts on every frame); Config fields other than Variant,
-// AdaptEvery, Adapt, Mode and DeadlineMs are ignored.
+// adaptation amortization and no scratch reuse.
+//
+// Latency accounting is event-timed like the engine's, but per stream:
+// each stream owns a dedicated virtual pipeline whose clock advances by
+// the single-frame orin.EstimateFrame price, so a frame's LatencyMs is
+// its measured wait for the previous frame to finish plus its own
+// processing — the same serial backlog model as
+// stream.RunWithOverload's DropNone policy. AdaptEvery only gates
+// whether adaptation runs at all (≤ 0 disables it, anything positive
+// adapts on every frame); Config fields other than Variant, AdaptEvery,
+// Adapt, Mode and DeadlineMs are ignored — in particular the naive loop
+// never sheds work.
 func RunNaive(m *ufld.Model, cfg Config, sources []*stream.Source) Report {
 	cfg = cfg.withDefaults()
 	nStreams := len(sources)
@@ -30,19 +38,21 @@ func RunNaive(m *ufld.Model, cfg Config, sources []*stream.Source) Report {
 	}
 	cost := ufld.DescribeModel(ufld.FullScale(cfg.Variant, m.Cfg.Lanes))
 	noAdapt := cfg.AdaptEvery <= 0
-	var lat float64
+	var frameMs float64
 	if noAdapt {
-		lat = orin.EstimateInferenceOnly(cfg.Variant.String(), cost, cfg.Mode).TotalMs
+		frameMs = orin.EstimateInferenceOnly(cfg.Variant.String(), cost, cfg.Mode).TotalMs
 	} else {
-		lat = orin.EstimateFrame(cfg.Variant.String(), cost, cfg.Mode, 1).TotalMs
+		frameMs = orin.EstimateFrame(cfg.Variant.String(), cost, cfg.Mode, 1).TotalMs
 	}
-	met := lat <= cfg.DeadlineMs
 
 	start := time.Now()
 	reports := make([]StreamReport, nStreams)
 	pointsBy := make([]int, nStreams)
 	accWBy := make([]float64, nStreams)
 	missesBy := make([]int, nStreams)
+	latsBy := make([][]float64, nStreams)
+	queuesBy := make([][]float64, nStreams)
+	clockBy := make([]float64, nStreams)
 	var wg sync.WaitGroup
 	for si, src := range sources {
 		wg.Add(1)
@@ -54,24 +64,51 @@ func RunNaive(m *ufld.Model, cfg Config, sources []*stream.Source) Report {
 				method = adapt.NewLDBNAdapt(replica, cfg.Adapt)
 			}
 			accW, points, misses := 0.0, 0, 0
-			for _, fr := range src.Frames {
+			clockMs := 0.0
+			maxDepth, ahead := 0, 0
+			lats := make([]float64, 0, len(src.Frames))
+			queues := make([]float64, 0, len(src.Frames))
+			for fi, fr := range src.Frames {
+				arrMs := float64(fr.Arrival) / 1e6
+				startMs := clockMs
+				if arrMs > startMs {
+					startMs = arrMs // pipeline idles until the frame arrives
+				}
+				queueMs := startMs - arrMs
+				lat := queueMs + frameMs
+				clockMs = startMs + frameMs
+				// Queue depth: frames that have arrived but not started.
+				// startMs and arrivals are both non-decreasing, so the
+				// lookahead pointer only ever advances.
+				if ahead <= fi {
+					ahead = fi + 1
+				}
+				for ahead < len(src.Frames) && float64(src.Frames[ahead].Arrival)/1e6 < startMs {
+					ahead++
+				}
+				if depth := ahead - fi; depth > maxDepth {
+					maxDepth = depth
+				}
+				lats = append(lats, lat)
+				queues = append(queues, queueMs)
+				if lat > cfg.DeadlineMs {
+					misses++
+				}
+
 				x, _ := ufld.Batch(replica.Cfg, []ufld.Sample{fr.Sample}, []int{0})
 				logits := replica.Forward(x, nn.Eval)
 				preds := ufld.Decode(replica.Cfg, logits, 1)
 				acc, pts := stream.ScoreSample(replica.Cfg, preds[0], fr.Sample)
 				accW += acc * float64(pts)
 				points += pts
-				if !met {
-					misses++
-				}
 				if !noAdapt {
 					method.Adapt(x)
 				}
 			}
 			sr := StreamReport{
 				Stream: si, Frames: len(src.Frames),
-				MeanLatencyMs: lat, P50LatencyMs: lat, P99LatencyMs: lat, MaxLatencyMs: lat,
-				AdaptSteps: method.Steps(),
+				AdaptSteps:    method.Steps(),
+				MaxQueueDepth: maxDepth,
 			}
 			if noAdapt {
 				sr.AdaptSteps = 0
@@ -81,27 +118,47 @@ func RunNaive(m *ufld.Model, cfg Config, sources []*stream.Source) Report {
 			}
 			if sr.Frames > 0 {
 				sr.MissRate = float64(misses) / float64(sr.Frames)
+				sr.MeanLatencyMs = metrics.Mean(lats)
+				sr.P50LatencyMs = metrics.Percentile(lats, 50)
+				sr.P99LatencyMs = metrics.Percentile(lats, 99)
+				sr.MaxLatencyMs = metrics.Percentile(lats, 100)
+				sr.MeanQueueMs = metrics.Mean(queues)
+				sr.MaxQueueMs = metrics.Percentile(queues, 100)
 			}
 			reports[si] = sr
 			pointsBy[si], accWBy[si], missesBy[si] = points, accW, misses
+			latsBy[si], queuesBy[si] = lats, queues
+			clockBy[si] = clockMs
 		}(si, src)
 	}
 	wg.Wait()
 	wall := time.Since(start)
 
 	rep := Report{Streams: reports, WallSeconds: wall.Seconds()}
+	var allLats, allQueues []float64
 	totalMisses, totalPoints, totalAccW := 0, 0, 0.0
 	for si, sr := range reports {
 		rep.Frames += sr.Frames
 		totalMisses += missesBy[si]
 		totalPoints += pointsBy[si]
 		totalAccW += accWBy[si]
+		allLats = append(allLats, latsBy[si]...)
+		allQueues = append(allQueues, queuesBy[si]...)
+		if sr.MaxQueueDepth > rep.MaxQueueDepth {
+			rep.MaxQueueDepth = sr.MaxQueueDepth
+		}
+		if clockBy[si]/1e3 > rep.VirtualSeconds {
+			rep.VirtualSeconds = clockBy[si] / 1e3
+		}
 	}
 	rep.Batches = rep.Frames
 	if rep.Frames > 0 {
 		rep.MeanBatch = 1
 		rep.MissRate = float64(totalMisses) / float64(rep.Frames)
-		rep.P50LatencyMs, rep.P99LatencyMs = lat, lat
+		rep.P50LatencyMs = metrics.Percentile(allLats, 50)
+		rep.P99LatencyMs = metrics.Percentile(allLats, 99)
+		rep.MeanQueueMs = metrics.Mean(allQueues)
+		rep.P99QueueMs = metrics.Percentile(allQueues, 99)
 	}
 	if totalPoints > 0 {
 		rep.OnlineAccuracy = totalAccW / float64(totalPoints)

@@ -1,0 +1,238 @@
+package serve
+
+import (
+	"math"
+	"sort"
+
+	"ldbnadapt/internal/stream"
+)
+
+// adaptAction is the scheduler's decision for one served frame: whether
+// the frame closes its stream's adaptation window, and if so whether
+// the due step runs or is shed by the overload policy.
+type adaptAction uint8
+
+const (
+	// adaptNone: the frame joins its stream's window; no step is due.
+	adaptNone adaptAction = iota
+	// adaptStep: the frame completes the window and the step runs.
+	adaptStep
+	// adaptSkip: the frame completes the window but the step is shed
+	// (SkipAdapt under pressure). The window is consumed without a step.
+	adaptSkip
+)
+
+// plannedFrame is one frame after scheduling: its measured event-time
+// accounting plus the adaptation decision the executing worker must
+// honor.
+type plannedFrame struct {
+	stream int
+	frame  stream.Frame
+	// queueMs is the measured wait from camera arrival to batch
+	// dispatch on the virtual clock.
+	queueMs float64
+	// latencyMs = queueMs + amortized batched-forward share + (for
+	// frames of a window whose step ran) the step's amortized share.
+	latencyMs float64
+	action    adaptAction
+}
+
+// plannedBatch is one coalesced dispatch: which frames, when (virtual
+// time), and on which virtual worker.
+type plannedBatch struct {
+	dispatchMs float64
+	worker     int
+	frames     []plannedFrame
+}
+
+// schedStream is the per-stream shed/backlog accounting accumulated
+// while planning.
+type schedStream struct {
+	dropped  int
+	skipped  int
+	maxDepth int
+}
+
+// schedule is the full event-time plan for a fleet: every dispatch with
+// its frames priced, plus the shed accounting the report needs for
+// frames that never execute.
+type schedule struct {
+	batches    []plannedBatch
+	streams    []schedStream
+	makespanMs float64
+}
+
+// plan runs the event-time virtual-clock scheduler over the fleet.
+//
+// The clock is driven by frame arrival timestamps and the Orin-priced
+// cost of the work actually dispatched. Batching follows the dynamic
+// batcher's contract in virtual time: the oldest queued frame opens a
+// batch, which becomes ready when MaxBatch frames have arrived or the
+// Window grace expires, whichever is first; dispatch happens at the
+// later of that readiness and the earliest virtual worker becoming
+// free. Frames arriving while the batch waits for a worker coalesce
+// into it (up to MaxBatch), which is what lets a backlogged engine
+// recover throughput by batching harder.
+//
+// Worker occupancy is charged per dispatch: the whole-batch forward
+// price for the actual coalesced size plus one full adaptation step
+// per window completed in the batch — not a per-frame worst case.
+//
+// The overload policy decides what to shed when a stream falls behind
+// (its frames queue longer than Backlog camera periods):
+//
+//   - DropNone serves everything; under overload the queue — and every
+//     frame's measured wait — grows without bound.
+//   - SkipAdapt serves every frame but sheds due adaptation steps while
+//     the stream is behind.
+//   - DropFrames sheds queued frames that are already older than the
+//     backlog cap at dispatch time, so served frames' waits stay
+//     bounded by Backlog periods.
+func (e *Engine) plan(sources []*stream.Source) *schedule {
+	cfg := e.cfg
+	nStreams := len(sources)
+	sc := &schedule{streams: make([]schedStream, nStreams)}
+
+	// Flatten the fleet into one arrival-ordered event list. Per-stream
+	// order is preserved; ties across streams break by stream id so the
+	// plan is deterministic.
+	total := 0
+	for _, src := range sources {
+		total += len(src.Frames)
+	}
+	type arrival struct {
+		stream int
+		frame  stream.Frame
+		arrMs  float64
+	}
+	all := make([]arrival, 0, total)
+	shedMs := make([]float64, nStreams) // per-stream backlog cap in ms
+	for si, src := range sources {
+		periodMs := float64(src.Period()) / 1e6
+		shedMs[si] = float64(cfg.Backlog) * periodMs
+		for _, fr := range src.Frames {
+			all = append(all, arrival{stream: si, frame: fr, arrMs: float64(fr.Arrival) / 1e6})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].arrMs != all[j].arrMs {
+			return all[i].arrMs < all[j].arrMs
+		}
+		return all[i].stream < all[j].stream
+	})
+
+	workers := make([]float64, cfg.Workers) // virtual busy-until times
+	pending := make([]arrival, 0, cfg.MaxBatch)
+	head, next := 0, 0
+
+	// Per-stream backlog depth (frames arrived but not yet served or
+	// shed), maintained incrementally: up on absorb, down on leave.
+	depth := make([]int, nStreams)
+	absorb := func(a arrival) {
+		pending = append(pending, a)
+		si := a.stream
+		depth[si]++
+		if depth[si] > sc.streams[si].maxDepth {
+			sc.streams[si].maxDepth = depth[si]
+		}
+	}
+
+	// Per-stream adaptation windows: how many served frames since the
+	// last step, and the planned frames awaiting their step's amortized
+	// share (assigned retroactively when the window completes).
+	sinceAdapt := make([]int, nStreams)
+	window := make([][]*plannedFrame, nStreams)
+
+	for next < len(all) || head < len(pending) {
+		if head == len(pending) {
+			pending = pending[:0]
+			head = 0
+			absorb(all[next])
+			next++
+			continue
+		}
+		open := pending[head].arrMs
+		// Readiness: MaxBatch-th arrival counting from the batch opener
+		// (wherever it currently is — queued or still in the future), or
+		// window expiry.
+		tFull := math.Inf(1)
+		queued := len(pending) - head
+		if queued >= cfg.MaxBatch {
+			tFull = pending[head+cfg.MaxBatch-1].arrMs
+		} else if j := next + (cfg.MaxBatch - queued) - 1; j < len(all) {
+			tFull = all[j].arrMs
+		}
+		ready := open + e.windowMs
+		if tFull < ready {
+			ready = tFull
+		}
+		wi := 0
+		for w := 1; w < len(workers); w++ {
+			if workers[w] < workers[wi] {
+				wi = w
+			}
+		}
+		dispatch := ready
+		if workers[wi] > dispatch {
+			dispatch = workers[wi]
+		}
+		// Absorb every frame that has arrived by dispatch time.
+		for next < len(all) && all[next].arrMs <= dispatch {
+			absorb(all[next])
+			next++
+		}
+		// Form the batch, shedding stale frames under DropFrames.
+		batch := make([]plannedFrame, 0, cfg.MaxBatch)
+		for head < len(pending) && len(batch) < cfg.MaxBatch {
+			a := pending[head]
+			if a.arrMs > dispatch {
+				break
+			}
+			head++
+			depth[a.stream]--
+			if cfg.Policy == stream.DropFrames && dispatch-a.arrMs > shedMs[a.stream] {
+				sc.streams[a.stream].dropped++
+				continue
+			}
+			batch = append(batch, plannedFrame{stream: a.stream, frame: a.frame})
+		}
+		if len(batch) == 0 {
+			continue // everything stale was shed; replan from the survivors
+		}
+		n := len(batch)
+		steps := 0
+		for i := range batch {
+			f := &batch[i]
+			f.queueMs = dispatch - float64(f.frame.Arrival)/1e6
+			f.latencyMs = f.queueMs + e.batchEst[n].PerFrameMs
+			if cfg.AdaptEvery <= 0 {
+				continue
+			}
+			si := f.stream
+			window[si] = append(window[si], f)
+			sinceAdapt[si]++
+			if sinceAdapt[si] < cfg.AdaptEvery {
+				continue
+			}
+			if cfg.Policy == stream.SkipAdapt && f.queueMs > shedMs[si] {
+				f.action = adaptSkip
+				sc.streams[si].skipped++
+			} else {
+				f.action = adaptStep
+				steps++
+				share := e.adaptPerStepMs / float64(len(window[si]))
+				for _, wf := range window[si] {
+					wf.latencyMs += share
+				}
+			}
+			sinceAdapt[si] = 0
+			window[si] = window[si][:0]
+		}
+		workers[wi] = dispatch + e.batchEst[n].BatchMs + float64(steps)*e.adaptPerStepMs
+		if workers[wi] > sc.makespanMs {
+			sc.makespanMs = workers[wi]
+		}
+		sc.batches = append(sc.batches, plannedBatch{dispatchMs: dispatch, worker: wi, frames: batch})
+	}
+	return sc
+}

@@ -13,13 +13,17 @@
 // convolution and FC weights exist exactly once in memory, shared
 // read-only across every worker replica and stream.
 //
-// Latency and deadline accounting are priced by the Orin performance
-// model (internal/orin), not by host wall-clock: a frame's priced
-// latency is the batching-window wait, plus the amortized per-frame
-// share of its coalesced batched forward, plus the amortized
-// adaptation share (one adaptation step per AdaptEvery frames per
-// stream — the paper's batch-size amortization, which on the Orin GPU
-// is free because a small-batch adaptation step costs the same as a
-// bs=1 step). Host wall-clock only determines the reported engine
-// throughput.
+// Latency and deadline accounting run on an event-time virtual clock
+// (sched.go), not host wall-clock: frames enter with their camera
+// arrival timestamps, the scheduler tracks per-worker busy intervals
+// and per-batch dispatch times priced by the Orin performance model
+// (internal/orin), and each frame's latency is its measured queue wait
+// plus its amortized share of the batched forward and of any
+// adaptation step its window triggered. Because queueing is modeled,
+// overload is a first-class scenario: the generalized
+// stream.OverloadPolicy decides whether a backlogged stream grows its
+// queue without bound (DropNone), sheds adaptation steps (SkipAdapt),
+// or sheds stale frames (DropFrames), with queue-depth and shed
+// accounting reported per stream. Host wall-clock only determines the
+// reported engine throughput.
 package serve

@@ -124,11 +124,24 @@ func Run(m *ufld.Model, variant resnet.Variant, src *Source, cfg Config) Result 
 		panic(fmt.Sprintf("stream: batch size %d", cfg.BatchSize))
 	}
 	cost := ufld.DescribeModel(ufld.FullScale(variant, m.Cfg.Lanes))
+	_, isNoAdapt := cfg.Method.(*adapt.NoAdapt)
 	var est orin.Estimate
-	if _, isNoAdapt := cfg.Method.(*adapt.NoAdapt); isNoAdapt {
+	if isNoAdapt {
 		est = orin.EstimateInferenceOnly(variant.String(), cost, cfg.Mode)
 	} else {
 		est = orin.EstimateFrame(variant.String(), cost, cfg.Mode, cfg.BatchSize)
+	}
+	// The final partial batch (when the stream length is not a multiple
+	// of BatchSize) adapts at its real, smaller size, so its frames
+	// amortize the adaptation step over fewer frames and must be priced
+	// accordingly.
+	nFrames := len(src.Frames)
+	trailing := 0
+	estTail := est
+	if !isNoAdapt {
+		if trailing = nFrames % cfg.BatchSize; trailing > 0 {
+			estTail = orin.EstimateFrame(variant.String(), cost, cfg.Mode, trailing)
+		}
 	}
 	res := Result{
 		MethodName: cfg.Method.Name(),
@@ -138,7 +151,11 @@ func Run(m *ufld.Model, variant resnet.Variant, src *Source, cfg Config) Result 
 	accW, points := 0.0, 0
 	var batch []int
 	latSum := 0.0
-	for _, fr := range src.Frames {
+	for fi, fr := range src.Frames {
+		frameEst := est
+		if fi >= nFrames-trailing {
+			frameEst = estTail
+		}
 		// Phase 1: inference.
 		x, _ := ufld.Batch(m.Cfg, []ufld.Sample{fr.Sample}, []int{0})
 		logits := m.Forward(x, nn.Eval)
@@ -149,8 +166,8 @@ func Run(m *ufld.Model, variant resnet.Variant, src *Source, cfg Config) Result 
 
 		rec := FrameRecord{
 			Index:       fr.Index,
-			LatencyMs:   est.TotalMs,
-			DeadlineMet: est.TotalMs <= cfg.DeadlineMs,
+			LatencyMs:   frameEst.TotalMs,
+			DeadlineMet: frameEst.TotalMs <= cfg.DeadlineMs,
 			Accuracy:    acc,
 			Points:      cnt,
 		}
@@ -239,6 +256,17 @@ func (p OverloadPolicy) String() string {
 		return "drop-frames"
 	}
 	return fmt.Sprintf("OverloadPolicy(%d)", int(p))
+}
+
+// ParsePolicy resolves a policy name as printed by String (used by the
+// serving CLIs).
+func ParsePolicy(s string) (OverloadPolicy, error) {
+	for _, p := range []OverloadPolicy{DropNone, SkipAdapt, DropFrames} {
+		if s == p.String() {
+			return p, nil
+		}
+	}
+	return DropNone, fmt.Errorf("stream: unknown overload policy %q (have drop-none/skip-adapt/drop-frames)", s)
 }
 
 // OverloadResult extends Result with overload accounting.

@@ -274,3 +274,54 @@ func TestOverloadNoShedWhenFast(t *testing.T) {
 	}
 	_ = m
 }
+
+// TestRunTrailingBatchPricedAtActualSize is the regression test for
+// trailing-batch pricing: the final partial batch adapts at its real
+// (smaller) size, so its frames amortize the adaptation step over
+// fewer frames and must be priced more expensively than full-batch
+// frames — not with the full batch's amortization.
+func TestRunTrailingBatchPricedAtActualSize(t *testing.T) {
+	f := getFixture(t)
+	m := f.model.Clone(f.rng.Split())
+	src := NewSource(f.bench.TargetTrain, 30) // 24 frames
+	const bs = 5                              // 24 = 4 full batches + trailing 4
+	res := Run(m, resnet.R18, src, Config{
+		Method:     adapt.NewLDBNAdapt(m, adapt.DefaultConfig()),
+		BatchSize:  bs,
+		Mode:       orin.Mode60W,
+		DeadlineMs: orin.Deadline18FPS,
+	})
+	n := len(src.Frames)
+	trailing := n % bs
+	if trailing == 0 {
+		t.Fatalf("fixture stream length %d is a multiple of %d — test needs a partial batch", n, bs)
+	}
+	cost := ufld.DescribeModel(ufld.FullScale(resnet.R18, m.Cfg.Lanes))
+	wantFull := orin.EstimateFrame("R-18", cost, orin.Mode60W, bs).TotalMs
+	wantTail := orin.EstimateFrame("R-18", cost, orin.Mode60W, trailing).TotalMs
+	if wantTail <= wantFull {
+		t.Fatalf("pricing model broken: bs=%d frame %.3f ms not above bs=%d frame %.3f ms", trailing, wantTail, bs, wantFull)
+	}
+	for i, rec := range res.Records {
+		want := wantFull
+		if i >= n-trailing {
+			want = wantTail
+		}
+		if diff := rec.LatencyMs - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("frame %d latency %.6f ms, want %.6f ms", i, rec.LatencyMs, want)
+		}
+	}
+}
+
+// TestParsePolicy round-trips every policy name and rejects junk.
+func TestParsePolicy(t *testing.T) {
+	for _, p := range []OverloadPolicy{DropNone, SkipAdapt, DropFrames} {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParsePolicy("nonsense"); err == nil {
+		t.Fatal("junk policy accepted")
+	}
+}

@@ -5,12 +5,13 @@
 #   make test    full unit + property suite (tier-1 gate)
 #   make race    race-detector pass over the concurrent packages
 #   make bench   full benchmark suite (one iteration each)
+#   make bench-smoke  one iteration of every benchmark in every package
 #   make serve-bench  the multi-stream serving benchmark only
-#   make ci      build + vet + test + race
+#   make ci      build + vet + test + race + bench-smoke
 
 GO ?= go
 
-.PHONY: build vet test race bench serve-bench ci
+.PHONY: build vet test race bench bench-smoke serve-bench ci
 
 build:
 	$(GO) build ./...
@@ -29,7 +30,13 @@ race:
 bench:
 	$(GO) test -run xxx -bench . -benchmem -benchtime 1x .
 
+# One iteration of every benchmark across all packages: keeps
+# bench_test.go and BenchmarkServeMultiStream compiling and runnable
+# without paying for real measurement in CI.
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
 serve-bench:
 	$(GO) test -run xxx -bench BenchmarkServeMultiStream -benchtime 3x .
 
-ci: build vet test race
+ci: build vet test race bench-smoke

@@ -9,6 +9,7 @@
 //	ldserve -streams 8 -weights molane_r18.ldp -naive
 //	ldserve -streams 6 -watts 15 -workers 1 -policy drop-frames
 //	ldserve -streams 4 -fps 30 -fps-alt 15 -policy skip-adapt
+//	ldserve -streams 4 -govern hysteresis -power-budget 50 -epoch-ms 500
 //
 // Latency accounting runs on an event-time virtual clock: each frame's
 // latency is its measured queue wait behind earlier work plus its
@@ -20,12 +21,20 @@
 // -backlog camera periods) — and -fps-alt gives odd-numbered streams a
 // second camera rate for mixed-FPS fleets.
 //
+// -govern closes the loop: instead of holding -watts for the whole
+// run, a governor (internal/govern: static|hysteresis|oracle) observes
+// each -epoch-ms control epoch's telemetry and actuates the power
+// mode, overload policy and adaptation cadence for the next, keeping
+// modes within -power-budget. The report then includes energy (busy +
+// static draw) and the per-epoch mode trace.
+//
 // Flag ↔ paper mapping (Fig. 3 deployment settings): -model and -watts
 // select the Fig. 3 row (backbone × power mode); -deadline-fps 30|18
 // selects the deadline column; -adapt-every is the adaptation batch
 // size bs of the Fig. 2/3 sweep (its cost amortization); -maxbatch,
 // -window, -policy and -backlog are the serving extensions this engine
-// adds on top of the paper's single-camera deployment.
+// adds on top of the paper's single-camera deployment, and -govern
+// takes the paper's offline power-mode analysis online.
 package main
 
 import (
@@ -37,6 +46,7 @@ import (
 	"ldbnadapt/internal/adapt"
 	"ldbnadapt/internal/carlane"
 	"ldbnadapt/internal/cli"
+	"ldbnadapt/internal/govern"
 	"ldbnadapt/internal/metrics"
 	"ldbnadapt/internal/nn"
 	"ldbnadapt/internal/orin"
@@ -71,6 +81,9 @@ func main() {
 	epochs := flag.Int("epochs", 5, "source pre-training epochs (ignored with -weights)")
 	weights := flag.String("weights", "", "optional weights file from ldtrain")
 	naive := flag.Bool("naive", false, "also run the unbatched one-goroutine-per-stream baseline")
+	governName := flag.String("govern", "", "closed-loop governor: static|hysteresis|oracle (empty = one-shot run at -watts)")
+	powerBudget := flag.Int("power-budget", 0, "governor power budget in watts (0 = unconstrained)")
+	epochMs := flag.Float64("epoch-ms", 500, "governor control-epoch length in virtual ms")
 	seed := flag.Uint64("seed", 1, "seed for fleet generation and pre-training")
 	flag.Parse()
 
@@ -150,29 +163,41 @@ func main() {
 	}
 
 	e := serve.New(m, scfg)
-	rep := e.Run(fleet)
-	printReport("batched engine", rep)
+	var rep serve.Report
+	label := "batched engine"
+	if *governName != "" {
+		ctl, err := govern.ByName(*governName, *powerBudget)
+		if err != nil {
+			fail(err)
+		}
+		rep = e.RunGoverned(fleet, *epochMs, ctl)
+		label = fmt.Sprintf("governed engine (%s)", ctl.Name())
+	} else {
+		rep = e.Run(fleet)
+	}
+	printReport(label, rep)
+	if *governName != "" {
+		printEpochTrace(rep)
+	}
 
 	if *naive {
 		// The unbatched baseline adapts on every frame (the paper's
 		// bs=1 loop) when the engine adapts at all, and not at all when
 		// adaptation is disabled, so the ratio compares like with like.
-		naiveEvery := 0
+		// It shares the engine's Config — only the fields RunNaive
+		// honors differ — so a field added to the engine configuration
+		// cannot silently skew the comparison.
+		ncfg := scfg
+		ncfg.AdaptEvery = 0
 		if *adaptEvery > 0 {
-			naiveEvery = 1
+			ncfg.AdaptEvery = 1
 		}
-		nrep := serve.RunNaive(m, serve.Config{
-			Variant:    variant,
-			AdaptEvery: naiveEvery,
-			Adapt:      adapt.DefaultConfig(),
-			Mode:       mode,
-			DeadlineMs: 1000.0 / *deadlineFPS,
-		}, fleet)
+		nrep := serve.RunNaive(m, ncfg, fleet)
 		fmt.Println()
 		printReport("naive baseline", nrep)
 		if nrep.ThroughputFPS > 0 {
 			naiveDesc := "no adaptation"
-			if naiveEvery > 0 {
+			if ncfg.AdaptEvery > 0 {
 				naiveDesc = "adapt every frame"
 			}
 			fmt.Printf("\nbatched (maxbatch %d, adapt every %d) vs naive (unbatched, %s): %.2fx throughput\n",
@@ -202,4 +227,22 @@ func printReport(label string, rep serve.Report) {
 		fmt.Printf(", %d frames dropped, %d adapts skipped", rep.FramesDropped, rep.AdaptsSkipped)
 	}
 	fmt.Println()
+	fmt.Printf("energy: %.1f J total (%.1f J busy + %.1f J static), %.3f J/frame\n",
+		rep.EnergyMJ/1e3, rep.BusyEnergyMJ/1e3, rep.IdleEnergyMJ/1e3, rep.JPerFrame)
+}
+
+// printEpochTrace renders the governor's actuation trace, one line per
+// control epoch.
+func printEpochTrace(rep serve.Report) {
+	fmt.Println("\nepoch trace:")
+	tb := metrics.NewTable("epoch", "mode", "policy", "adapt", "arrived", "served", "backlog",
+		"hit rate", "util", "energy J")
+	for _, es := range rep.Epochs {
+		tb.AddRow(es.Epoch, es.Controls.Mode.Name, es.Controls.Policy.String(), es.Controls.AdaptEvery,
+			es.Arrived, es.Served, es.QueueDepth, metrics.FormatPct(es.DeadlineHitRate),
+			fmt.Sprintf("%.2f", es.Utilization), fmt.Sprintf("%.1f", es.EnergyMJ/1e3))
+	}
+	if _, err := tb.WriteTo(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
 }

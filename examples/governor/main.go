@@ -1,0 +1,140 @@
+// Governor: the paper's power-mode analysis taken online. The offline
+// advisor (examples/powermode) picks ONE Orin nvpmodel point for the
+// whole deployment — but a real fleet's load swings, and a mode sized
+// for the burst burns its static rail draw through every lull while a
+// mode sized for the lull misses every burst deadline.
+//
+// This demo runs the same bursty fleet — cameras idling at 2 FPS that
+// burst to 30 FPS together, plus one that joins late and leaves early —
+// under four deployments:
+//
+//   - static 15 W: the lull-sized corner; its latency floor misses the
+//     18 FPS deadline even with no queue.
+//   - static 60 W (MAXN): the burst-sized corner; hits every deadline
+//     and pays 18 W of static draw through every lull.
+//   - hysteresis: internal/govern's reactive ladder climber — climbs a
+//     rung the epoch service degrades, descends after consecutive
+//     healthy epochs that would fit the lower rung.
+//   - oracle: per-epoch exhaustive sweep over the ladder using the
+//     engine's exact queue state — the upper bound on governing.
+//
+// Run with: go run ./examples/governor
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ldbnadapt/internal/adapt"
+	"ldbnadapt/internal/carlane"
+	"ldbnadapt/internal/govern"
+	"ldbnadapt/internal/metrics"
+	"ldbnadapt/internal/orin"
+	"ldbnadapt/internal/resnet"
+	"ldbnadapt/internal/serve"
+	"ldbnadapt/internal/stream"
+	"ldbnadapt/internal/tensor"
+	"ldbnadapt/internal/ufld"
+)
+
+const epochMs = 250
+
+// ribbon compresses an epoch trace into one mode character per epoch.
+func ribbon(rep serve.Report) string {
+	var b strings.Builder
+	for _, es := range rep.Epochs {
+		switch es.Controls.Mode.Watts {
+		case 15:
+			b.WriteByte('1')
+		case 30:
+			b.WriteByte('3')
+		case 50:
+			b.WriteByte('5')
+		default:
+			b.WriteByte('M')
+		}
+	}
+	return b.String()
+}
+
+func main() {
+	rng := tensor.NewRNG(73)
+	cfg := ufld.Tiny(resnet.R18, 2)
+	src := carlane.Generate(cfg, carlane.SplitSpec{
+		Name:    "governor/source-train",
+		Layouts: []carlane.Layout{carlane.Ego2},
+		Domains: []carlane.Domain{carlane.Sim},
+		N:       80,
+		Seed:    73,
+	})
+	model := ufld.MustNewModel(cfg, rng)
+	tc := ufld.DefaultTrainConfig()
+	tc.Epochs = 5
+	fmt.Fprintln(os.Stderr, "pre-training on simulator source...")
+	if _, err := ufld.TrainSource(model, src, tc, rng.Split()); err != nil {
+		fmt.Fprintln(os.Stderr, "governor:", err)
+		os.Exit(1)
+	}
+
+	fleet := serve.BurstyFleet(cfg, 2, 2, 6, 24, 2, 30, 7300)
+	base := serve.Config{
+		Workers:    1,
+		MaxBatch:   8,
+		Window:     2 * time.Millisecond,
+		AdaptEvery: 4,
+		Adapt:      adapt.DefaultConfig(),
+		DeadlineMs: orin.Deadline18FPS,
+		Policy:     stream.DropNone,
+	}
+	fmt.Printf("bursty fleet: %d cameras, lulls at 2 FPS, bursts at 30 FPS, one late joiner;\n", len(fleet))
+	fmt.Printf("one worker, %.1f ms deadline, %v ms control epochs\n\n", base.DeadlineMs, epochMs)
+
+	type deployment struct {
+		label string
+		mode  orin.PowerMode
+		ctl   serve.Controller
+	}
+	deployments := []deployment{
+		{"static 15W", orin.Mode15W, govern.Static{}},
+		{"static 60W", orin.Mode60W, govern.Static{}},
+		{"hysteresis", orin.Mode60W, &govern.Hysteresis{}},
+		{"oracle", orin.Mode60W, &govern.Oracle{}},
+	}
+	reports := make([]serve.Report, len(deployments))
+	tb := metrics.NewTable("deployment", "served", "hit rate", "p99 ms", "energy J", "J/frame", "modes used")
+	for i, d := range deployments {
+		c := base
+		c.Mode = d.mode
+		reports[i] = serve.New(model, c).RunGoverned(fleet, epochMs, d.ctl)
+		rep := reports[i]
+		seen := map[string]bool{}
+		var modes []string
+		for _, es := range rep.Epochs {
+			if !seen[es.Controls.Mode.Name] {
+				seen[es.Controls.Mode.Name] = true
+				modes = append(modes, fmt.Sprintf("%dW", es.Controls.Mode.Watts))
+			}
+		}
+		tb.AddRow(d.label, rep.Frames, metrics.FormatPct(1-rep.MissRate),
+			fmt.Sprintf("%.1f", rep.P99LatencyMs),
+			fmt.Sprintf("%.1f", rep.EnergyMJ/1e3),
+			fmt.Sprintf("%.3f", rep.JPerFrame),
+			strings.Join(modes, " "))
+	}
+	if _, err := tb.WriteTo(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+
+	fmt.Println("\nmode per epoch (1=15W 3=30W 5=50W M=MAXN):")
+	for i, d := range deployments {
+		fmt.Printf("  %-11s %s\n", d.label, ribbon(reports[i]))
+	}
+
+	s60, hys := reports[1], reports[2]
+	fmt.Printf("\nhysteresis used %.0f%% of static MAXN's energy at a %s deadline-hit rate\n",
+		100*hys.EnergyMJ/s60.EnergyMJ, metrics.FormatPct(1-hys.MissRate))
+	fmt.Println("(static 60W hits everything but burns its rail draw through every lull;")
+	fmt.Println("static 15W cannot meet the deadline at all — its floor is above it).")
+}

@@ -1,0 +1,81 @@
+package govern
+
+import (
+	"ldbnadapt/internal/orin"
+	"ldbnadapt/internal/serve"
+)
+
+// Oracle is the clairvoyant upper bound on governing: at every epoch
+// boundary it sweeps the whole affordable mode ladder through
+// serve.RunGoverned's probe — an exact simulation of the next epoch
+// from the engine's current queue, worker and adaptation-window state,
+// including the arrivals still to come — and commits to the cheapest
+// rung that meets the service target without letting the backlog grow.
+// If no rung qualifies, it takes the one serving best (highest hit
+// rate, then lower energy). Rule-based governors like Hysteresis are
+// measured by how close they get to this without seeing the future.
+//
+// The sweep is exhaustive over power modes; policy and adaptation
+// cadence stay at the engine's configured values so the bound
+// isolates what mode selection alone can achieve.
+type Oracle struct {
+	// BudgetW caps the ladder (0 = unconstrained).
+	BudgetW int
+	// TargetHitRate is the per-epoch deadline-hit service target
+	// (default 0.95).
+	TargetHitRate float64
+
+	ladder []orin.PowerMode
+	base   serve.Controls
+}
+
+// Name implements serve.Controller.
+func (o *Oracle) Name() string { return "oracle" }
+
+func (o *Oracle) target() float64 {
+	if o.TargetHitRate > 0 {
+		return o.TargetHitRate
+	}
+	return defaultTargetHitRate
+}
+
+// Start implements serve.Controller: the first epoch runs blind (no
+// telemetry yet), so begin on the highest affordable rung — the
+// oracle sheds watts the moment the sweep shows they buy nothing.
+func (o *Oracle) Start(cfg serve.Config) serve.Controls {
+	ladder, err := Ladder(o.BudgetW)
+	if err != nil {
+		panic(err.Error()) // ByName validates; direct construction must too
+	}
+	o.ladder = ladder
+	o.base = serve.Controls{Mode: ladder[len(ladder)-1], Policy: cfg.Policy, AdaptEvery: cfg.AdaptEvery}
+	return o.base
+}
+
+// Decide implements serve.Controller.
+func (o *Oracle) Decide(prev serve.EpochStats, cur serve.Controls, probe func(serve.Controls) serve.EpochStats) serve.Controls {
+	type outcome struct {
+		c  serve.Controls
+		es serve.EpochStats
+	}
+	var best, fallback *outcome
+	for _, mode := range o.ladder {
+		cand := serve.Controls{Mode: mode, Policy: o.base.Policy, AdaptEvery: o.base.AdaptEvery}
+		es := probe(cand)
+		oc := &outcome{c: cand, es: es}
+		if es.DeadlineHitRate >= o.target() && es.QueueDepth <= prev.QueueDepth {
+			if best == nil || es.EnergyMJ < best.es.EnergyMJ {
+				best = oc
+			}
+		}
+		if fallback == nil ||
+			es.DeadlineHitRate > fallback.es.DeadlineHitRate ||
+			(es.DeadlineHitRate == fallback.es.DeadlineHitRate && es.EnergyMJ < fallback.es.EnergyMJ) {
+			fallback = oc
+		}
+	}
+	if best != nil {
+		return best.c
+	}
+	return fallback.c
+}

@@ -21,8 +21,16 @@ import "fmt"
 type PowerMode struct {
 	// Name is the mode label used in reports ("MAXN (60W)", ...).
 	Name string
-	// Watts is the mode's power budget.
+	// Watts is the mode's power budget, drawn while the accelerator is
+	// busy with dispatched work.
 	Watts int
+	// IdleWatts is the static rail draw of the board parked at this
+	// nvpmodel point with no work in flight: higher modes hold higher
+	// GPU/EMC clocks and voltages even when idle. This is what a
+	// power governor saves by descending the ladder during load lulls —
+	// busy energy alone favors the fastest mode (race-to-idle), static
+	// draw does not.
+	IdleWatts float64
 	// EffGFLOPS is the sustained effective FP32 throughput (GFLOP/s)
 	// for convolutional workloads under this mode's GPU clocks.
 	EffGFLOPS float64
@@ -38,13 +46,13 @@ type PowerMode struct {
 // The four power modes the paper sweeps in Fig. 3.
 var (
 	// Mode15W is the lowest-power operating point.
-	Mode15W = PowerMode{Name: "15W", Watts: 15, EffGFLOPS: 500, MemBWGBs: 50, OverheadMs: 6.0}
+	Mode15W = PowerMode{Name: "15W", Watts: 15, IdleWatts: 5, EffGFLOPS: 500, MemBWGBs: 50, OverheadMs: 6.0}
 	// Mode30W is the mid operating point.
-	Mode30W = PowerMode{Name: "30W", Watts: 30, EffGFLOPS: 1100, MemBWGBs: 110, OverheadMs: 3.5}
+	Mode30W = PowerMode{Name: "30W", Watts: 30, IdleWatts: 9, EffGFLOPS: 1100, MemBWGBs: 110, OverheadMs: 3.5}
 	// Mode50W is the high operating point.
-	Mode50W = PowerMode{Name: "50W", Watts: 50, EffGFLOPS: 1800, MemBWGBs: 190, OverheadMs: 2.5}
+	Mode50W = PowerMode{Name: "50W", Watts: 50, IdleWatts: 14, EffGFLOPS: 1800, MemBWGBs: 190, OverheadMs: 2.5}
 	// Mode60W is MAXN (the paper's "60W" mode).
-	Mode60W = PowerMode{Name: "MAXN (60W)", Watts: 60, EffGFLOPS: 3000, MemBWGBs: 250, OverheadMs: 2.0}
+	Mode60W = PowerMode{Name: "MAXN (60W)", Watts: 60, IdleWatts: 18, EffGFLOPS: 3000, MemBWGBs: 250, OverheadMs: 2.0}
 )
 
 // Modes lists the power modes in ascending power order.
@@ -52,12 +60,14 @@ var Modes = []PowerMode{Mode15W, Mode30W, Mode50W, Mode60W}
 
 // ModeByWatts returns the mode with the given power budget.
 func ModeByWatts(w int) (PowerMode, error) {
-	for _, m := range Modes {
+	valid := make([]int, len(Modes))
+	for i, m := range Modes {
 		if m.Watts == w {
 			return m, nil
 		}
+		valid[i] = m.Watts
 	}
-	return PowerMode{}, fmt.Errorf("orin: no %d W power mode (have 15/30/50/60)", w)
+	return PowerMode{}, fmt.Errorf("orin: no %d W power mode (have %v)", w, valid)
 }
 
 // Deadlines from the paper's §IV.

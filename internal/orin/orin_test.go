@@ -1,6 +1,7 @@
 package orin
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -26,6 +27,24 @@ func TestModeByWatts(t *testing.T) {
 	}
 }
 
+// TestModeByWattsUnknownListsValid: the unknown-watts error must name
+// every valid wattage so a CLI user can correct the flag without
+// reading source.
+func TestModeByWattsUnknownListsValid(t *testing.T) {
+	_, err := ModeByWatts(25)
+	if err == nil {
+		t.Fatal("unknown wattage accepted")
+	}
+	for _, m := range Modes {
+		if want := fmt.Sprintf("%d", m.Watts); !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not list the valid %s W mode", err, want)
+		}
+	}
+	if !strings.Contains(err.Error(), "25") {
+		t.Fatalf("error %q does not echo the rejected wattage", err)
+	}
+}
+
 func TestModesAreMonotonic(t *testing.T) {
 	for i := 1; i < len(Modes); i++ {
 		if Modes[i].Watts <= Modes[i-1].Watts {
@@ -36,6 +55,14 @@ func TestModesAreMonotonic(t *testing.T) {
 		}
 		if Modes[i].MemBWGBs <= Modes[i-1].MemBWGBs {
 			t.Fatal("bandwidth must rise with power")
+		}
+		if Modes[i].IdleWatts <= Modes[i-1].IdleWatts {
+			t.Fatal("static rail draw must rise with power")
+		}
+	}
+	for _, m := range Modes {
+		if m.IdleWatts <= 0 || m.IdleWatts >= float64(m.Watts) {
+			t.Fatalf("%s: idle draw %.1f W outside (0, %d)", m.Name, m.IdleWatts, m.Watts)
 		}
 	}
 }

@@ -3,7 +3,6 @@ package serve
 import (
 	"fmt"
 	"runtime"
-	"sync"
 	"time"
 
 	"ldbnadapt/internal/adapt"
@@ -37,20 +36,22 @@ type Config struct {
 	// frames — the paper's batch-size amortization. The step is priced
 	// per dispatch (orin.EstimateAdaptStep) and its cost is shared by
 	// the frames of the window that triggered it. 0 disables adaptation
-	// entirely.
+	// entirely. A Controller may re-actuate the cadence per epoch.
 	AdaptEvery int
 	// AdaptBatch is how many of the window's most recent frames feed
 	// the adaptation step (default 1, capped at AdaptEvery).
 	AdaptBatch int
 	// Adapt carries the LD-BN-ADAPT hyperparameters.
 	Adapt adapt.Config
-	// Mode is the Orin power mode used for pricing (default 60 W).
+	// Mode is the Orin power mode used for pricing (default 60 W). A
+	// Controller may re-actuate the mode per epoch.
 	Mode orin.PowerMode
 	// DeadlineMs is the per-frame budget (default the 30 FPS budget).
 	DeadlineMs float64
 	// Policy selects what the scheduler sheds when a stream falls
 	// behind its camera (default stream.DropNone: nothing — the queue
-	// grows without bound under overload).
+	// grows without bound under overload). A Controller may re-actuate
+	// the policy per epoch.
 	Policy stream.OverloadPolicy
 	// Backlog is the per-stream backlog cap in camera periods: a frame
 	// queued longer than Backlog periods marks its stream as behind,
@@ -102,6 +103,11 @@ type FrameRecord struct {
 	// wait + amortized batched-forward share + the frame's share of any
 	// adaptation step its window triggered.
 	LatencyMs float64
+	// EnergyMJ is the frame's dynamic energy in millijoules: its
+	// amortized share of per-dispatch Watts × busy-ms, under the power
+	// mode(s) actually in force when its forward and adaptation work
+	// dispatched.
+	EnergyMJ float64
 	// DeadlineMet reports LatencyMs ≤ deadline.
 	DeadlineMet bool
 	// Accuracy and Points score the frame against its hidden labels.
@@ -136,6 +142,9 @@ type StreamReport struct {
 	FramesDropped int
 	// AdaptsSkipped counts due adaptation steps shed by SkipAdapt.
 	AdaptsSkipped int
+	// EnergyMJ is the stream's dynamic energy in millijoules (the sum
+	// of its frames' EnergyMJ shares).
+	EnergyMJ float64
 }
 
 // Report aggregates a full engine run.
@@ -169,6 +178,29 @@ type Report struct {
 	MaxQueueDepth           int
 	// FramesDropped and AdaptsSkipped total the overload shedding.
 	FramesDropped, AdaptsSkipped int
+	// BusyEnergyMJ is the run's dynamic energy: Σ over dispatches of
+	// Watts(mode at dispatch) × busy interval, in millijoules. It
+	// equals the sum of the per-stream EnergyMJ attributions.
+	BusyEnergyMJ float64
+	// IdleEnergyMJ is the static rail draw: IdleWatts of whatever mode
+	// the board was parked at, integrated over the run (per control
+	// epoch under a governor, over the makespan otherwise).
+	IdleEnergyMJ float64
+	// EnergyMJ = BusyEnergyMJ + IdleEnergyMJ, the total energy the
+	// deployment drew.
+	EnergyMJ float64
+	// JPerFrame is the total energy per served frame in joules.
+	JPerFrame float64
+	// Epochs is the per-control-epoch telemetry trace (one entry for a
+	// one-shot Run).
+	Epochs []EpochStats
+}
+
+// modeTable is the Orin pricing of the engine's batching geometry
+// under one power mode.
+type modeTable struct {
+	batchEst       []orin.BatchEstimate // index 1..MaxBatch
+	adaptPerStepMs float64
 }
 
 // Engine serves a fleet of camera streams with one shared-weight model.
@@ -176,9 +208,12 @@ type Engine struct {
 	cfg   Config
 	model *ufld.Model
 
-	windowMs       float64
-	adaptPerStepMs float64
-	batchEst       []orin.BatchEstimate // index 1..MaxBatch
+	windowMs float64
+	// tables prices every orin.Modes entry (plus the configured mode)
+	// so per-epoch mode actuation is a table lookup; def is the
+	// configured mode's table.
+	tables map[int]*modeTable
+	def    *modeTable
 }
 
 // New builds an engine around a deployed model. Latency pricing uses
@@ -192,127 +227,116 @@ func New(m *ufld.Model, cfg Config) *Engine {
 		cfg:      cfg,
 		model:    m,
 		windowMs: float64(cfg.Window) / float64(time.Millisecond),
-		batchEst: make([]orin.BatchEstimate, cfg.MaxBatch+1),
+		tables:   make(map[int]*modeTable, len(orin.Modes)+1),
 	}
 	name := cfg.Variant.String()
-	e.adaptPerStepMs = orin.EstimateAdaptStep(cost, cfg.Mode)
-	for k := 1; k <= cfg.MaxBatch; k++ {
-		e.batchEst[k] = orin.EstimateInferenceBatch(name, cost, cfg.Mode, k)
+	build := func(mode orin.PowerMode) *modeTable {
+		t := &modeTable{
+			batchEst:       make([]orin.BatchEstimate, cfg.MaxBatch+1),
+			adaptPerStepMs: orin.EstimateAdaptStep(cost, mode),
+		}
+		for k := 1; k <= cfg.MaxBatch; k++ {
+			t.batchEst[k] = orin.EstimateInferenceBatch(name, cost, mode, k)
+		}
+		return t
 	}
+	for _, mode := range orin.Modes {
+		e.tables[mode.Watts] = build(mode)
+	}
+	// Built last so a custom configured mode that shares a wattage with
+	// a stock orin.Modes entry prices itself, not the stock point.
+	e.tables[cfg.Mode.Watts] = build(cfg.Mode)
+	e.def = e.tables[cfg.Mode.Watts]
 	return e
 }
 
 // Config returns the engine configuration after defaulting.
 func (e *Engine) Config() Config { return e.cfg }
 
+// tableFor resolves a power mode's pricing table.
+func (e *Engine) tableFor(mode orin.PowerMode) *modeTable {
+	t, ok := e.tables[mode.Watts]
+	if !ok {
+		panic(fmt.Sprintf("serve: no pricing table for mode %q — controllers must choose from orin.Modes", mode.Name))
+	}
+	return t
+}
+
 // FrameLatencyMs prices the steady-state cost of one frame served in a
-// coalesced batch of the given size with zero queue wait: the frame's
-// amortized share of the batched forward plus (when adaptation is
-// enabled) the amortized share of its stream's adaptation step. Actual
-// served frames add their measured queue wait on top of this floor.
+// coalesced batch of the given size with zero queue wait under the
+// configured mode: the frame's amortized share of the batched forward
+// plus (when adaptation is enabled) the amortized share of its
+// stream's adaptation step. Actual served frames add their measured
+// queue wait on top of this floor.
 func (e *Engine) FrameLatencyMs(batchSize int) float64 {
 	if batchSize < 1 || batchSize > e.cfg.MaxBatch {
 		panic(fmt.Sprintf("serve: batch size %d outside [1,%d]", batchSize, e.cfg.MaxBatch))
 	}
-	lat := e.batchEst[batchSize].PerFrameMs
+	lat := e.def.batchEst[batchSize].PerFrameMs
 	if e.cfg.AdaptEvery > 0 {
-		lat += e.adaptPerStepMs / float64(e.cfg.AdaptEvery)
+		lat += e.def.adaptPerStepMs / float64(e.cfg.AdaptEvery)
 	}
 	return lat
 }
 
-// Run serves every frame of every source to completion and reports.
-//
-// Scheduling happens first, entirely on the virtual clock: the
-// event-time scheduler (see plan in sched.go) converts arrival
-// timestamps plus Orin-priced batch and adaptation costs into a
-// deterministic sequence of dispatches, with per-frame measured queue
-// waits and the overload policy's shed decisions. The planned batches
-// are then executed on the host worker pool for the functional results
-// (logits, scoring, BN adaptation).
-//
-// With Workers > 1 a stream's planned batches can execute out of
-// order, so — like any concurrent serving system — the engine relaxes
-// the paper's strictly sequential inference-then-adapt ordering: a
-// frame may occasionally be scored against BN state that already saw a
-// slightly later frame, and OnlineAccuracy is therefore not bitwise
-// reproducible across runs. Frame, batch, adaptation and shed counts,
-// and all virtual-clock accounting, are exact and deterministic
-// regardless. Use Workers: 1 when sequential reproducibility matters
-// more than parallelism.
-func (e *Engine) Run(sources []*stream.Source) Report {
-	nStreams := len(sources)
-	if nStreams == 0 {
-		return Report{}
-	}
-	sched := e.plan(sources)
+// execRec is one executed frame: the functional outcome joined to its
+// planned frame. Latency and energy are read off the plan only after
+// all planning completes, because a later epoch may still assign the
+// frame its adaptation-step share retroactively.
+type execRec struct {
+	pf  *plannedFrame
+	acc float64
+	pts int
+	n   int // coalesced batch size that served the frame
+}
 
-	states := make([]*streamState, nStreams)
-	for i := range states {
-		states[i] = newStreamState(e.model, e.cfg.Adapt)
-	}
-
-	batches := make(chan plannedBatch, e.cfg.Workers)
-	records := make(chan FrameRecord, 4*e.cfg.MaxBatch)
-
-	start := time.Now()
-	go func() {
-		defer close(batches)
-		for _, b := range sched.batches {
-			batches <- b
-		}
-	}()
-
-	var workers sync.WaitGroup
-	for w := 0; w < e.cfg.Workers; w++ {
-		workers.Add(1)
-		go func() {
-			defer workers.Done()
-			wk := e.newWorker()
-			for batch := range batches {
-				wk.serve(batch, states, records)
-			}
-		}()
-	}
-	go func() {
-		workers.Wait()
-		close(records)
-	}()
-
+// buildReport aggregates the executed frames, the plan's shed/energy
+// accounting and the epoch trace into the run report.
+func (e *Engine) buildReport(p *planner, states []*streamState, recs []execRec, epochs []EpochStats, wall time.Duration) Report {
+	nStreams := len(states)
 	type agg struct {
 		frames, points int
 		accW, latSum   float64
+		energy         float64
 		misses         int
 		lats, queues   []float64
 	}
 	aggs := make([]agg, nStreams)
-	for rec := range records {
+	for _, r := range recs {
+		rec := FrameRecord{
+			Stream: r.pf.stream, Index: r.pf.frame.Index,
+			QueueMs: r.pf.queueMs, LatencyMs: r.pf.latencyMs, EnergyMJ: r.pf.energyMJ,
+			DeadlineMet: r.pf.latencyMs <= e.cfg.DeadlineMs,
+			Accuracy:    r.acc, Points: r.pts, BatchSize: r.n,
+		}
 		a := &aggs[rec.Stream]
 		a.frames++
 		a.accW += rec.Accuracy * float64(rec.Points)
 		a.points += rec.Points
 		a.latSum += rec.LatencyMs
+		a.energy += rec.EnergyMJ
 		a.lats = append(a.lats, rec.LatencyMs)
 		a.queues = append(a.queues, rec.QueueMs)
 		if !rec.DeadlineMet {
 			a.misses++
 		}
 	}
-	wall := time.Since(start)
 
 	rep := Report{
 		Streams:        make([]StreamReport, nStreams),
 		WallSeconds:    wall.Seconds(),
-		VirtualSeconds: sched.makespanMs / 1e3,
+		VirtualSeconds: p.sc.makespanMs / 1e3,
+		Epochs:         epochs,
 	}
 	var allLats, allQueues []float64
 	totalPoints, totalAccW, totalMisses := 0, 0.0, 0
 	for si := range aggs {
 		a := &aggs[si]
-		ss := sched.streams[si]
+		ss := p.sc.streams[si]
 		sr := StreamReport{
 			Stream: si, Frames: a.frames, AdaptSteps: states[si].steps,
 			MaxQueueDepth: ss.maxDepth, FramesDropped: ss.dropped, AdaptsSkipped: ss.skipped,
+			EnergyMJ: a.energy,
 		}
 		if a.points > 0 {
 			sr.OnlineAccuracy = a.accW / float64(a.points)
@@ -339,7 +363,7 @@ func (e *Engine) Run(sources []*stream.Source) Report {
 		allLats = append(allLats, a.lats...)
 		allQueues = append(allQueues, a.queues...)
 	}
-	rep.Batches = len(sched.batches)
+	rep.Batches = len(p.sc.batches)
 	if rep.Batches > 0 {
 		rep.MeanBatch = float64(rep.Frames) / float64(rep.Batches)
 	}
@@ -352,6 +376,14 @@ func (e *Engine) Run(sources []*stream.Source) Report {
 		rep.P99LatencyMs = metrics.Percentile(allLats, 99)
 		rep.MeanQueueMs = metrics.Mean(allQueues)
 		rep.P99QueueMs = metrics.Percentile(allQueues, 99)
+	}
+	rep.BusyEnergyMJ = p.sc.busyEnergyMJ
+	for _, es := range epochs {
+		rep.IdleEnergyMJ += es.IdleEnergyMJ
+	}
+	rep.EnergyMJ = rep.BusyEnergyMJ + rep.IdleEnergyMJ
+	if rep.Frames > 0 {
+		rep.JPerFrame = rep.EnergyMJ / 1e3 / float64(rep.Frames)
 	}
 	if rep.WallSeconds > 0 {
 		rep.ThroughputFPS = float64(rep.Frames) / rep.WallSeconds
@@ -402,10 +434,11 @@ func (e *Engine) newWorker() *worker {
 
 // serve executes one planned batch: per-stream-conditioned batched
 // inference and scoring, then the adaptation steps the scheduler
-// decided. Latency, queue wait and deadline accounting were fixed at
-// planning time; this stage supplies the functional results.
-func (wk *worker) serve(pb plannedBatch, states []*streamState, records chan<- FrameRecord) {
-	e := wk.e
+// decided. Queue waits, deadline and energy accounting were fixed at
+// planning time (with step shares possibly still landing from later
+// epochs, which is why only the planner's final state is reported);
+// this stage supplies the functional results.
+func (wk *worker) serve(pb plannedBatch, states []*streamState, records chan<- execRec) {
 	mcfg := wk.model.Cfg
 	chw := 3 * mcfg.InputH * mcfg.InputW
 	batch := pb.frames
@@ -414,7 +447,8 @@ func (wk *worker) serve(pb plannedBatch, states []*streamState, records chan<- F
 	// Assemble the input batch and copy each frame's stream BN state
 	// into the worker arena (briefly locking one stream at a time, so
 	// a concurrent adaptation step on another worker cannot tear it).
-	for i, pf := range batch {
+	for i := range batch {
+		pf := &batch[i]
 		img := pf.frame.Sample.Image
 		if img.Size() != chw {
 			panic(fmt.Sprintf("serve: stream %d frame %d image %v, want [3,%d,%d]",
@@ -444,23 +478,20 @@ func (wk *worker) serve(pb plannedBatch, states []*streamState, records chan<- F
 		b.SetSampleSources(nil)
 	}
 
-	for i, pf := range batch {
+	for i := range batch {
+		pf := &batch[i]
 		acc, pts := stream.ScoreSample(mcfg, preds[i], pf.frame.Sample)
-		records <- FrameRecord{
-			Stream: pf.stream, Index: pf.frame.Index,
-			QueueMs: pf.queueMs, LatencyMs: pf.latencyMs,
-			DeadlineMet: pf.latencyMs <= e.cfg.DeadlineMs,
-			Accuracy:    acc, Points: pts, BatchSize: n,
-		}
+		records <- execRec{pf: pf, acc: acc, pts: pts, n: n}
 	}
 
-	// Adaptation stage: frames join their stream's window; the
+	// Adaptation stage: windowed frames join their stream's window; the
 	// scheduler has already decided which frames complete a window and
 	// whether the due step runs or was shed under pressure.
-	if e.cfg.AdaptEvery <= 0 {
-		return
-	}
-	for _, pf := range batch {
+	for i := range batch {
+		pf := &batch[i]
+		if !pf.windowed {
+			continue
+		}
 		st := states[pf.stream]
 		st.mu.Lock()
 		st.pending = append(st.pending, pf.frame.Sample)

@@ -123,15 +123,15 @@ func TestEngineAdaptationIsPerStream(t *testing.T) {
 		states[i] = newStreamState(m, e.cfg.Adapt)
 	}
 	wk := e.newWorker()
-	records := make(chan FrameRecord, 64)
+	records := make(chan execRec, 64)
 	for fi := 0; fi < 8; fi++ {
 		action := adaptNone
 		if fi%2 == 1 {
 			action = adaptStep
 		}
 		batch := plannedBatch{frames: []plannedFrame{
-			{stream: 0, frame: fleet[0].Frames[fi], action: action},
-			{stream: 1, frame: fleet[1].Frames[fi], action: action},
+			{stream: 0, frame: fleet[0].Frames[fi], action: action, windowed: true},
+			{stream: 1, frame: fleet[1].Frames[fi], action: action, windowed: true},
 		}}
 		wk.serve(batch, states, records)
 	}

@@ -1,0 +1,249 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"ldbnadapt/internal/orin"
+	"ldbnadapt/internal/stream"
+)
+
+// Controls is the actuator set a governor may change at each control
+// epoch boundary: the Orin power mode (the nvpmodel ladder), the
+// overload policy, and the adaptation cadence. The engine's static
+// Config supplies the initial values; everything else in Config
+// (batching geometry, worker count, deadline) stays fixed for the run.
+type Controls struct {
+	// Mode is the Orin power mode pricing subsequent dispatches. It
+	// must be one of orin.Modes or the engine's configured mode (those
+	// are the modes the engine pre-prices); an empty mode keeps the
+	// engine's configured one.
+	Mode orin.PowerMode
+	// Policy is the overload shedding policy for subsequent dispatches.
+	Policy stream.OverloadPolicy
+	// AdaptEvery is the adaptation cadence (one LD-BN-ADAPT step per
+	// stream every AdaptEvery served frames); 0 disables adaptation.
+	AdaptEvery int
+}
+
+// EpochStats is the windowed telemetry of one control epoch — what the
+// governor observes before actuating the next epoch's Controls, and
+// what Report.Epochs records for analysis.
+//
+// Latency-derived fields are measured at planning time. Frames whose
+// adaptation window is still open when they are counted have not yet
+// absorbed their step share, so DeadlineHitRate judges them at the
+// steady-state floor (their measured latency plus the expected share
+// adaptPerStep/AdaptEvery); the estimate is exact in steady state and
+// only differs transiently when the cadence changes mid-window. The
+// final Report is always exact — shares land on the right frames
+// regardless of epoch partitioning.
+type EpochStats struct {
+	// Epoch numbers the control epoch from 0; StartMs/EndMs bound it on
+	// the virtual clock.
+	Epoch          int
+	StartMs, EndMs float64
+	// Controls is the actuator set that was in force during the epoch.
+	Controls Controls
+	// Arrived counts camera frames that arrived in the epoch; Served
+	// counts frames dispatched (possibly arrived earlier).
+	Arrived, Served int
+	// AdaptSteps, FramesDropped and AdaptsSkipped count the epoch's
+	// adaptation and shedding activity.
+	AdaptSteps, FramesDropped, AdaptsSkipped int
+	// QueueDepth is the fleet backlog at the epoch boundary — frames
+	// that arrived more than the batching grace before the boundary
+	// but were neither served nor shed. Frames still coalescing inside
+	// the Window grace are excluded, so an aligned-but-healthy epoch
+	// reads zero; this is the governor's leading overload signal.
+	QueueDepth int
+	// DeadlineHitRate is the fraction of the epoch's served frames
+	// within the deadline (1 when nothing was served).
+	DeadlineHitRate float64
+	// MeanQueueMs and MaxQueueMs summarize the epoch's measured queue
+	// waits.
+	MeanQueueMs, MaxQueueMs float64
+	// BusyMs is the aggregate virtual-worker busy time charged to the
+	// epoch's dispatches; Utilization normalizes it by worker-capacity
+	// (Workers × epoch span).
+	BusyMs      float64
+	Utilization float64
+	// BusyEnergyMJ is the epoch's dynamic energy (Watts × busy-ms over
+	// its dispatches), IdleEnergyMJ the static rail draw (IdleWatts ×
+	// epoch span), EnergyMJ their sum — all in millijoules.
+	BusyEnergyMJ, IdleEnergyMJ, EnergyMJ float64
+
+	// accumulators finalized into the exported fields.
+	hits     int
+	queueSum float64
+}
+
+// Controller steers the engine across control epochs: a governor
+// policy in the sense of internal/govern.
+type Controller interface {
+	// Name labels the controller in reports and demos.
+	Name() string
+	// Start returns the controls for the first epoch given the engine
+	// configuration.
+	Start(cfg Config) Controls
+	// Decide returns the controls for the next epoch. prev is the
+	// telemetry of the epoch just planned and cur the controls it ran
+	// under. probe simulates the next epoch under candidate controls
+	// from the engine's exact current state — queue, worker busy
+	// intervals, open adaptation windows — without committing to them;
+	// exhaustive controllers (govern.Oracle) sweep it, rule-based ones
+	// ignore it.
+	Decide(prev EpochStats, cur Controls, probe func(Controls) EpochStats) Controls
+}
+
+// probe simulates one epoch [startMs, endMs) under candidate controls
+// on a throwaway clone of the planner state.
+func probe(p *planner, c Controls, startMs, endMs float64, workers int) EpochStats {
+	q := p.clone()
+	q.setControls(c)
+	es := EpochStats{StartMs: startMs, EndMs: endMs, Controls: q.ctrl}
+	q.runUntil(endMs, &es)
+	finalizeEpoch(&es, q, endMs-startMs, workers)
+	return es
+}
+
+// finalizeEpoch turns the epoch's accumulators into telemetry: arrival
+// counting, end-of-epoch backlog, rates, utilization and the static
+// energy of parking the board at the epoch's mode for its span.
+func finalizeEpoch(es *EpochStats, p *planner, spanMs float64, workers int) {
+	for p.arrSeen < len(p.all) && p.all[p.arrSeen].arrMs < es.EndMs {
+		p.arrSeen++
+		es.Arrived++
+	}
+	// Backlog counts only frames past the batching grace: an arrival
+	// still coalescing at the boundary is in-flight, not queued.
+	for p.arrOld < len(p.all) && p.all[p.arrOld].arrMs < es.EndMs-p.e.windowMs {
+		p.arrOld++
+	}
+	es.QueueDepth = p.arrOld - p.served - p.shed
+	if es.QueueDepth < 0 {
+		es.QueueDepth = 0
+	}
+	if es.Served > 0 {
+		es.DeadlineHitRate = float64(es.hits) / float64(es.Served)
+		es.MeanQueueMs = es.queueSum / float64(es.Served)
+	} else {
+		es.DeadlineHitRate = 1
+	}
+	if spanMs > 0 && !math.IsInf(spanMs, 1) {
+		es.Utilization = es.BusyMs / (spanMs * float64(workers))
+		es.IdleEnergyMJ = es.Controls.Mode.IdleWatts * spanMs
+	}
+	es.EnergyMJ = es.BusyEnergyMJ + es.IdleEnergyMJ
+}
+
+// Run serves every frame of every source to completion under the
+// static configuration and reports. It is RunGoverned with a single
+// control epoch spanning the whole run.
+func (e *Engine) Run(sources []*stream.Source) Report {
+	return e.RunGoverned(sources, 0, nil)
+}
+
+// RunGoverned serves the fleet in control epochs of epochMs virtual
+// milliseconds: each epoch is planned on the event-time scheduler
+// under the epoch's Controls, its dispatches stream to the host worker
+// pool for execution, and at the boundary the controller observes the
+// epoch's telemetry (and may probe candidates) to actuate the next
+// epoch's power mode, overload policy and adaptation cadence. Queue
+// state, per-worker busy intervals, open adaptation windows and
+// per-stream BN state all persist across epochs, so with a nil
+// controller (or one that never changes the controls) any epoch
+// partition reproduces Run's one-shot schedule exactly.
+//
+// epochMs <= 0 or a nil controller degenerates to a single epoch
+// spanning the whole run. The final epoch's static energy is charged
+// to the virtual makespan rather than the nominal epoch length, so
+// runs that end mid-epoch (or whose last batches drain past the final
+// boundary) price the board for exactly as long as it was on.
+func (e *Engine) RunGoverned(sources []*stream.Source, epochMs float64, ctl Controller) Report {
+	nStreams := len(sources)
+	if nStreams == 0 {
+		return Report{}
+	}
+	if epochMs <= 0 || ctl == nil {
+		epochMs = math.Inf(1)
+	}
+
+	p := e.newPlanner(sources)
+	cur := Controls{Mode: e.cfg.Mode, Policy: e.cfg.Policy, AdaptEvery: e.cfg.AdaptEvery}
+	if ctl != nil {
+		cur = ctl.Start(e.cfg)
+	}
+	p.setControls(cur)
+
+	states := make([]*streamState, nStreams)
+	for i := range states {
+		states[i] = newStreamState(e.model, e.cfg.Adapt)
+	}
+
+	batches := make(chan plannedBatch, e.cfg.Workers)
+	records := make(chan execRec, 4*e.cfg.MaxBatch)
+
+	start := time.Now()
+	var workers sync.WaitGroup
+	for w := 0; w < e.cfg.Workers; w++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			wk := e.newWorker()
+			for batch := range batches {
+				wk.serve(batch, states, records)
+			}
+		}()
+	}
+	var recs []execRec
+	collected := make(chan struct{})
+	go func() {
+		defer close(collected)
+		for r := range records {
+			recs = append(recs, r)
+		}
+	}()
+
+	// Epoch loop: plan, stream the epoch's dispatches to the workers,
+	// observe, actuate. Execution overlaps planning — workers only read
+	// plan fields that are final at dispatch time, while latency and
+	// energy stay with the planner until the report.
+	var epochs []EpochStats
+	epochStart, sent := 0.0, 0
+	for ei := 0; ; ei++ {
+		end := epochStart + epochMs
+		es := EpochStats{Epoch: ei, StartMs: epochStart, EndMs: end, Controls: p.ctrl}
+		p.runUntil(end, &es)
+		for ; sent < len(p.sc.batches); sent++ {
+			batches <- p.sc.batches[sent]
+		}
+		span := epochMs
+		if !p.remaining() {
+			// Final epoch: the board is on until the last worker drains.
+			span = math.Max(0, p.sc.makespanMs-epochStart)
+		}
+		finalizeEpoch(&es, p, span, e.cfg.Workers)
+		es.EndMs = epochStart + span
+		epochs = append(epochs, es)
+		if !p.remaining() {
+			break
+		}
+		if ctl != nil {
+			next := ctl.Decide(es, p.ctrl, func(c Controls) EpochStats {
+				return probe(p, c, end, end+epochMs, e.cfg.Workers)
+			})
+			p.setControls(next)
+		}
+		epochStart = end
+	}
+
+	close(batches)
+	workers.Wait()
+	close(records)
+	<-collected
+	wall := time.Since(start)
+
+	return e.buildReport(p, states, recs, epochs, wall)
+}

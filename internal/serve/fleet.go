@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"time"
 
 	"ldbnadapt/internal/carlane"
 	"ldbnadapt/internal/stream"
@@ -19,6 +20,30 @@ func SyntheticFleet(cfg ufld.Config, streams, framesPerStream int, fps float64, 
 	return SyntheticFleetRates(cfg, streams, framesPerStream, []float64{fps}, seed)
 }
 
+// fleetStreamDataset renders stream i's frames under the fleet's
+// per-stream seed and domain-mix policy: two-lane configs draw every
+// stream from the MoLane-style shift, four-lane configs alternate
+// TuLane-style highway and MoLane-style shifts. Every fleet generator
+// goes through here so fixed-rate and scheduled fleets stay
+// comparable under the same seed.
+func fleetStreamDataset(cfg ufld.Config, i, frames int, seed uint64) *ufld.Dataset {
+	layout, domain := carlane.Ego2, carlane.MoReal
+	if cfg.Lanes == 4 {
+		if i%2 == 0 {
+			layout, domain = carlane.Quad4, carlane.TuReal
+		} else {
+			layout, domain = carlane.Mo4, carlane.MoReal
+		}
+	}
+	return carlane.Generate(cfg, carlane.SplitSpec{
+		Name:    fmt.Sprintf("fleet/stream-%02d", i),
+		Layouts: []carlane.Layout{layout},
+		Domains: []carlane.Domain{domain},
+		N:       frames,
+		Seed:    seed + uint64(i)*101,
+	})
+}
+
 // SyntheticFleetRates is SyntheticFleet with explicit per-stream frame
 // rates: stream i runs at rates[i%len(rates)], so mixed-FPS fleets
 // (e.g. alternating 30 and 15 FPS cameras) exercise the event-time
@@ -26,23 +51,62 @@ func SyntheticFleet(cfg ufld.Config, streams, framesPerStream int, fps float64, 
 func SyntheticFleetRates(cfg ufld.Config, streams, framesPerStream int, rates []float64, seed uint64) []*stream.Source {
 	out := make([]*stream.Source, streams)
 	for i := range out {
-		fps := rates[i%len(rates)]
-		layout, domain := carlane.Ego2, carlane.MoReal
-		if cfg.Lanes == 4 {
-			if i%2 == 0 {
-				layout, domain = carlane.Quad4, carlane.TuReal
-			} else {
-				layout, domain = carlane.Mo4, carlane.MoReal
-			}
-		}
-		ds := carlane.Generate(cfg, carlane.SplitSpec{
-			Name:    fmt.Sprintf("fleet/stream-%02d", i),
-			Layouts: []carlane.Layout{layout},
-			Domains: []carlane.Domain{domain},
-			N:       framesPerStream,
-			Seed:    seed + uint64(i)*101,
-		})
-		out[i] = stream.NewSource(ds, fps)
+		out[i] = stream.NewSource(fleetStreamDataset(cfg, i, framesPerStream, seed), rates[i%len(rates)])
 	}
 	return out
+}
+
+// StreamSchedule describes one time-varying camera in a fleet: when it
+// joins and the rate phases it plays. A short schedule is a stream
+// that leaves early.
+type StreamSchedule struct {
+	// Start is the join time of the stream's first frame.
+	Start time.Duration
+	// Phases is the stream's rate schedule in order.
+	Phases []stream.RatePhase
+}
+
+// SyntheticFleetSchedules is SyntheticFleet with explicit per-stream
+// time-varying schedules: bursty cameras, diurnal FPS ramps, and
+// stream join/leave all reduce to phase lists, which is what gives a
+// closed-loop governor load swings to react to. Each stream renders
+// exactly the frames its schedule plays, under the same per-stream
+// seed and domain mix as SyntheticFleet.
+func SyntheticFleetSchedules(cfg ufld.Config, scheds []StreamSchedule, seed uint64) []*stream.Source {
+	out := make([]*stream.Source, len(scheds))
+	for i, sch := range scheds {
+		frames := 0
+		for _, p := range sch.Phases {
+			frames += p.Frames
+		}
+		out[i] = stream.NewSourceSchedule(fleetStreamDataset(cfg, i, frames, seed), sch.Start, sch.Phases)
+	}
+	return out
+}
+
+// BurstyFleet is the deterministic governor scenario: streams cycles
+// times through a lull (lullFrames at lullFPS) followed by a burst
+// (burstFrames at burstFPS), with every camera bursting together so
+// fleet load genuinely swings instead of averaging out — plus one
+// extra camera that joins one full cycle late and leaves after a
+// single cycle, exercising join/leave. This is the workload where a
+// static mode must choose between burning the burst-sized power
+// budget through every lull and missing deadlines in every burst.
+func BurstyFleet(cfg ufld.Config, streams, cycles, lullFrames, burstFrames int, lullFPS, burstFPS float64, seed uint64) []*stream.Source {
+	cycle := []stream.RatePhase{
+		{Frames: lullFrames, FPS: lullFPS},
+		{Frames: burstFrames, FPS: burstFPS},
+	}
+	var phases []stream.RatePhase
+	for c := 0; c < cycles; c++ {
+		phases = append(phases, cycle...)
+	}
+	scheds := make([]StreamSchedule, streams+1)
+	for i := 0; i < streams; i++ {
+		scheds[i] = StreamSchedule{Phases: phases}
+	}
+	cycleSpan := time.Duration(float64(lullFrames)/lullFPS*float64(time.Second)) +
+		time.Duration(float64(burstFrames)/burstFPS*float64(time.Second))
+	scheds[streams] = StreamSchedule{Start: cycleSpan, Phases: cycle}
+	return SyntheticFleetSchedules(cfg, scheds, seed)
 }

@@ -44,6 +44,9 @@ func RunNaive(m *ufld.Model, cfg Config, sources []*stream.Source) Report {
 	} else {
 		frameMs = orin.EstimateFrame(cfg.Variant.String(), cost, cfg.Mode, 1).TotalMs
 	}
+	// Dynamic energy per frame: the pipeline is busy for frameMs at the
+	// mode's full draw (no batching, so nothing amortizes).
+	frameMJ := float64(cfg.Mode.Watts) * frameMs
 
 	start := time.Now()
 	reports := make([]StreamReport, nStreams)
@@ -109,6 +112,7 @@ func RunNaive(m *ufld.Model, cfg Config, sources []*stream.Source) Report {
 				Stream: si, Frames: len(src.Frames),
 				AdaptSteps:    method.Steps(),
 				MaxQueueDepth: maxDepth,
+				EnergyMJ:      frameMJ * float64(len(src.Frames)),
 			}
 			if noAdapt {
 				sr.AdaptSteps = 0
@@ -142,6 +146,7 @@ func RunNaive(m *ufld.Model, cfg Config, sources []*stream.Source) Report {
 		totalMisses += missesBy[si]
 		totalPoints += pointsBy[si]
 		totalAccW += accWBy[si]
+		rep.BusyEnergyMJ += sr.EnergyMJ
 		allLats = append(allLats, latsBy[si]...)
 		allQueues = append(allQueues, queuesBy[si]...)
 		if sr.MaxQueueDepth > rep.MaxQueueDepth {
@@ -151,9 +156,13 @@ func RunNaive(m *ufld.Model, cfg Config, sources []*stream.Source) Report {
 			rep.VirtualSeconds = clockBy[si] / 1e3
 		}
 	}
+	// The board sits at cfg.Mode for the whole naive run.
+	rep.IdleEnergyMJ = cfg.Mode.IdleWatts * rep.VirtualSeconds * 1e3
+	rep.EnergyMJ = rep.BusyEnergyMJ + rep.IdleEnergyMJ
 	rep.Batches = rep.Frames
 	if rep.Frames > 0 {
 		rep.MeanBatch = 1
+		rep.JPerFrame = rep.EnergyMJ / 1e3 / float64(rep.Frames)
 		rep.MissRate = float64(totalMisses) / float64(rep.Frames)
 		rep.P50LatencyMs = metrics.Percentile(allLats, 50)
 		rep.P99LatencyMs = metrics.Percentile(allLats, 99)

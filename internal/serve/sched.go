@@ -24,7 +24,10 @@ const (
 
 // plannedFrame is one frame after scheduling: its measured event-time
 // accounting plus the adaptation decision the executing worker must
-// honor.
+// honor. latencyMs and energyMJ may still be amended retroactively by
+// a later dispatch that completes the frame's adaptation window, so
+// executing workers never read them — the report reads them once all
+// planning is done.
 type plannedFrame struct {
 	stream int
 	frame  stream.Frame
@@ -34,7 +37,20 @@ type plannedFrame struct {
 	// latencyMs = queueMs + amortized batched-forward share + (for
 	// frames of a window whose step ran) the step's amortized share.
 	latencyMs float64
-	action    adaptAction
+	// energyMJ is the frame's dynamic-energy attribution in
+	// millijoules: Watts at dispatch × its forward share, plus Watts at
+	// step time × its adaptation-step share. Summed over frames it
+	// equals the per-dispatch Watts × busy-ms total exactly.
+	energyMJ float64
+	action   adaptAction
+	// windowed marks frames that joined their stream's adaptation
+	// window (false while adaptation is disabled), so the executing
+	// worker accumulates exactly the samples the plan accounted.
+	windowed bool
+	// shared marks windowed frames whose adaptation-step share has
+	// landed; telemetry estimates the steady-state share for the rest
+	// so epoch hit rates do not read optimistically at slow cadences.
+	shared bool
 }
 
 // plannedBatch is one coalesced dispatch: which frames, when (virtual
@@ -54,15 +70,33 @@ type schedStream struct {
 }
 
 // schedule is the full event-time plan for a fleet: every dispatch with
-// its frames priced, plus the shed accounting the report needs for
-// frames that never execute.
+// its frames priced, plus the shed and energy accounting the report
+// needs beyond per-frame records.
 type schedule struct {
 	batches    []plannedBatch
 	streams    []schedStream
 	makespanMs float64
+	// busyMs is the aggregate virtual worker busy time and
+	// busyEnergyMJ its dynamic energy: Σ over dispatches of
+	// Watts(mode at dispatch) × busy interval.
+	busyMs       float64
+	busyEnergyMJ float64
 }
 
-// plan runs the event-time virtual-clock scheduler over the fleet.
+// arrival is one camera frame on the fleet-wide event list.
+type arrival struct {
+	stream int
+	frame  stream.Frame
+	arrMs  float64
+}
+
+// planner runs the event-time virtual-clock scheduler over a fleet,
+// resumably: runUntil plans every dispatch up to a virtual-time bound
+// and preserves the queue, per-worker busy intervals, backlog depths
+// and open adaptation windows, so the next call — possibly under
+// different Controls — continues exactly where planning stopped. With
+// an infinite bound it reproduces the original one-shot plan; the
+// epoch loop of RunGoverned calls it once per control epoch.
 //
 // The clock is driven by frame arrival timestamps and the Orin-priced
 // cost of the work actually dispatched. Batching follows the dynamic
@@ -77,6 +111,7 @@ type schedule struct {
 // Worker occupancy is charged per dispatch: the whole-batch forward
 // price for the actual coalesced size plus one full adaptation step
 // per window completed in the batch — not a per-frame worst case.
+// Dynamic energy is charged alongside as Watts × that busy interval.
 //
 // The overload policy decides what to shed when a stream falls behind
 // (its frames queue longer than Backlog camera periods):
@@ -88,110 +123,200 @@ type schedule struct {
 //   - DropFrames sheds queued frames that are already older than the
 //     backlog cap at dispatch time, so served frames' waits stay
 //     bounded by Backlog periods.
-func (e *Engine) plan(sources []*stream.Source) *schedule {
-	cfg := e.cfg
-	nStreams := len(sources)
-	sc := &schedule{streams: make([]schedStream, nStreams)}
+type planner struct {
+	e  *Engine
+	sc *schedule
 
-	// Flatten the fleet into one arrival-ordered event list. Per-stream
-	// order is preserved; ties across streams break by stream id so the
-	// plan is deterministic.
+	// all is the arrival-ordered fleet event list (read-only after
+	// construction; clones share it).
+	all  []arrival
+	next int
+
+	pending []arrival
+	head    int
+
+	workers []float64 // virtual busy-until times
+	depth   []int     // per-stream backlog (arrived, not served/shed)
+	shedMs  []float64 // per-stream backlog cap in ms
+
+	// Per-stream adaptation windows: served frames since the last step,
+	// and the planned frames awaiting their step's amortized share
+	// (assigned retroactively when the window completes).
+	sinceAdapt []int
+	window     [][]*plannedFrame
+
+	// served and shed are cumulative counters for backlog telemetry.
+	served, shed int
+	// arrSeen indexes the first arrival not yet counted into epoch
+	// telemetry, and arrOld the first not yet old enough to count as
+	// backlog (both independent of the batching pointers above).
+	arrSeen, arrOld int
+
+	// Dynamic controls: the actuator state for subsequent planning.
+	ctrl Controls
+	tbl  *modeTable
+}
+
+// newPlanner flattens the fleet into one arrival-ordered event list.
+// Per-stream order is preserved; ties across streams break by stream
+// id so the plan is deterministic.
+func (e *Engine) newPlanner(sources []*stream.Source) *planner {
+	nStreams := len(sources)
+	p := &planner{
+		e:          e,
+		sc:         &schedule{streams: make([]schedStream, nStreams)},
+		workers:    make([]float64, e.cfg.Workers),
+		depth:      make([]int, nStreams),
+		shedMs:     make([]float64, nStreams),
+		sinceAdapt: make([]int, nStreams),
+		window:     make([][]*plannedFrame, nStreams),
+	}
 	total := 0
 	for _, src := range sources {
 		total += len(src.Frames)
 	}
-	type arrival struct {
-		stream int
-		frame  stream.Frame
-		arrMs  float64
-	}
-	all := make([]arrival, 0, total)
-	shedMs := make([]float64, nStreams) // per-stream backlog cap in ms
+	p.all = make([]arrival, 0, total)
+	p.pending = make([]arrival, 0, e.cfg.MaxBatch)
 	for si, src := range sources {
 		periodMs := float64(src.Period()) / 1e6
-		shedMs[si] = float64(cfg.Backlog) * periodMs
+		p.shedMs[si] = float64(e.cfg.Backlog) * periodMs
 		for _, fr := range src.Frames {
-			all = append(all, arrival{stream: si, frame: fr, arrMs: float64(fr.Arrival) / 1e6})
+			p.all = append(p.all, arrival{stream: si, frame: fr, arrMs: float64(fr.Arrival) / 1e6})
 		}
 	}
-	sort.SliceStable(all, func(i, j int) bool {
-		if all[i].arrMs != all[j].arrMs {
-			return all[i].arrMs < all[j].arrMs
+	sort.SliceStable(p.all, func(i, j int) bool {
+		if p.all[i].arrMs != p.all[j].arrMs {
+			return p.all[i].arrMs < p.all[j].arrMs
 		}
-		return all[i].stream < all[j].stream
+		return p.all[i].stream < p.all[j].stream
 	})
+	return p
+}
 
-	workers := make([]float64, cfg.Workers) // virtual busy-until times
-	pending := make([]arrival, 0, cfg.MaxBatch)
-	head, next := 0, 0
-
-	// Per-stream backlog depth (frames arrived but not yet served or
-	// shed), maintained incrementally: up on absorb, down on leave.
-	depth := make([]int, nStreams)
-	absorb := func(a arrival) {
-		pending = append(pending, a)
-		si := a.stream
-		depth[si]++
-		if depth[si] > sc.streams[si].maxDepth {
-			sc.streams[si].maxDepth = depth[si]
-		}
+// setControls switches the planner's actuators for subsequent
+// dispatches. Panics if the mode has no pricing table (governors must
+// choose from orin.Modes or the engine's configured mode).
+func (p *planner) setControls(c Controls) {
+	if c.Mode.Name == "" {
+		c.Mode = p.e.cfg.Mode
 	}
+	if c.AdaptEvery < 0 {
+		c.AdaptEvery = 0
+	}
+	p.tbl = p.e.tableFor(c.Mode)
+	p.ctrl = c
+}
 
-	// Per-stream adaptation windows: how many served frames since the
-	// last step, and the planned frames awaiting their step's amortized
-	// share (assigned retroactively when the window completes).
-	sinceAdapt := make([]int, nStreams)
-	window := make([][]*plannedFrame, nStreams)
+// remaining reports whether any frame is still waiting to be planned.
+func (p *planner) remaining() bool {
+	return p.next < len(p.all) || p.head < len(p.pending)
+}
 
-	for next < len(all) || head < len(pending) {
-		if head == len(pending) {
-			pending = pending[:0]
-			head = 0
-			absorb(all[next])
-			next++
+// clone snapshots the planner for a what-if probe: the copy shares the
+// read-only event list but owns every piece of mutable state. Open
+// adaptation windows are deep-copied so a simulated step assigns its
+// retroactive shares to throwaway frames, never to the real records.
+func (p *planner) clone() *planner {
+	q := *p
+	scCopy := *p.sc
+	scCopy.batches = nil // probes never execute; stats don't need the dispatch list
+	scCopy.streams = append([]schedStream(nil), p.sc.streams...)
+	q.sc = &scCopy
+	q.pending = append([]arrival(nil), p.pending...)
+	q.workers = append([]float64(nil), p.workers...)
+	q.depth = append([]int(nil), p.depth...)
+	q.sinceAdapt = append([]int(nil), p.sinceAdapt...)
+	q.window = make([][]*plannedFrame, len(p.window))
+	for i, w := range p.window {
+		cw := make([]*plannedFrame, len(w))
+		for j, f := range w {
+			cp := *f
+			cw[j] = &cp
+		}
+		q.window[i] = cw
+	}
+	return &q
+}
+
+// absorb moves one arrival into the pending queue and tracks backlog
+// depth.
+func (p *planner) absorb(a arrival) {
+	p.pending = append(p.pending, a)
+	si := a.stream
+	p.depth[si]++
+	if p.depth[si] > p.sc.streams[si].maxDepth {
+		p.sc.streams[si].maxDepth = p.depth[si]
+	}
+}
+
+// runUntil plans every dispatch with virtual dispatch time < endMs
+// under the current controls, accumulating epoch telemetry into es
+// when non-nil. Batches whose dispatch falls at or beyond endMs are
+// left for the next call, which recomputes them identically when the
+// controls have not changed — an epoch partition with static controls
+// reproduces the one-shot schedule exactly.
+func (p *planner) runUntil(endMs float64, es *EpochStats) {
+	e := p.e
+	cfg := e.cfg
+	for p.remaining() {
+		if p.head == len(p.pending) {
+			if p.all[p.next].arrMs >= endMs {
+				break // the next batch opens in a later epoch
+			}
+			p.pending = p.pending[:0]
+			p.head = 0
+			p.absorb(p.all[p.next])
+			p.next++
 			continue
 		}
-		open := pending[head].arrMs
+		open := p.pending[p.head].arrMs
 		// Readiness: MaxBatch-th arrival counting from the batch opener
 		// (wherever it currently is — queued or still in the future), or
 		// window expiry.
 		tFull := math.Inf(1)
-		queued := len(pending) - head
+		queued := len(p.pending) - p.head
 		if queued >= cfg.MaxBatch {
-			tFull = pending[head+cfg.MaxBatch-1].arrMs
-		} else if j := next + (cfg.MaxBatch - queued) - 1; j < len(all) {
-			tFull = all[j].arrMs
+			tFull = p.pending[p.head+cfg.MaxBatch-1].arrMs
+		} else if j := p.next + (cfg.MaxBatch - queued) - 1; j < len(p.all) {
+			tFull = p.all[j].arrMs
 		}
 		ready := open + e.windowMs
 		if tFull < ready {
 			ready = tFull
 		}
 		wi := 0
-		for w := 1; w < len(workers); w++ {
-			if workers[w] < workers[wi] {
+		for w := 1; w < len(p.workers); w++ {
+			if p.workers[w] < p.workers[wi] {
 				wi = w
 			}
 		}
 		dispatch := ready
-		if workers[wi] > dispatch {
-			dispatch = workers[wi]
+		if p.workers[wi] > dispatch {
+			dispatch = p.workers[wi]
+		}
+		if dispatch >= endMs {
+			break // dispatches in a later epoch, possibly under new controls
 		}
 		// Absorb every frame that has arrived by dispatch time.
-		for next < len(all) && all[next].arrMs <= dispatch {
-			absorb(all[next])
-			next++
+		for p.next < len(p.all) && p.all[p.next].arrMs <= dispatch {
+			p.absorb(p.all[p.next])
+			p.next++
 		}
 		// Form the batch, shedding stale frames under DropFrames.
 		batch := make([]plannedFrame, 0, cfg.MaxBatch)
-		for head < len(pending) && len(batch) < cfg.MaxBatch {
-			a := pending[head]
+		for p.head < len(p.pending) && len(batch) < cfg.MaxBatch {
+			a := p.pending[p.head]
 			if a.arrMs > dispatch {
 				break
 			}
-			head++
-			depth[a.stream]--
-			if cfg.Policy == stream.DropFrames && dispatch-a.arrMs > shedMs[a.stream] {
-				sc.streams[a.stream].dropped++
+			p.head++
+			p.depth[a.stream]--
+			if p.ctrl.Policy == stream.DropFrames && dispatch-a.arrMs > p.shedMs[a.stream] {
+				p.sc.streams[a.stream].dropped++
+				p.shed++
+				if es != nil {
+					es.FramesDropped++
+				}
 				continue
 			}
 			batch = append(batch, plannedFrame{stream: a.stream, frame: a.frame})
@@ -200,39 +325,82 @@ func (e *Engine) plan(sources []*stream.Source) *schedule {
 			continue // everything stale was shed; replan from the survivors
 		}
 		n := len(batch)
+		watts := float64(p.ctrl.Mode.Watts)
 		steps := 0
 		for i := range batch {
 			f := &batch[i]
 			f.queueMs = dispatch - float64(f.frame.Arrival)/1e6
-			f.latencyMs = f.queueMs + e.batchEst[n].PerFrameMs
-			if cfg.AdaptEvery <= 0 {
+			f.latencyMs = f.queueMs + p.tbl.batchEst[n].PerFrameMs
+			f.energyMJ = watts * p.tbl.batchEst[n].PerFrameMs
+			if p.ctrl.AdaptEvery <= 0 {
 				continue
 			}
+			f.windowed = true
 			si := f.stream
-			window[si] = append(window[si], f)
-			sinceAdapt[si]++
-			if sinceAdapt[si] < cfg.AdaptEvery {
+			p.window[si] = append(p.window[si], f)
+			p.sinceAdapt[si]++
+			if p.sinceAdapt[si] < p.ctrl.AdaptEvery {
 				continue
 			}
-			if cfg.Policy == stream.SkipAdapt && f.queueMs > shedMs[si] {
+			if p.ctrl.Policy == stream.SkipAdapt && f.queueMs > p.shedMs[si] {
 				f.action = adaptSkip
-				sc.streams[si].skipped++
+				p.sc.streams[si].skipped++
+				if es != nil {
+					es.AdaptsSkipped++
+				}
 			} else {
 				f.action = adaptStep
 				steps++
-				share := e.adaptPerStepMs / float64(len(window[si]))
-				for _, wf := range window[si] {
+				share := p.tbl.adaptPerStepMs / float64(len(p.window[si]))
+				for _, wf := range p.window[si] {
 					wf.latencyMs += share
+					wf.energyMJ += watts * share
+					wf.shared = true
 				}
 			}
-			sinceAdapt[si] = 0
-			window[si] = window[si][:0]
+			p.sinceAdapt[si] = 0
+			p.window[si] = p.window[si][:0]
 		}
-		workers[wi] = dispatch + e.batchEst[n].BatchMs + float64(steps)*e.adaptPerStepMs
-		if workers[wi] > sc.makespanMs {
-			sc.makespanMs = workers[wi]
+		busy := p.tbl.batchEst[n].BatchMs + float64(steps)*p.tbl.adaptPerStepMs
+		p.workers[wi] = dispatch + busy
+		if p.workers[wi] > p.sc.makespanMs {
+			p.sc.makespanMs = p.workers[wi]
 		}
-		sc.batches = append(sc.batches, plannedBatch{dispatchMs: dispatch, worker: wi, frames: batch})
+		p.sc.busyMs += busy
+		p.sc.busyEnergyMJ += watts * busy
+		p.served += n
+		p.sc.batches = append(p.sc.batches, plannedBatch{dispatchMs: dispatch, worker: wi, frames: batch})
+		if es != nil {
+			es.Served += n
+			es.AdaptSteps += steps
+			es.BusyMs += busy
+			es.BusyEnergyMJ += watts * busy
+			for i := range batch {
+				f := &batch[i]
+				// Frames still awaiting their step share are judged at
+				// the steady-state floor — a pending share will only
+				// push them later, never earlier.
+				est := f.latencyMs
+				if f.windowed && !f.shared {
+					est += p.tbl.adaptPerStepMs / float64(p.ctrl.AdaptEvery)
+				}
+				if est <= cfg.DeadlineMs {
+					es.hits++
+				}
+				es.queueSum += f.queueMs
+				if f.queueMs > es.MaxQueueMs {
+					es.MaxQueueMs = f.queueMs
+				}
+			}
+		}
 	}
-	return sc
+}
+
+// plan runs the whole fleet to completion under the engine's static
+// configuration — the one-shot schedule RunGoverned generalizes.
+func (e *Engine) plan(sources []*stream.Source) *schedule {
+	p := e.newPlanner(sources)
+	p.setControls(Controls{Mode: e.cfg.Mode, Policy: e.cfg.Policy, AdaptEvery: e.cfg.AdaptEvery})
+	p.runUntil(math.Inf(1), nil)
+	return p.sc
 }

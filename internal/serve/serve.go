@@ -26,4 +26,15 @@
 // or sheds stale frames (DropFrames), with queue-depth and shed
 // accounting reported per stream. Host wall-clock only determines the
 // reported engine throughput.
+//
+// The engine also runs closed-loop (RunGoverned): planning proceeds in
+// control epochs whose windowed telemetry (EpochStats) a Controller —
+// see internal/govern — observes to actuate the next epoch's power
+// mode, overload policy and adaptation cadence (Controls), with queue,
+// worker and adaptation-window state preserved across boundaries.
+// Energy is accounted throughout: dynamic energy as per-dispatch
+// Watts × busy-ms attributed to frames like latency shares, plus the
+// board's static rail draw (IdleWatts) over however long it is on —
+// the term a governor saves by descending the nvpmodel ladder during
+// load lulls.
 package serve

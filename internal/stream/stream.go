@@ -50,9 +50,68 @@ func NewSource(ds *ufld.Dataset, fps float64) *Source {
 	return s
 }
 
-// Period returns the frame interval.
+// Period returns the frame interval at the source's nominal rate. For
+// schedule-built sources (NewSourceSchedule) the nominal rate is the
+// fastest phase, so backlog caps measured in periods stay meaningful
+// during bursts.
 func (s *Source) Period() time.Duration {
 	return time.Duration(float64(time.Second) / s.FPS)
+}
+
+// RatePhase is one segment of a time-varying camera schedule: the next
+// Frames frames arrive at FPS. Sequencing phases expresses the
+// deployment scenarios a fixed-rate source cannot: load bursts (lull →
+// burst → lull), diurnal ramps (staircase of rising then falling
+// rates), and finite sessions (a short schedule is a stream that
+// leaves early).
+type RatePhase struct {
+	// Frames is the number of frames the phase emits.
+	Frames int
+	// FPS is the camera rate during the phase.
+	FPS float64
+}
+
+// NewSourceSchedule replays a dataset through consecutive rate phases,
+// with the first frame arriving at start (a late join). The stream
+// carries min(ds.Len(), Σ phase frames) frames; the nominal Source.FPS
+// is the fastest phase rate. Arrival stamps are exact integrals of the
+// phase periods, so schedules are deterministic inputs to the
+// event-time scheduler and the governor's telemetry.
+func NewSourceSchedule(ds *ufld.Dataset, start time.Duration, phases []RatePhase) *Source {
+	maxFPS := 0.0
+	total := 0
+	for _, p := range phases {
+		if p.FPS <= 0 {
+			panic(fmt.Sprintf("stream: phase fps %v", p.FPS))
+		}
+		if p.Frames < 0 {
+			panic(fmt.Sprintf("stream: phase frames %d", p.Frames))
+		}
+		total += p.Frames
+		if p.FPS > maxFPS {
+			maxFPS = p.FPS
+		}
+	}
+	if total == 0 || maxFPS == 0 {
+		panic("stream: empty schedule")
+	}
+	if total > ds.Len() {
+		total = ds.Len()
+	}
+	s := &Source{FPS: maxFPS, Frames: make([]Frame, 0, total)}
+	t := start
+	for _, p := range phases {
+		period := time.Duration(float64(time.Second) / p.FPS)
+		for k := 0; k < p.Frames; k++ {
+			i := len(s.Frames)
+			if i == total {
+				return s
+			}
+			s.Frames = append(s.Frames, Frame{Index: i, Arrival: t, Sample: ds.Samples[i]})
+			t += period
+		}
+	}
+	return s
 }
 
 // ScoreSample is the scoring stage shared by the single-camera

@@ -62,6 +62,77 @@ func TestSourceTimestamps(t *testing.T) {
 	}
 }
 
+// TestSourceScheduleArrivals pins the phased arrival arithmetic: a
+// lull→burst→lull schedule with a join offset must stamp each frame at
+// the exact integral of its phase periods and report the burst rate as
+// the nominal FPS.
+func TestSourceScheduleArrivals(t *testing.T) {
+	f := getFixture(t)
+	start := 500 * time.Millisecond
+	src := NewSourceSchedule(f.bench.TargetTrain, start, []RatePhase{
+		{Frames: 3, FPS: 10}, // lull: 100 ms period
+		{Frames: 4, FPS: 40}, // burst: 25 ms period
+		{Frames: 2, FPS: 10},
+	})
+	if src.FPS != 40 {
+		t.Fatalf("nominal FPS %v, want the fastest phase (40)", src.FPS)
+	}
+	if len(src.Frames) != 9 {
+		t.Fatalf("frame count %d, want 9", len(src.Frames))
+	}
+	want := []time.Duration{
+		start,
+		start + 100*time.Millisecond,
+		start + 200*time.Millisecond,
+		start + 300*time.Millisecond, // burst starts one lull period after its opener
+		start + 325*time.Millisecond,
+		start + 350*time.Millisecond,
+		start + 375*time.Millisecond,
+		start + 400*time.Millisecond, // back to the lull rate
+		start + 500*time.Millisecond,
+	}
+	for i, fr := range src.Frames {
+		if fr.Index != i {
+			t.Fatalf("frame %d index %d", i, fr.Index)
+		}
+		if fr.Arrival != want[i] {
+			t.Fatalf("frame %d arrives at %v, want %v", i, fr.Arrival, want[i])
+		}
+	}
+}
+
+// TestSourceScheduleTruncatesToDataset: a schedule longer than the
+// dataset ends early — the natural model of a stream that leaves.
+func TestSourceScheduleTruncatesToDataset(t *testing.T) {
+	f := getFixture(t)
+	n := f.bench.TargetTrain.Len()
+	src := NewSourceSchedule(f.bench.TargetTrain, 0, []RatePhase{{Frames: n + 50, FPS: 30}})
+	if len(src.Frames) != n {
+		t.Fatalf("schedule served %d frames, want dataset size %d", len(src.Frames), n)
+	}
+}
+
+// TestSourceScheduleRejectsBadPhases: non-positive rates and empty
+// schedules must panic like NewSource's fps validation.
+func TestSourceScheduleRejectsBadPhases(t *testing.T) {
+	f := getFixture(t)
+	for name, phases := range map[string][]RatePhase{
+		"zero-fps":   {{Frames: 4, FPS: 0}},
+		"neg-frames": {{Frames: -1, FPS: 30}},
+		"empty":      {},
+		"no-frames":  {{Frames: 0, FPS: 30}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: schedule accepted", name)
+				}
+			}()
+			NewSourceSchedule(f.bench.TargetTrain, 0, phases)
+		}()
+	}
+}
+
 func TestNewSourceRejectsBadFPS(t *testing.T) {
 	f := getFixture(t)
 	defer func() {

@@ -1,20 +1,33 @@
 # Build/test/bench entry points for the LD-BN-ADAPT reproduction.
 #
 #   make build   compile everything
+#   make fmt     fail if any file is not gofmt-clean
 #   make vet     static analysis
 #   make test    full unit + property suite (tier-1 gate)
 #   make race    race-detector pass over the concurrent packages
-#   make bench   full benchmark suite (one iteration each)
-#   make bench-smoke  one iteration of every benchmark in every package
+#   make bench   every benchmark in every package, one iteration each,
+#                with -benchmem allocation stats — the measurement run
+#                bench-json serializes for CI artifacts
+#   make bench-smoke  one iteration of every benchmark in every
+#                package, no memstats: the cheap bit-rot gate make ci
+#                runs (bench measures, bench-smoke only proves the
+#                benchmarks still compile and execute)
+#   make bench-json   run the bench suite and write BENCH_serve.json
+#                (benchmark name → ns/op, B/op, allocs/op); doubles as
+#                the bit-rot gate in make ci — one bench run covers
+#                both the smoke and the artifact
 #   make serve-bench  the multi-stream serving benchmark only
-#   make ci      build + vet + test + race + bench-smoke
+#   make ci      build + fmt + vet + test + race + bench-json
 
 GO ?= go
 
-.PHONY: build vet test race bench bench-smoke serve-bench ci
+.PHONY: build fmt vet test race bench bench-smoke bench-json serve-bench ci
 
 build:
 	$(GO) build ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -22,21 +35,29 @@ vet:
 test:
 	$(GO) test ./...
 
-# The serving engine and the tensor matmul pool are the concurrent
-# hot paths; stream exercises the adaptation methods they share.
+# The serving engine, the fleet coordinator and the tensor matmul pool
+# are the concurrent hot paths; govern drives serve's epoch pipeline
+# and stream feeds them all, so every one of them runs under the race
+# detector. -short skips the long seeded acceptance pins (they rerun
+# whole fleets and probe no extra concurrency) — make test still runs
+# them race-free.
 race:
-	$(GO) test -race ./internal/serve/... ./internal/tensor/... ./internal/nn/...
+	$(GO) test -race -short ./internal/serve/... ./internal/shard/... ./internal/govern/... ./internal/stream/... ./internal/tensor/... ./internal/nn/...
 
 bench:
-	$(GO) test -run xxx -bench . -benchmem -benchtime 1x .
+	$(GO) test -run xxx -bench . -benchmem -benchtime 1x ./...
 
-# One iteration of every benchmark across all packages: keeps
-# bench_test.go and BenchmarkServeMultiStream compiling and runnable
-# without paying for real measurement in CI.
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# Two steps so a benchmark failure fails the target instead of being
+# masked by the pipe (benchjson would happily serialize a partial run).
+bench-json:
+	$(GO) test -run xxx -bench . -benchmem -benchtime 1x ./... > bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_serve.json < bench.out
+	@rm -f bench.out
 
 serve-bench:
 	$(GO) test -run xxx -bench BenchmarkServeMultiStream -benchtime 3x .
 
-ci: build vet test race bench-smoke
+ci: build fmt vet test race bench-json

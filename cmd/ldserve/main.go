@@ -10,6 +10,7 @@
 //	ldserve -streams 6 -watts 15 -workers 1 -policy drop-frames
 //	ldserve -streams 4 -fps 30 -fps-alt 15 -policy skip-adapt
 //	ldserve -streams 4 -govern hysteresis -power-budget 50 -epoch-ms 500
+//	ldserve -streams 8 -boards 4 -workers 1 -govern hysteresis -placement bin-pack -migrate
 //
 // Latency accounting runs on an event-time virtual clock: each frame's
 // latency is its measured queue wait behind earlier work plus its
@@ -27,6 +28,14 @@
 // mode, overload policy and adaptation cadence for the next, keeping
 // modes within -power-budget. The report then includes energy (busy +
 // static draw) and the per-epoch mode trace.
+//
+// -boards shards the fleet across N boards (internal/shard), each a
+// full engine with its own governor: -placement picks the initial
+// stream→board assignment (round-robin, least-loaded LPT, or bin-pack
+// to a fill target) and -migrate lets the coordinator move the hottest
+// stream off a board that is pinned at its top affordable rung and
+// still missing deadlines, carrying the stream's adaptation state to
+// the destination board.
 //
 // Flag ↔ paper mapping (Fig. 3 deployment settings): -model and -watts
 // select the Fig. 3 row (backbone × power mode); -deadline-fps 30|18
@@ -51,6 +60,7 @@ import (
 	"ldbnadapt/internal/nn"
 	"ldbnadapt/internal/orin"
 	"ldbnadapt/internal/serve"
+	"ldbnadapt/internal/shard"
 	"ldbnadapt/internal/stream"
 	"ldbnadapt/internal/tensor"
 	"ldbnadapt/internal/ufld"
@@ -84,6 +94,9 @@ func main() {
 	governName := flag.String("govern", "", "closed-loop governor: static|hysteresis|oracle (empty = one-shot run at -watts)")
 	powerBudget := flag.Int("power-budget", 0, "governor power budget in watts (0 = unconstrained)")
 	epochMs := flag.Float64("epoch-ms", 500, "governor control-epoch length in virtual ms")
+	boards := flag.Int("boards", 1, "number of Orin boards; >1 shards the fleet (internal/shard), -workers becomes per-board")
+	placementName := flag.String("placement", "least-loaded", "stream→board placement for -boards >1: round-robin|least-loaded|bin-pack")
+	migrate := flag.Bool("migrate", false, "migrate the hottest stream off a saturated board at epoch boundaries (-boards >1)")
 	seed := flag.Uint64("seed", 1, "seed for fleet generation and pre-training")
 	flag.Parse()
 
@@ -105,6 +118,9 @@ func main() {
 	policy, err := stream.ParsePolicy(*policyName)
 	if err != nil {
 		fail(err)
+	}
+	if *boards > 1 && *naive {
+		fail(fmt.Errorf("-naive is a single-board comparison; drop it or use -boards 1"))
 	}
 
 	cfg := cfgFor(variant, *lanes)
@@ -162,6 +178,27 @@ func main() {
 		Backlog:    *backlog,
 	}
 
+	if *boards > 1 {
+		placement, err := shard.ParsePlacement(*placementName)
+		if err != nil {
+			fail(err)
+		}
+		f, err := shard.New(m, shard.Config{
+			Boards:    *boards,
+			Board:     scfg,
+			Placement: placement,
+			Governor:  *governName,
+			BudgetW:   *powerBudget,
+			EpochMs:   *epochMs,
+			Migrate:   *migrate,
+		})
+		if err != nil {
+			fail(err)
+		}
+		printFleetReport(f.Run(fleet), *governName, placement.Name())
+		return
+	}
+
 	e := serve.New(m, scfg)
 	var rep serve.Report
 	label := "batched engine"
@@ -204,6 +241,46 @@ func main() {
 				*maxBatch, *adaptEvery, naiveDesc, rep.ThroughputFPS/nrep.ThroughputFPS)
 		}
 	}
+}
+
+// printFleetReport renders a sharded run: per-board totals, per-stream
+// placement outcomes, and the migration trace.
+func printFleetReport(rep shard.Report, govern, placement string) {
+	if govern == "" {
+		govern = "static"
+	}
+	fmt.Printf("sharded fleet (%d boards, %s placement, %s governors): %d frames, hit rate %s\n",
+		len(rep.Boards), placement, govern, rep.Frames, metrics.FormatPct(rep.HitRate))
+	tb := metrics.NewTable("board", "streams", "frames", "hit rate", "p99 ms", "energy J",
+		"mig in", "mig out")
+	for _, br := range rep.Boards {
+		hit, p99 := "-", "-"
+		if br.Report.Frames > 0 {
+			hit = metrics.FormatPct(1 - br.Report.MissRate)
+			p99 = fmt.Sprintf("%.1f", br.Report.P99LatencyMs)
+		}
+		tb.AddRow(fmt.Sprintf("#%d", br.Board), len(br.Globals), br.Report.Frames,
+			hit, p99,
+			fmt.Sprintf("%.1f", br.Report.EnergyMJ/1e3),
+			br.MigratedIn, br.MigratedOut)
+	}
+	if _, err := tb.WriteTo(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+	st := metrics.NewTable("stream", "frames", "miss rate", "adapt steps", "boards")
+	for _, ss := range rep.Streams {
+		st.AddRow(fmt.Sprintf("#%02d", ss.Stream), ss.Frames, metrics.FormatPct(ss.MissRate),
+			ss.AdaptSteps, ss.Boards)
+	}
+	fmt.Println()
+	if _, err := st.WriteTo(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+	for _, mg := range rep.Migrations {
+		fmt.Printf("migration: epoch %d stream %d board %d -> %d\n", mg.Epoch, mg.Stream, mg.From, mg.To)
+	}
+	fmt.Printf("fleet energy: %.1f J total (%.1f J busy + %.1f J static), %.3f J/frame, %.1f worker-s stranded\n",
+		rep.EnergyMJ/1e3, rep.BusyEnergyMJ/1e3, rep.IdleEnergyMJ/1e3, rep.JPerFrame, rep.StrandedMs/1e3)
 }
 
 // printReport renders one run as a per-stream table plus totals.

@@ -334,7 +334,7 @@ func (e *Engine) buildReport(p *planner, states []*streamState, recs []execRec, 
 		a := &aggs[si]
 		ss := p.sc.streams[si]
 		sr := StreamReport{
-			Stream: si, Frames: a.frames, AdaptSteps: states[si].steps,
+			Stream: si, Frames: a.frames, AdaptSteps: states[si].steps - states[si].baseSteps,
 			MaxQueueDepth: ss.maxDepth, FramesDropped: ss.dropped, AdaptsSkipped: ss.skipped,
 			EnergyMJ: a.energy,
 		}

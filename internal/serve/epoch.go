@@ -2,8 +2,6 @@ package serve
 
 import (
 	"math"
-	"sync"
-	"time"
 
 	"ldbnadapt/internal/orin"
 	"ldbnadapt/internal/stream"
@@ -147,103 +145,44 @@ func (e *Engine) Run(sources []*stream.Source) Report {
 
 // RunGoverned serves the fleet in control epochs of epochMs virtual
 // milliseconds: each epoch is planned on the event-time scheduler
-// under the epoch's Controls, its dispatches stream to the host worker
-// pool for execution, and at the boundary the controller observes the
-// epoch's telemetry (and may probe candidates) to actuate the next
-// epoch's power mode, overload policy and adaptation cadence. Queue
-// state, per-worker busy intervals, open adaptation windows and
-// per-stream BN state all persist across epochs, so with a nil
-// controller (or one that never changes the controls) any epoch
-// partition reproduces Run's one-shot schedule exactly.
+// under the epoch's Controls, its dispatches execute on the host
+// worker pool, and at the boundary the controller observes the epoch's
+// telemetry (and may probe candidates) to actuate the next epoch's
+// power mode, overload policy and adaptation cadence. Queue state,
+// per-worker busy intervals, open adaptation windows and per-stream BN
+// state all persist across epochs, so with a nil controller (or one
+// that never changes the controls) any epoch partition reproduces
+// Run's one-shot schedule exactly.
 //
 // epochMs <= 0 or a nil controller degenerates to a single epoch
-// spanning the whole run. The final epoch's static energy is charged
-// to the virtual makespan rather than the nominal epoch length, so
-// runs that end mid-epoch (or whose last batches drain past the final
-// boundary) price the board for exactly as long as it was on.
+// spanning the whole run. Static energy is charged only while the
+// board is on: once the last frame is planned, the remaining busy tail
+// is charged epoch by epoch until the last worker drains, never past
+// the virtual makespan.
+//
+// RunGoverned is a Session driven to completion; external steppers
+// (internal/shard's fleet coordinator) use the Session API directly.
 func (e *Engine) RunGoverned(sources []*stream.Source, epochMs float64, ctl Controller) Report {
-	nStreams := len(sources)
-	if nStreams == 0 {
+	if len(sources) == 0 {
 		return Report{}
 	}
 	if epochMs <= 0 || ctl == nil {
 		epochMs = math.Inf(1)
 	}
-
-	p := e.newPlanner(sources)
-	cur := Controls{Mode: e.cfg.Mode, Policy: e.cfg.Policy, AdaptEvery: e.cfg.AdaptEvery}
+	s := e.NewSession(sources)
 	if ctl != nil {
-		cur = ctl.Start(e.cfg)
+		s.SetControls(ctl.Start(e.cfg))
 	}
-	p.setControls(cur)
-
-	states := make([]*streamState, nStreams)
-	for i := range states {
-		states[i] = newStreamState(e.model, e.cfg.Adapt)
-	}
-
-	batches := make(chan plannedBatch, e.cfg.Workers)
-	records := make(chan execRec, 4*e.cfg.MaxBatch)
-
-	start := time.Now()
-	var workers sync.WaitGroup
-	for w := 0; w < e.cfg.Workers; w++ {
-		workers.Add(1)
-		go func() {
-			defer workers.Done()
-			wk := e.newWorker()
-			for batch := range batches {
-				wk.serve(batch, states, records)
-			}
-		}()
-	}
-	var recs []execRec
-	collected := make(chan struct{})
-	go func() {
-		defer close(collected)
-		for r := range records {
-			recs = append(recs, r)
-		}
-	}()
-
-	// Epoch loop: plan, stream the epoch's dispatches to the workers,
-	// observe, actuate. Execution overlaps planning — workers only read
-	// plan fields that are final at dispatch time, while latency and
-	// energy stay with the planner until the report.
-	var epochs []EpochStats
-	epochStart, sent := 0.0, 0
-	for ei := 0; ; ei++ {
-		end := epochStart + epochMs
-		es := EpochStats{Epoch: ei, StartMs: epochStart, EndMs: end, Controls: p.ctrl}
-		p.runUntil(end, &es)
-		for ; sent < len(p.sc.batches); sent++ {
-			batches <- p.sc.batches[sent]
-		}
-		span := epochMs
-		if !p.remaining() {
-			// Final epoch: the board is on until the last worker drains.
-			span = math.Max(0, p.sc.makespanMs-epochStart)
-		}
-		finalizeEpoch(&es, p, span, e.cfg.Workers)
-		es.EndMs = epochStart + span
-		epochs = append(epochs, es)
-		if !p.remaining() {
+	for {
+		es := s.RunEpoch(s.Now() + epochMs)
+		if s.Done() {
 			break
 		}
 		if ctl != nil {
-			next := ctl.Decide(es, p.ctrl, func(c Controls) EpochStats {
-				return probe(p, c, end, end+epochMs, e.cfg.Workers)
-			})
-			p.setControls(next)
+			s.SetControls(ctl.Decide(es, s.Controls(), func(c Controls) EpochStats {
+				return s.Probe(c, epochMs)
+			}))
 		}
-		epochStart = end
 	}
-
-	close(batches)
-	workers.Wait()
-	close(records)
-	<-collected
-	wall := time.Since(start)
-
-	return e.buildReport(p, states, recs, epochs, wall)
+	return s.Finish()
 }

@@ -193,6 +193,36 @@ func (e *Engine) newPlanner(sources []*stream.Source) *planner {
 	return p
 }
 
+// addStream extends the planner with one more stream — a migrated
+// stream attaching mid-run. Its arrivals must not predate the last
+// finalized epoch boundary; they merge into the unplanned suffix of
+// the event list (ties after existing streams, matching the
+// stream-id tie-break of the initial sort). sinceAdapt seeds the
+// stream's adaptation window so a cadence interrupted mid-window on
+// the source board resumes where it stopped.
+func (p *planner) addStream(src *stream.Source, sinceAdapt int) int {
+	si := len(p.depth)
+	p.depth = append(p.depth, 0)
+	p.shedMs = append(p.shedMs, float64(p.e.cfg.Backlog)*float64(src.Period())/1e6)
+	p.sinceAdapt = append(p.sinceAdapt, sinceAdapt)
+	p.window = append(p.window, nil)
+	p.sc.streams = append(p.sc.streams, schedStream{})
+	suffix := p.all[p.arrSeen:]
+	merged := make([]arrival, 0, len(suffix)+len(src.Frames))
+	j := 0
+	for _, fr := range src.Frames {
+		a := arrival{stream: si, frame: fr, arrMs: float64(fr.Arrival) / 1e6}
+		for j < len(suffix) && suffix[j].arrMs <= a.arrMs {
+			merged = append(merged, suffix[j])
+			j++
+		}
+		merged = append(merged, a)
+	}
+	merged = append(merged, suffix[j:]...)
+	p.all = append(p.all[:p.arrSeen:p.arrSeen], merged...)
+	return si
+}
+
 // setControls switches the planner's actuators for subsequent
 // dispatches. Panics if the mode has no pricing table (governors must
 // choose from orin.Modes or the engine's configured mode).

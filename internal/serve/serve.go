@@ -31,7 +31,11 @@
 // control epochs whose windowed telemetry (EpochStats) a Controller —
 // see internal/govern — observes to actuate the next epoch's power
 // mode, overload policy and adaptation cadence (Controls), with queue,
-// worker and adaptation-window state preserved across boundaries.
+// worker and adaptation-window state preserved across boundaries. The
+// epoch loop itself is exposed as a Session (session.go), so a fleet
+// coordinator — see internal/shard — can step many boards in lockstep
+// and migrate streams between them at epoch boundaries, handing off
+// each stream's adaptation state (DetachStream/AttachStream).
 // Energy is accounted throughout: dynamic energy as per-dispatch
 // Watts × busy-ms attributed to frames like latency shares, plus the
 // board's static rail draw (IdleWatts) over however long it is on —

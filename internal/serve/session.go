@@ -1,0 +1,222 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"ldbnadapt/internal/stream"
+)
+
+// Session is the serving engine opened for external stepping: where
+// RunGoverned drives the whole epoch loop internally, a Session hands
+// the loop to a caller — a fleet coordinator (internal/shard) that
+// steps many boards in lockstep, decides controls per board, and
+// migrates streams between boards at epoch boundaries.
+//
+// The contract is epoch-synchronous: RunEpoch plans every dispatch up
+// to the epoch boundary, executes them on the host worker pool, and
+// waits for execution to drain before returning. That barrier is what
+// makes the boundary a safe point for SetControls, Probe,
+// DetachStream and AttachStream — no worker is reading stream state
+// while the caller snapshots or rewires it. The barrier trades a
+// little host wall-clock (workers idle while the next epoch is
+// planned and the controller decides) for that simplicity; all
+// virtual-clock accounting is unaffected, and a one-shot Run plans
+// everything in a single epoch so the batching benchmarks lose
+// nothing.
+type Session struct {
+	e       *Engine
+	p       *planner
+	sources []*stream.Source
+	states  []*streamState
+
+	batches   chan plannedBatch
+	records   chan execRec
+	inflight  sync.WaitGroup // batches handed to workers, not yet executed
+	workers   sync.WaitGroup
+	recs      []execRec
+	collected chan struct{}
+
+	epochs     []EpochStats
+	epochIdx   int
+	epochStart float64
+	sent       int
+	start      time.Time
+	finished   bool
+	rep        Report
+}
+
+// NewSession opens the engine over a fleet without running it. An
+// empty fleet is valid: a board may start idle and receive its first
+// stream by AttachStream. Finish must be called to release the worker
+// goroutines and obtain the report.
+func (e *Engine) NewSession(sources []*stream.Source) *Session {
+	s := &Session{
+		e:         e,
+		p:         e.newPlanner(sources),
+		sources:   append([]*stream.Source(nil), sources...),
+		states:    make([]*streamState, len(sources)),
+		batches:   make(chan plannedBatch, e.cfg.Workers),
+		records:   make(chan execRec, 4*e.cfg.MaxBatch),
+		collected: make(chan struct{}),
+		start:     time.Now(),
+	}
+	for i := range s.states {
+		s.states[i] = newStreamState(e.model, e.cfg.Adapt)
+	}
+	s.p.setControls(Controls{Mode: e.cfg.Mode, Policy: e.cfg.Policy, AdaptEvery: e.cfg.AdaptEvery})
+	for w := 0; w < e.cfg.Workers; w++ {
+		s.workers.Add(1)
+		go func() {
+			defer s.workers.Done()
+			wk := e.newWorker()
+			for b := range s.batches {
+				wk.serve(b, s.states, s.records)
+				s.inflight.Done()
+			}
+		}()
+	}
+	go func() {
+		defer close(s.collected)
+		for r := range s.records {
+			s.recs = append(s.recs, r)
+		}
+	}()
+	return s
+}
+
+// Controls returns the session's current actuator state.
+func (s *Session) Controls() Controls { return s.p.ctrl }
+
+// SetControls actuates the controls for subsequent planning. Call only
+// at an epoch boundary (between RunEpoch calls).
+func (s *Session) SetControls(c Controls) { s.p.setControls(c) }
+
+// Now is the session's epoch clock: the nominal end of the last epoch
+// run (zero before the first).
+func (s *Session) Now() float64 { return s.epochStart }
+
+// Done reports whether the session is fully drained: no frame remains
+// to plan and the board has been charged through its last worker's
+// busy interval. AttachStream revives a done session.
+func (s *Session) Done() bool {
+	return !s.p.remaining() && s.epochStart >= s.p.sc.makespanMs
+}
+
+// Probe simulates the next spanMs of this board under candidate
+// controls from its exact current state without committing — the
+// what-if hook a Controller's Decide receives.
+func (s *Session) Probe(c Controls, spanMs float64) EpochStats {
+	return probe(s.p, c, s.epochStart, s.epochStart+spanMs, s.e.cfg.Workers)
+}
+
+// RunEpoch plans every dispatch in [Now(), endMs) under the current
+// controls, executes the planned batches on the host workers, waits
+// for them to drain, and returns the epoch's telemetry. Static energy
+// is charged for the epoch span while the board has work; once a board
+// drains, the remaining busy tail is charged epoch by epoch (capped at
+// the epoch length) and a fully drained board charges nothing until
+// new work attaches — idle boards in a fleet sleep rather than burn
+// their rail draw forever. A sleeping board's zero-span epochs are
+// returned but not recorded in the report trace (the epoch numbering
+// keeps counting, so a gap in Report.Epochs reads as time asleep).
+func (s *Session) RunEpoch(endMs float64) EpochStats {
+	es := EpochStats{Epoch: s.epochIdx, StartMs: s.epochStart, EndMs: endMs, Controls: s.p.ctrl}
+	s.epochIdx++
+	s.p.runUntil(endMs, &es)
+	for ; s.sent < len(s.p.sc.batches); s.sent++ {
+		s.inflight.Add(1)
+		s.batches <- s.p.sc.batches[s.sent]
+	}
+	// Epoch barrier: migrations and state snapshots at the boundary need
+	// every executed adaptation step already captured into stream state.
+	s.inflight.Wait()
+	span := endMs - s.epochStart
+	if !s.p.remaining() {
+		span = math.Min(span, math.Max(0, s.p.sc.makespanMs-s.epochStart))
+	}
+	finalizeEpoch(&es, s.p, span, s.e.cfg.Workers)
+	es.EndMs = s.epochStart + span
+	if span > 0 {
+		s.epochs = append(s.epochs, es)
+	}
+	s.epochStart = endMs
+	return es
+}
+
+// Finish releases the worker pool and builds the session report. It is
+// idempotent; the first call closes the pipeline.
+func (s *Session) Finish() Report {
+	if s.finished {
+		return s.rep
+	}
+	s.finished = true
+	close(s.batches)
+	s.workers.Wait()
+	close(s.records)
+	<-s.collected
+	s.rep = s.e.buildReport(s.p, s.states, s.recs, s.epochs, time.Since(s.start))
+	return s.rep
+}
+
+// Handoff is a stream in flight between boards: its future frames and
+// a deep copy of its adaptation state. Migration is a leave+rejoin
+// with state — the checkpoint a returning stream resumes from.
+type Handoff struct {
+	// Source carries the stream's frames from the detach boundary on,
+	// with their original arrival stamps and indices.
+	Source *stream.Source
+	// state is the stream's BN statistics and γ/β, optimizer moments,
+	// warmup counter and pending adaptation-window samples, snapshotted
+	// at the boundary.
+	state *streamState
+	// sinceAdapt is the planner's open-window length at the boundary, so
+	// the destination continues the adaptation cadence mid-window.
+	sinceAdapt int
+}
+
+// DetachStream removes stream id's future frames (arrivals at or after
+// the last epoch boundary) from this board and returns them with a
+// snapshot of the stream's adaptation state. Frames already queued at
+// the boundary stay and drain here under the pre-migration state — the
+// in-flight work of a real handoff. Returns nil when the stream has no
+// future frames (nothing to migrate). Call only at an epoch boundary.
+func (s *Session) DetachStream(id int) *Handoff {
+	p := s.p
+	future := 0
+	for _, a := range p.all[p.arrSeen:] {
+		if a.stream == id {
+			future++
+		}
+	}
+	if future == 0 {
+		return nil
+	}
+	frames := make([]stream.Frame, 0, future)
+	kept := p.all[:p.arrSeen:p.arrSeen]
+	for _, a := range p.all[p.arrSeen:] {
+		if a.stream == id {
+			frames = append(frames, a.frame)
+			continue
+		}
+		kept = append(kept, a)
+	}
+	p.all = kept
+	return &Handoff{
+		Source:     &stream.Source{FPS: s.sources[id].FPS, Frames: frames},
+		state:      s.states[id].snapshot(),
+		sinceAdapt: p.sinceAdapt[id],
+	}
+}
+
+// AttachStream adds a migrated (or newly joining) stream to this board
+// and returns its board-local stream id. The handoff's state snapshot
+// becomes the stream's live state, so adaptation resumes exactly where
+// the source board left it. Call only at an epoch boundary; the
+// handoff's frames must not predate it.
+func (s *Session) AttachStream(h *Handoff) int {
+	s.sources = append(s.sources, h.Source)
+	s.states = append(s.states, h.state)
+	return s.p.addStream(h.Source, h.sinceAdapt)
+}

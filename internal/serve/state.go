@@ -23,8 +23,13 @@ type streamState struct {
 	// vector (state keyed by offset, not parameter pointer, so it
 	// follows the stream across replicas).
 	opt *bnOpt
-	// steps counts adaptation steps (drives warmup).
+	// steps counts the stream's lifetime adaptation steps (drives
+	// warmup, and survives migration with the stream).
 	steps int
+	// baseSteps is the lifetime count at the moment the stream attached
+	// to this board (zero for streams that started here): reports charge
+	// a board only the steps it executed.
+	baseSteps int
 	// pending accumulates samples since the last adaptation step.
 	pending []ufld.Sample
 }
@@ -46,6 +51,36 @@ func newStreamState(m *ufld.Model, cfg adapt.Config) *streamState {
 	}
 	st.opt = newBNOpt(cfg, flat)
 	return st
+}
+
+// snapshot deep-copies the stream's adaptation state for migration:
+// BN statistics and γ/β, optimizer moments, warmup counter and the
+// pending adaptation-window samples (samples themselves are shared —
+// they are read-only).
+func (st *streamState) snapshot() *streamState {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	cp := &streamState{
+		bn:        make([]nn.BNSource, len(st.bn)),
+		steps:     st.steps,
+		baseSteps: st.steps,
+		opt: &bnOpt{
+			cfg:  st.opt.cfg,
+			step: st.opt.step,
+			m:    append([]float32(nil), st.opt.m...),
+			v:    append([]float32(nil), st.opt.v...),
+		},
+		pending: append([]ufld.Sample(nil), st.pending...),
+	}
+	for i, b := range st.bn {
+		cp.bn[i] = nn.BNSource{
+			Mean:  append([]float32(nil), b.Mean...),
+			Var:   append([]float32(nil), b.Var...),
+			Gamma: append([]float32(nil), b.Gamma...),
+			Beta:  append([]float32(nil), b.Beta...),
+		}
+	}
+	return cp
 }
 
 // swapInto installs the stream's BN state on a replica's layers

@@ -1,0 +1,166 @@
+// Package shard scales the governed serving engine from one Orin
+// board to a fleet of them: a coordinator owns N boards — each a full
+// serve engine with its own power ladder and govern controller —
+// places camera streams onto boards, steps every board through shared
+// control epochs, and migrates the hottest stream off a board whose
+// governor is pinned at its top rung while still missing deadlines.
+// Migration preserves the stream's adaptation state (BN statistics,
+// γ/β, optimizer moments, open window) across the move via
+// serve.Session handoffs, so it is also the "stream re-join with
+// state" checkpoint: a leave on one board and a rejoin on another.
+//
+// Placement is the classic machine-scheduling problem (minimize
+// makespan over identical machines, cf. arXiv:math/0312216) lifted to
+// the governed setting: each machine has a power ladder and a
+// closed-loop controller, so a placement that looks balanced by mean
+// load can still pin one board at MAXN through every burst while
+// another sleeps — which is what saturation-driven migration corrects
+// online.
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"ldbnadapt/internal/stream"
+)
+
+// Placement assigns streams to boards from forecast per-stream load.
+type Placement interface {
+	// Name labels the policy in reports and CLIs.
+	Name() string
+	// Place returns a board index in [0, boards) for every stream.
+	// loads[i] is stream i's forecast utilization share of one worker
+	// (mean arrival rate × per-frame cost); a board's capacity is
+	// workersPerBoard such shares.
+	Place(loads []float64, boards, workersPerBoard int) []int
+}
+
+// StreamLoads forecasts each stream's utilization share of one worker:
+// mean arrival rate over the stream's active span × the per-frame
+// serving cost. frameMs is the zero-queue steady-state per-frame cost
+// (serve.Engine.FrameLatencyMs(1) at the board's configured mode). A
+// bursty stream's mean underestimates its peak — exactly the forecast
+// error migration exists to fix.
+func StreamLoads(sources []*stream.Source, frameMs float64) []float64 {
+	loads := make([]float64, len(sources))
+	for i, s := range sources {
+		if len(s.Frames) == 0 {
+			continue
+		}
+		first := float64(s.Frames[0].Arrival) / 1e6
+		last := float64(s.Frames[len(s.Frames)-1].Arrival) / 1e6
+		spanMs := last - first + float64(s.Period())/1e6
+		if spanMs > 0 {
+			loads[i] = float64(len(s.Frames)) * frameMs / spanMs
+		}
+	}
+	return loads
+}
+
+// RoundRobin deals streams across boards in id order — the baseline
+// that ignores load entirely.
+type RoundRobin struct{}
+
+// Name implements Placement.
+func (RoundRobin) Name() string { return "round-robin" }
+
+// Place implements Placement.
+func (RoundRobin) Place(loads []float64, boards, _ int) []int {
+	out := make([]int, len(loads))
+	for i := range out {
+		out[i] = i % boards
+	}
+	return out
+}
+
+// LeastLoaded is longest-processing-time-first greedy scheduling:
+// streams in descending forecast load, each onto the currently
+// least-loaded board. The classic 4/3-approximation to the optimal
+// makespan on identical machines.
+type LeastLoaded struct{}
+
+// Name implements Placement.
+func (LeastLoaded) Name() string { return "least-loaded" }
+
+// Place implements Placement.
+func (LeastLoaded) Place(loads []float64, boards, _ int) []int {
+	order := make([]int, len(loads))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return loads[order[a]] > loads[order[b]] })
+	out := make([]int, len(loads))
+	acc := make([]float64, boards)
+	for _, si := range order {
+		best := 0
+		for b := 1; b < boards; b++ {
+			if acc[b] < acc[best] {
+				best = b
+			}
+		}
+		out[si] = best
+		acc[best] += loads[si]
+	}
+	return out
+}
+
+// BinPack fills boards to a utilization target before opening the
+// next: board k+1 receives its first stream only once board k's
+// forecast utilization has reached Target. Consolidating load onto few
+// boards minimizes the fleet's static rail draw (empty boards sleep) —
+// at the price of saturating the packed boards when the forecast
+// underestimates, which is the scenario migration handles.
+type BinPack struct {
+	// Target is the fill utilization per board (fraction of
+	// workersPerBoard worker-capacity; default 0.7).
+	Target float64
+}
+
+// Name implements Placement.
+func (BinPack) Name() string { return "bin-pack" }
+
+func (p BinPack) target() float64 {
+	if p.Target > 0 {
+		return p.Target
+	}
+	return 0.7
+}
+
+// Place implements Placement.
+func (p BinPack) Place(loads []float64, boards, workersPerBoard int) []int {
+	cap := p.target() * float64(workersPerBoard)
+	out := make([]int, len(loads))
+	acc := make([]float64, boards)
+	k := 0
+	for i, l := range loads {
+		for k < boards-1 && acc[k] >= cap {
+			k++
+		}
+		if acc[k] >= cap {
+			// Every board is at target: overflow to the least loaded.
+			k = 0
+			for b := 1; b < boards; b++ {
+				if acc[b] < acc[k] {
+					k = b
+				}
+			}
+		}
+		out[i] = k
+		acc[k] += l
+	}
+	return out
+}
+
+// ParsePlacement resolves a placement policy by CLI name.
+func ParsePlacement(name string) (Placement, error) {
+	switch name {
+	case "round-robin":
+		return RoundRobin{}, nil
+	case "least-loaded":
+		return LeastLoaded{}, nil
+	case "bin-pack":
+		return BinPack{}, nil
+	}
+	return nil, fmt.Errorf("shard: unknown placement %q (have round-robin/least-loaded/bin-pack)", name)
+}

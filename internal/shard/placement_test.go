@@ -1,0 +1,99 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBinPackNeverOpensEarly is the placement property pin: BinPack
+// must never open board k+1 while board k is below the fill target —
+// across random load vectors, every board left of the last used one
+// ends at or above target utilization.
+func TestBinPackNeverOpensEarly(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		boards := 1 + rng.Intn(6)
+		workers := 1 + rng.Intn(4)
+		target := 0.2 + rng.Float64()
+		loads := make([]float64, n)
+		for i := range loads {
+			loads[i] = rng.Float64() * 1.5
+		}
+		p := BinPack{Target: target}
+		assign := p.Place(loads, boards, workers)
+		acc := make([]float64, boards)
+		used := 0
+		for i, b := range assign {
+			if b < 0 || b >= boards {
+				t.Fatalf("trial %d: stream %d assigned to board %d of %d", trial, i, b, boards)
+			}
+			acc[b] += loads[i]
+			if b > used {
+				used = b
+			}
+		}
+		cap := target * float64(workers)
+		for k := 0; k < used; k++ {
+			if acc[k] < cap {
+				t.Fatalf("trial %d: board %d filled to %.3f below target %.3f while board %d is open",
+					trial, k, acc[k], cap, used)
+			}
+		}
+	}
+}
+
+// TestLeastLoadedGreedyBound: LPT's max board load never exceeds the
+// mean load plus one stream — the classic greedy guarantee — and the
+// assignment is deterministic.
+func TestLeastLoadedGreedyBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		boards := 1 + rng.Intn(6)
+		loads := make([]float64, n)
+		total, maxLoad := 0.0, 0.0
+		for i := range loads {
+			loads[i] = rng.Float64()
+			total += loads[i]
+			if loads[i] > maxLoad {
+				maxLoad = loads[i]
+			}
+		}
+		a := LeastLoaded{}.Place(loads, boards, 1)
+		b := LeastLoaded{}.Place(loads, boards, 1)
+		acc := make([]float64, boards)
+		for i, bi := range a {
+			if bi != b[i] {
+				t.Fatalf("trial %d: placement not deterministic at stream %d", trial, i)
+			}
+			acc[bi] += loads[i]
+		}
+		bound := total/float64(boards) + maxLoad + 1e-9
+		for k, l := range acc {
+			if l > bound {
+				t.Fatalf("trial %d: board %d load %.3f exceeds greedy bound %.3f", trial, k, l, bound)
+			}
+		}
+	}
+}
+
+// TestRoundRobinAndParse covers the trivial policy and the CLI name
+// resolution.
+func TestRoundRobinAndParse(t *testing.T) {
+	assign := RoundRobin{}.Place(make([]float64, 5), 2, 1)
+	for i, b := range assign {
+		if b != i%2 {
+			t.Fatalf("round-robin stream %d on board %d", i, b)
+		}
+	}
+	for _, name := range []string{"round-robin", "least-loaded", "bin-pack"} {
+		p, err := ParsePlacement(name)
+		if err != nil || p.Name() != name {
+			t.Fatalf("ParsePlacement(%q) = %v, %v", name, p, err)
+		}
+	}
+	if _, err := ParsePlacement("nope"); err == nil {
+		t.Fatal("ParsePlacement accepted an unknown policy")
+	}
+}

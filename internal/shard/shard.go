@@ -1,0 +1,451 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ldbnadapt/internal/govern"
+	"ldbnadapt/internal/serve"
+	"ldbnadapt/internal/stream"
+	"ldbnadapt/internal/ufld"
+)
+
+// Config parameterizes the fleet coordinator.
+type Config struct {
+	// Boards is the number of boards in the fleet (default 1).
+	Boards int
+	// Board configures every board's serve engine; Workers is the
+	// per-board replica count.
+	Board serve.Config
+	// Placement picks the initial stream→board assignment (default
+	// LeastLoaded).
+	Placement Placement
+	// Governor names each board's controller — static, hysteresis or
+	// oracle (internal/govern); each board gets its own instance riding
+	// its own ladder. Empty pins every board at Board.Mode with no
+	// controller, like serve.Run.
+	Governor string
+	// BudgetW caps every board's power ladder in watts (0 =
+	// unconstrained).
+	BudgetW int
+	// EpochMs is the control-epoch length shared by all boards (default
+	// 250): boards plan, execute and report in lockstep, and the
+	// coordinator migrates at the shared boundaries.
+	EpochMs float64
+	// Migrate enables saturation-driven migration: when a board's epoch
+	// ran at its top affordable rung and still missed the service
+	// target, the coordinator moves its hottest stream (most arrivals
+	// due next epoch) to the coolest board with headroom.
+	Migrate bool
+	// TargetHitRate is the per-epoch deadline-hit service target used
+	// for saturation detection (default 0.95, matching the governors).
+	TargetHitRate float64
+	// MaxUtil is the destination headroom gate: a stream migrates only
+	// onto a board whose last epoch ran below this utilization (default
+	// 0.5).
+	MaxUtil float64
+	// Cooldown is how many epochs a migrated stream stays put before it
+	// may move again (default 8): a board draining the backlog that made
+	// it saturated reads as still-saturated for a few epochs, and
+	// without inertia the same stream ping-pongs between boards.
+	Cooldown int
+	// MakeController overrides Governor with a custom per-board
+	// controller factory (tests). Boards built this way are treated as
+	// pinned at the ladder top for saturation detection.
+	MakeController func(board int) serve.Controller
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Boards <= 0 {
+		c.Boards = 1
+	}
+	if c.EpochMs <= 0 {
+		c.EpochMs = 250
+	}
+	if c.TargetHitRate <= 0 {
+		c.TargetHitRate = 0.95
+	}
+	if c.MaxUtil <= 0 {
+		c.MaxUtil = 0.5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 8
+	}
+	if c.Placement == nil {
+		c.Placement = LeastLoaded{}
+	}
+	return c
+}
+
+// Migration records one stream move.
+type Migration struct {
+	// Epoch is the control epoch whose boundary triggered the move.
+	Epoch int
+	// Stream is the fleet-wide stream id.
+	Stream int
+	// From and To are board ids.
+	From, To int
+}
+
+// BoardReport is one board's outcome within the fleet.
+type BoardReport struct {
+	// Board is the board id.
+	Board int
+	// Report is the board's full serve report; its Streams are indexed
+	// by board-local id.
+	Report serve.Report
+	// Globals maps the board's local stream ids to fleet-wide stream
+	// ids, in local order (streams that migrated in appear once more
+	// here with a fresh local id).
+	Globals []int
+	// MigratedIn and MigratedOut count stream moves at this board.
+	MigratedIn, MigratedOut int
+}
+
+// StreamSummary aggregates one fleet-wide stream across every board
+// that served part of it.
+type StreamSummary struct {
+	// Stream is the fleet-wide stream id.
+	Stream int
+	// Frames is the stream's total served frames across boards.
+	Frames int
+	// MissRate is the deadline-miss fraction over those frames.
+	MissRate float64
+	// EnergyMJ is the stream's dynamic energy across boards.
+	EnergyMJ float64
+	// AdaptSteps counts adaptation steps across boards.
+	AdaptSteps int
+	// Boards is how many boards served at least one of its frames.
+	Boards int
+}
+
+// Report aggregates a fleet run.
+type Report struct {
+	// Boards holds per-board outcomes.
+	Boards []BoardReport
+	// Streams holds per-fleet-stream outcomes indexed by stream id.
+	Streams []StreamSummary
+	// Migrations lists every stream move in epoch order.
+	Migrations []Migration
+	// Frames is the fleet's total served frame count.
+	Frames int
+	// HitRate is the fleet deadline-hit fraction over served frames.
+	HitRate float64
+	// FramesDropped and AdaptsSkipped total the fleet's shedding.
+	FramesDropped, AdaptsSkipped int
+	// BusyEnergyMJ, IdleEnergyMJ and EnergyMJ total the fleet's
+	// dynamic, static and overall energy in millijoules.
+	BusyEnergyMJ, IdleEnergyMJ, EnergyMJ float64
+	// JPerFrame is fleet energy per served frame in joules.
+	JPerFrame float64
+	// VirtualSeconds is the fleet makespan: the latest board drain.
+	VirtualSeconds float64
+	// StrandedMs is idle worker-milliseconds while boards were powered
+	// (Σ boards of Workers × on-time − busy time): capacity the
+	// placement provisioned but load never used.
+	StrandedMs float64
+	// WallSeconds is the host wall-clock duration of the run.
+	WallSeconds float64
+}
+
+// board is one governed engine plus its coordinator-side bookkeeping.
+type board struct {
+	id      int
+	sess    *serve.Session
+	ctl     serve.Controller
+	globals []int       // local id → fleet stream id
+	local   map[int]int // fleet stream id → current local id
+	in, out int
+	// satW is the watts of the rung this board counts as "pinned at
+	// top": the ladder top for closed-loop governors, the pinned mode
+	// for static deployments.
+	satW int
+}
+
+// Fleet coordinates N governed boards serving one stream fleet.
+type Fleet struct {
+	cfg   Config
+	model *ufld.Model
+	topW  int
+}
+
+// New validates the configuration and builds a coordinator. Boards are
+// identical engines over the shared-weight model; per-board state
+// (sessions, governors) is created per Run.
+func New(m *ufld.Model, cfg Config) (*Fleet, error) {
+	cfg = cfg.withDefaults()
+	ladder, err := govern.Ladder(cfg.BudgetW)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MakeController == nil && cfg.Governor != "" {
+		if _, err := govern.ByName(cfg.Governor, cfg.BudgetW); err != nil {
+			return nil, err
+		}
+	}
+	return &Fleet{cfg: cfg, model: m, topW: ladder[len(ladder)-1].Watts}, nil
+}
+
+// controller builds board b's private controller instance.
+func (f *Fleet) controller(b int) serve.Controller {
+	if f.cfg.MakeController != nil {
+		return f.cfg.MakeController(b)
+	}
+	if f.cfg.Governor == "" {
+		return nil
+	}
+	ctl, err := govern.ByName(f.cfg.Governor, f.cfg.BudgetW)
+	if err != nil {
+		panic(err.Error()) // New validated
+	}
+	return ctl
+}
+
+// Run places the fleet onto the boards and serves it to completion:
+// every board steps the same control epochs in lockstep (concurrently
+// on the host), the coordinator migrates streams off saturated boards
+// at the boundaries, then each board's governor actuates its next
+// epoch.
+func (f *Fleet) Run(sources []*stream.Source) Report {
+	cfg := f.cfg
+	start := time.Now()
+
+	// One engine serves every board: boards are identical hardware, the
+	// engine is immutable after construction (pricing tables, config),
+	// and per-board mutable state lives in each board's Session. Its
+	// per-frame cost also prices the placement forecast.
+	eng := serve.New(f.model, cfg.Board)
+	frameMs := eng.FrameLatencyMs(1)
+	loads := StreamLoads(sources, frameMs)
+	workers := eng.Config().Workers
+	assign := cfg.Placement.Place(loads, cfg.Boards, workers)
+
+	boards := make([]*board, cfg.Boards)
+	for bi := range boards {
+		b := &board{id: bi, ctl: f.controller(bi), local: make(map[int]int), satW: f.topW}
+		var mine []*stream.Source
+		for gi, a := range assign {
+			if a != bi {
+				continue
+			}
+			b.local[gi] = len(mine)
+			b.globals = append(b.globals, gi)
+			mine = append(mine, sources[gi])
+		}
+		b.sess = eng.NewSession(mine)
+		if b.ctl != nil {
+			cur := b.ctl.Start(eng.Config())
+			b.sess.SetControls(cur)
+			if cfg.Governor == "static" {
+				b.satW = cur.Mode.Watts
+			}
+		} else {
+			b.satW = eng.Config().Mode.Watts
+		}
+		boards[bi] = b
+	}
+	home := append([]int(nil), assign...) // fleet stream id → current board
+
+	// Per-stream arrival stamps for hottest-stream selection.
+	arrivals := make([][]float64, len(sources))
+	for gi, src := range sources {
+		arrivals[gi] = make([]float64, len(src.Frames))
+		for i, fr := range src.Frames {
+			arrivals[gi][i] = float64(fr.Arrival) / 1e6
+		}
+	}
+
+	var migrations []Migration
+	lastMove := make([]int, len(sources))
+	for i := range lastMove {
+		lastMove[i] = -cfg.Cooldown
+	}
+	stats := make([]serve.EpochStats, len(boards))
+	for {
+		done := true
+		for _, b := range boards {
+			if !b.sess.Done() {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+		end := boards[0].sess.Now() + cfg.EpochMs
+		var wg sync.WaitGroup
+		for _, b := range boards {
+			wg.Add(1)
+			go func(b *board) {
+				defer wg.Done()
+				stats[b.id] = b.sess.RunEpoch(end)
+			}(b)
+		}
+		wg.Wait()
+		if cfg.Migrate {
+			migrations = f.migrate(boards, stats, home, lastMove, arrivals, end, migrations)
+		}
+		for _, b := range boards {
+			// A drained board has nothing to govern (and an oracle would
+			// sweep probes for nothing); its controller resumes at the
+			// first boundary after a stream attaches.
+			if b.ctl == nil || b.sess.Done() {
+				continue
+			}
+			next := b.ctl.Decide(stats[b.id], b.sess.Controls(), func(c serve.Controls) serve.EpochStats {
+				return b.sess.Probe(c, cfg.EpochMs)
+			})
+			b.sess.SetControls(next)
+		}
+	}
+
+	return f.buildReport(boards, sources, migrations, workers, time.Since(start))
+}
+
+// saturated reports whether a board's epoch ran pinned at its top rung
+// while missing the service target — the trigger the governor cannot
+// resolve with watts, only placement can.
+func (f *Fleet) saturated(b *board, es serve.EpochStats) bool {
+	return es.Controls.Mode.Watts >= b.satW && es.DeadlineHitRate < f.cfg.TargetHitRate
+}
+
+// migrate moves the hottest stream off each saturated board onto the
+// coolest board with headroom, carrying the stream's adaptation state
+// through a serve.Handoff.
+func (f *Fleet) migrate(boards []*board, stats []serve.EpochStats, home, lastMove []int,
+	arrivals [][]float64, end float64, migrations []Migration) []Migration {
+	// A destination takes at most one migrant per boundary: its epoch
+	// stats are stale within the pass, and two saturated boards dumping
+	// onto the same cool board would just move the hot spot.
+	taken := make(map[*board]bool)
+	for _, src := range boards {
+		if !f.saturated(src, stats[src.id]) {
+			continue
+		}
+		var dst *board
+		for _, c := range boards {
+			if c == src || taken[c] || stats[c.id].Utilization >= f.cfg.MaxUtil || f.saturated(c, stats[c.id]) {
+				continue
+			}
+			if dst == nil || stats[c.id].Utilization < stats[dst.id].Utilization {
+				dst = c
+			}
+		}
+		if dst == nil {
+			continue // nowhere cooler to go: the whole fleet is hot
+		}
+		gid := f.hottest(src, home, lastMove, arrivals, stats[src.id].Epoch, end)
+		if gid < 0 {
+			continue
+		}
+		h := src.sess.DetachStream(src.local[gid])
+		if h == nil {
+			continue
+		}
+		nl := dst.sess.AttachStream(h)
+		delete(src.local, gid)
+		dst.local[gid] = nl
+		dst.globals = append(dst.globals, gid)
+		home[gid] = dst.id
+		src.out++
+		dst.in++
+		taken[dst] = true
+		lastMove[gid] = stats[src.id].Epoch
+		migrations = append(migrations, Migration{
+			Epoch: stats[src.id].Epoch, Stream: gid, From: src.id, To: dst.id,
+		})
+	}
+	return migrations
+}
+
+// hottest picks the stream homed on board src with the most arrivals
+// due in the next epoch window [end, end+EpochMs) — the load whose
+// removal relieves the board soonest. Streams still in their
+// migration cooldown are skipped. Returns -1 when no eligible stream
+// has upcoming arrivals (a saturated board draining backlog sheds
+// nothing by migration).
+func (f *Fleet) hottest(src *board, home, lastMove []int, arrivals [][]float64, epoch int, end float64) int {
+	best, bestDue := -1, 0
+	for gid, b := range home {
+		if b != src.id || epoch-lastMove[gid] < f.cfg.Cooldown {
+			continue
+		}
+		due := 0
+		for _, a := range arrivals[gid] {
+			if a >= end && a < end+f.cfg.EpochMs {
+				due++
+			}
+		}
+		if due > bestDue {
+			best, bestDue = gid, due
+		}
+	}
+	return best
+}
+
+// buildReport finalizes every board and aggregates the fleet view.
+func (f *Fleet) buildReport(boards []*board, sources []*stream.Source,
+	migrations []Migration, workers int, wall time.Duration) Report {
+	rep := Report{
+		Streams:     make([]StreamSummary, len(sources)),
+		Migrations:  migrations,
+		WallSeconds: wall.Seconds(),
+	}
+	for gi := range rep.Streams {
+		rep.Streams[gi].Stream = gi
+	}
+	misses := 0.0
+	for _, b := range boards {
+		br := BoardReport{
+			Board: b.id, Report: b.sess.Finish(),
+			Globals:    b.globals,
+			MigratedIn: b.in, MigratedOut: b.out,
+		}
+		rep.Boards = append(rep.Boards, br)
+		rep.Frames += br.Report.Frames
+		rep.FramesDropped += br.Report.FramesDropped
+		rep.AdaptsSkipped += br.Report.AdaptsSkipped
+		rep.BusyEnergyMJ += br.Report.BusyEnergyMJ
+		rep.IdleEnergyMJ += br.Report.IdleEnergyMJ
+		misses += br.Report.MissRate * float64(br.Report.Frames)
+		if br.Report.VirtualSeconds > rep.VirtualSeconds {
+			rep.VirtualSeconds = br.Report.VirtualSeconds
+		}
+		onMs, busyMs := 0.0, 0.0
+		for _, es := range br.Report.Epochs {
+			onMs += es.EndMs - es.StartMs
+			busyMs += es.BusyMs
+		}
+		rep.StrandedMs += onMs*float64(workers) - busyMs
+		// A stream that migrates to the same board twice holds two local
+		// ids there; count distinct boards, not attachments.
+		counted := make(map[int]bool)
+		for li, sr := range br.Report.Streams {
+			if li >= len(br.Globals) {
+				panic(fmt.Sprintf("shard: board %d local stream %d has no fleet id", b.id, li))
+			}
+			ss := &rep.Streams[br.Globals[li]]
+			ss.Frames += sr.Frames
+			ss.EnergyMJ += sr.EnergyMJ
+			ss.AdaptSteps += sr.AdaptSteps
+			ss.MissRate += sr.MissRate * float64(sr.Frames)
+			if sr.Frames > 0 && !counted[br.Globals[li]] {
+				counted[br.Globals[li]] = true
+				ss.Boards++
+			}
+		}
+	}
+	for gi := range rep.Streams {
+		if rep.Streams[gi].Frames > 0 {
+			rep.Streams[gi].MissRate /= float64(rep.Streams[gi].Frames)
+		}
+	}
+	rep.EnergyMJ = rep.BusyEnergyMJ + rep.IdleEnergyMJ
+	if rep.Frames > 0 {
+		rep.HitRate = 1 - misses/float64(rep.Frames)
+		rep.JPerFrame = rep.EnergyMJ / 1e3 / float64(rep.Frames)
+	}
+	return rep
+}

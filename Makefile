@@ -13,15 +13,26 @@
 #                runs (bench measures, bench-smoke only proves the
 #                benchmarks still compile and execute)
 #   make bench-json   run the bench suite and write BENCH_serve.json
-#                (benchmark name → ns/op, B/op, allocs/op); doubles as
-#                the bit-rot gate in make ci — one bench run covers
+#                (benchmark name → ns/op, B/op, allocs/op), stamped
+#                with the git commit SHA and Go version so uploaded
+#                artifacts form a comparable perf trajectory; doubles
+#                as the bit-rot gate in make ci — one bench run covers
 #                both the smoke and the artifact
 #   make serve-bench  the multi-stream serving benchmark only
-#   make ci      build + fmt + vet + test + race + bench-json
+#   make staticcheck  honnef.co staticcheck at a pinned version; uses a
+#                PATH binary if present (CI installs one), otherwise
+#                fetches via `go run`, and skips with a notice when the
+#                tool is unavailable offline — the CI workflow always
+#                has it, so the gate cannot silently rot there
+#   make ci      build + fmt + vet + staticcheck + test + race + bench-json
 
 GO ?= go
+# Pinned staticcheck: 2024.1.1 supports the go 1.22/1.23 CI matrix.
+# Keep in sync with the install step in .github/workflows/ci.yml.
+STATICCHECK_VERSION ?= 2024.1.1
+GIT_SHA := $(shell git rev-parse HEAD 2>/dev/null || echo unknown)
 
-.PHONY: build fmt vet test race bench bench-smoke bench-json serve-bench ci
+.PHONY: build fmt vet test race bench bench-smoke bench-json serve-bench staticcheck ci
 
 build:
 	$(GO) build ./...
@@ -54,10 +65,23 @@ bench-smoke:
 # masked by the pipe (benchjson would happily serialize a partial run).
 bench-json:
 	$(GO) test -run xxx -bench . -benchmem -benchtime 1x ./... > bench.out
-	$(GO) run ./cmd/benchjson -o BENCH_serve.json < bench.out
+	$(GO) run ./cmd/benchjson -o BENCH_serve.json -sha $(GIT_SHA) < bench.out
 	@rm -f bench.out
 
 serve-bench:
 	$(GO) test -run xxx -bench BenchmarkServeMultiStream -benchtime 3x .
 
-ci: build fmt vet test race bench-json
+# A PATH binary wins (CI installs the pinned version, so findings fail
+# the build there); otherwise probe whether the module is fetchable
+# before running, so an offline checkout degrades to a notice instead
+# of conflating "cannot download the tool" with "the tool found bugs".
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	elif $(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) -version >/dev/null 2>&1; then \
+		$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...; \
+	else \
+		echo "staticcheck $(STATICCHECK_VERSION) unavailable (offline?); skipping"; \
+	fi
+
+ci: build fmt vet staticcheck test race bench-json

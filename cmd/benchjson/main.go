@@ -6,8 +6,10 @@
 //
 // Lines that are not benchmark results (package headers, PASS/ok) are
 // ignored; the -benchmem columns are optional. The manifest also
-// records the Go version and GOMAXPROCS so artifacts from different CI
-// runners stay interpretable.
+// records the git commit (-sha, falling back to the binary's embedded
+// VCS revision), the Go version and GOMAXPROCS, so the uploaded CI
+// artifacts form a comparable perf trajectory across commits and
+// runners rather than an unkeyed pile of numbers.
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 )
@@ -37,9 +40,30 @@ type Result struct {
 
 // Manifest is the artifact schema.
 type Manifest struct {
+	// GitSHA keys the manifest to the commit it measured ("unknown"
+	// when neither -sha nor VCS build info is available).
+	GitSHA     string   `json:"git_sha"`
 	GoVersion  string   `json:"go_version"`
 	GoMaxProcs int      `json:"gomaxprocs"`
 	Benchmarks []Result `json:"benchmarks"`
+}
+
+// gitSHA resolves the commit stamp: an explicit flag value wins (the
+// Makefile passes `git rev-parse`), then the VCS revision the Go
+// toolchain embeds into built binaries, then "unknown" — `go run`
+// skips VCS stamping, which is exactly when the flag matters.
+func gitSHA(flagSHA string) string {
+	if flagSHA != "" {
+		return flagSHA
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				return s.Value
+			}
+		}
+	}
+	return "unknown"
 }
 
 // parseLine extracts one benchmark result, or ok=false for any other
@@ -77,9 +101,10 @@ func parseLine(line string) (Result, bool) {
 
 func main() {
 	out := flag.String("o", "BENCH_serve.json", "output manifest path")
+	sha := flag.String("sha", "", "git commit SHA to stamp the manifest with (default: the binary's embedded VCS revision)")
 	flag.Parse()
 
-	man := Manifest{GoVersion: runtime.Version(), GoMaxProcs: runtime.GOMAXPROCS(0)}
+	man := Manifest{GitSHA: gitSHA(*sha), GoVersion: runtime.Version(), GoMaxProcs: runtime.GOMAXPROCS(0)}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {

@@ -1,0 +1,44 @@
+package main
+
+import "testing"
+
+// TestParseLine covers the benchmark-line grammar: plain ns/op lines,
+// -benchmem columns, and the non-result lines a `go test -bench` run
+// interleaves.
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkServeMultiStream-8   	       3	 412345678 ns/op")
+	if !ok || r.Name != "BenchmarkServeMultiStream-8" || r.Iterations != 3 || r.NsPerOp != 412345678 {
+		t.Fatalf("plain line parsed as %+v, %v", r, ok)
+	}
+	if r.BytesPerOp != nil || r.AllocsPerOp != nil {
+		t.Fatalf("plain line grew memstats: %+v", r)
+	}
+	r, ok = parseLine("BenchmarkMatMul-4 100 123.5 ns/op 64 B/op 2 allocs/op")
+	if !ok || r.NsPerOp != 123.5 || r.BytesPerOp == nil || *r.BytesPerOp != 64 ||
+		r.AllocsPerOp == nil || *r.AllocsPerOp != 2 {
+		t.Fatalf("benchmem line parsed as %+v, %v", r, ok)
+	}
+	for _, line := range []string{
+		"ok  	ldbnadapt/internal/serve	8.731s",
+		"PASS",
+		"goos: linux",
+		"Benchmark without numbers",
+		"BenchmarkNoResult-8 notanumber 1 ns/op",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Fatalf("non-result line accepted: %q", line)
+		}
+	}
+}
+
+// TestGitSHA pins the stamp precedence: an explicit -sha wins, and the
+// fallback never leaves the field empty — an unkeyed manifest is what
+// this flag exists to prevent.
+func TestGitSHA(t *testing.T) {
+	if got := gitSHA("abc123"); got != "abc123" {
+		t.Fatalf("explicit sha ignored: %q", got)
+	}
+	if got := gitSHA(""); got == "" {
+		t.Fatal("fallback produced an empty stamp")
+	}
+}

@@ -10,7 +10,9 @@
 //	ldserve -streams 6 -watts 15 -workers 1 -policy drop-frames
 //	ldserve -streams 4 -fps 30 -fps-alt 15 -policy skip-adapt
 //	ldserve -streams 4 -govern hysteresis -power-budget 50 -epoch-ms 500
+//	ldserve -streams 4 -govern predictive -forecast holt
 //	ldserve -streams 8 -boards 4 -workers 1 -govern hysteresis -placement bin-pack -migrate
+//	ldserve -streams 12 -boards 4 -workers 1 -govern predictive -migrate -consolidate
 //
 // Latency accounting runs on an event-time virtual clock: each frame's
 // latency is its measured queue wait behind earlier work plus its
@@ -23,19 +25,26 @@
 // second camera rate for mixed-FPS fleets.
 //
 // -govern closes the loop: instead of holding -watts for the whole
-// run, a governor (internal/govern: static|hysteresis|oracle) observes
-// each -epoch-ms control epoch's telemetry and actuates the power
-// mode, overload policy and adaptation cadence for the next, keeping
-// modes within -power-budget. The report then includes energy (busy +
-// static draw) and the per-epoch mode trace.
+// run, a governor (internal/govern: static|hysteresis|predictive|
+// oracle) observes each -epoch-ms control epoch's telemetry and
+// actuates the power mode, overload policy and adaptation cadence for
+// the next, keeping modes within -power-budget. The report then
+// includes energy (busy + static draw) and the per-epoch mode trace.
+// Every stream feeds a -forecast arrival-rate model (internal/
+// forecast: naive|ewma|holt) whose next-epoch predictions ride in the
+// telemetry; the predictive governor pre-climbs the ladder on them.
 //
 // -boards shards the fleet across N boards (internal/shard), each a
 // full engine with its own governor: -placement picks the initial
 // stream→board assignment (round-robin, least-loaded LPT, or bin-pack
-// to a fill target) and -migrate lets the coordinator move the hottest
-// stream off a board that is pinned at its top affordable rung and
-// still missing deadlines, carrying the stream's adaptation state to
-// the destination board.
+// to a fill target) over admission-epoch forecast loads, and -migrate
+// lets the coordinator shed the hottest streams (by forecast) off a
+// board that cannot serve its predicted demand even at its top
+// affordable rung, carrying each stream's adaptation state and
+// forecaster to the destination board. -consolidate adds the reverse
+// path: when the forecast fleet load fits on fewer boards, the
+// coordinator drains the coldest board (coldest streams first) so its
+// rail sleeps until migration needs it again.
 //
 // Flag ↔ paper mapping (Fig. 3 deployment settings): -model and -watts
 // select the Fig. 3 row (backbone × power mode); -deadline-fps 30|18
@@ -55,6 +64,7 @@ import (
 	"ldbnadapt/internal/adapt"
 	"ldbnadapt/internal/carlane"
 	"ldbnadapt/internal/cli"
+	"ldbnadapt/internal/forecast"
 	"ldbnadapt/internal/govern"
 	"ldbnadapt/internal/metrics"
 	"ldbnadapt/internal/nn"
@@ -91,12 +101,14 @@ func main() {
 	epochs := flag.Int("epochs", 5, "source pre-training epochs (ignored with -weights)")
 	weights := flag.String("weights", "", "optional weights file from ldtrain")
 	naive := flag.Bool("naive", false, "also run the unbatched one-goroutine-per-stream baseline")
-	governName := flag.String("govern", "", "closed-loop governor: static|hysteresis|oracle (empty = one-shot run at -watts)")
+	governName := flag.String("govern", "", "closed-loop governor: static|hysteresis|predictive|oracle (empty = one-shot run at -watts)")
 	powerBudget := flag.Int("power-budget", 0, "governor power budget in watts (0 = unconstrained)")
 	epochMs := flag.Float64("epoch-ms", 500, "governor control-epoch length in virtual ms")
 	boards := flag.Int("boards", 1, "number of Orin boards; >1 shards the fleet (internal/shard), -workers becomes per-board")
 	placementName := flag.String("placement", "least-loaded", "stream→board placement for -boards >1: round-robin|least-loaded|bin-pack")
 	migrate := flag.Bool("migrate", false, "migrate the hottest stream off a saturated board at epoch boundaries (-boards >1)")
+	consolidate := flag.Bool("consolidate", false, "drain the coldest board during forecast lulls so its rail sleeps (-boards >1, needs -migrate to reopen boards)")
+	forecastName := flag.String("forecast", "holt", "per-stream arrival-rate forecaster: naive|ewma|holt")
 	seed := flag.Uint64("seed", 1, "seed for fleet generation and pre-training")
 	flag.Parse()
 
@@ -121,6 +133,16 @@ func main() {
 	}
 	if *boards > 1 && *naive {
 		fail(fmt.Errorf("-naive is a single-board comparison; drop it or use -boards 1"))
+	}
+	if *consolidate && *boards <= 1 {
+		fail(fmt.Errorf("-consolidate needs a fleet; use -boards >1"))
+	}
+	if *consolidate && !*migrate {
+		fail(fmt.Errorf("-consolidate needs -migrate: drained boards reopen only by migration"))
+	}
+	forecaster, err := forecast.ByName(*forecastName)
+	if err != nil {
+		fail(err)
 	}
 
 	cfg := cfgFor(variant, *lanes)
@@ -176,6 +198,7 @@ func main() {
 		DeadlineMs: 1000.0 / *deadlineFPS,
 		Policy:     policy,
 		Backlog:    *backlog,
+		Forecast:   forecaster,
 	}
 
 	if *boards > 1 {
@@ -184,13 +207,14 @@ func main() {
 			fail(err)
 		}
 		f, err := shard.New(m, shard.Config{
-			Boards:    *boards,
-			Board:     scfg,
-			Placement: placement,
-			Governor:  *governName,
-			BudgetW:   *powerBudget,
-			EpochMs:   *epochMs,
-			Migrate:   *migrate,
+			Boards:      *boards,
+			Board:       scfg,
+			Placement:   placement,
+			Governor:    *governName,
+			BudgetW:     *powerBudget,
+			EpochMs:     *epochMs,
+			Migrate:     *migrate,
+			Consolidate: *consolidate,
 		})
 		if err != nil {
 			fail(err)
@@ -277,7 +301,11 @@ func printFleetReport(rep shard.Report, govern, placement string) {
 		fmt.Fprintln(os.Stderr, err)
 	}
 	for _, mg := range rep.Migrations {
-		fmt.Printf("migration: epoch %d stream %d board %d -> %d\n", mg.Epoch, mg.Stream, mg.From, mg.To)
+		note := ""
+		if mg.Drained {
+			note = " (board drained)"
+		}
+		fmt.Printf("migration: epoch %d stream %d board %d -> %d [%s]%s\n", mg.Epoch, mg.Stream, mg.From, mg.To, mg.Reason, note)
 	}
 	fmt.Printf("fleet energy: %.1f J total (%.1f J busy + %.1f J static), %.3f J/frame, %.1f worker-s stranded\n",
 		rep.EnergyMJ/1e3, rep.BusyEnergyMJ/1e3, rep.IdleEnergyMJ/1e3, rep.JPerFrame, rep.StrandedMs/1e3)
@@ -312,11 +340,12 @@ func printReport(label string, rep serve.Report) {
 // control epoch.
 func printEpochTrace(rep serve.Report) {
 	fmt.Println("\nepoch trace:")
-	tb := metrics.NewTable("epoch", "mode", "policy", "adapt", "arrived", "served", "backlog",
+	tb := metrics.NewTable("epoch", "mode", "policy", "adapt", "arrived", "forecast", "served", "backlog",
 		"hit rate", "util", "energy J")
 	for _, es := range rep.Epochs {
 		tb.AddRow(es.Epoch, es.Controls.Mode.Name, es.Controls.Policy.String(), es.Controls.AdaptEvery,
-			es.Arrived, es.Served, es.QueueDepth, metrics.FormatPct(es.DeadlineHitRate),
+			es.Arrived, fmt.Sprintf("%.1f", es.ForecastArrived), es.Served, es.QueueDepth,
+			metrics.FormatPct(es.DeadlineHitRate),
 			fmt.Sprintf("%.2f", es.Utilization), fmt.Sprintf("%.1f", es.EnergyMJ/1e3))
 	}
 	if _, err := tb.WriteTo(os.Stdout); err != nil {

@@ -1,0 +1,170 @@
+// Lull consolidation: a fleet sized for the rush pays four static
+// rails all night. This demo serves a compressed diurnal cycle —
+// twelve cameras spread across four governed boards idle at 2 FPS,
+// rush together at 8 FPS twice, and after the second rush half the
+// cameras sign off while the survivors trickle on at 2 FPS — under
+// three deployments:
+//
+//   - spread, migrate-only: least-loaded placement, predictive
+//     governors, saturation migration. Every board stays awake for
+//     the whole run because every board keeps at least one stream —
+//     the 4-rail penalty in examples/sharding.
+//   - spread + consolidation: same fleet, plus the reverse path. At
+//     every epoch boundary the coordinator compares the fleet's
+//     provisioning load — per-stream arrival forecasts
+//     (internal/forecast), floored by a decaying peak-load memory so
+//     one quiet epoch cannot erase the morning rush — against the
+//     awake boards' capacity, and when the coldest board's streams
+//     all fit elsewhere it drains that board: streams migrate
+//     coldest-first with their adaptation state and forecaster, and
+//     the vacated board sleeps, charging no rail draw, until
+//     saturation migration needs it again.
+//   - packed + consolidation: bin-packed admission instead of spread,
+//     showing the two paths composed — the fleet opens boards only as
+//     the load earns them and closes them when it stops.
+//
+// The acceptance comparison (pinned by TestConsolidationCutsFleetEnergy)
+// is consolidation vs migrate-only: lower fleet energy at an
+// equal-or-better deadline-hit rate, with the drained boards visible
+// in the migration trace.
+//
+// Run with: go run ./examples/consolidation
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ldbnadapt/internal/adapt"
+	"ldbnadapt/internal/carlane"
+	"ldbnadapt/internal/metrics"
+	"ldbnadapt/internal/orin"
+	"ldbnadapt/internal/resnet"
+	"ldbnadapt/internal/serve"
+	"ldbnadapt/internal/shard"
+	"ldbnadapt/internal/stream"
+	"ldbnadapt/internal/tensor"
+	"ldbnadapt/internal/ufld"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "consolidation:", err)
+	os.Exit(1)
+}
+
+func main() {
+	rng := tensor.NewRNG(61)
+	cfg := ufld.Tiny(resnet.R18, 2)
+	src := carlane.Generate(cfg, carlane.SplitSpec{
+		Name:    "consolidation/source-train",
+		Layouts: []carlane.Layout{carlane.Ego2},
+		Domains: []carlane.Domain{carlane.Sim},
+		N:       80,
+		Seed:    61,
+	})
+	model := ufld.MustNewModel(cfg, rng)
+	tc := ufld.DefaultTrainConfig()
+	tc.Epochs = 5
+	fmt.Fprintln(os.Stderr, "pre-training on simulator source...")
+	if _, err := ufld.TrainSource(model, src, tc, rng.Split()); err != nil {
+		fail(err)
+	}
+
+	// The compressed diurnal fleet: morning lull, two rushes, and an
+	// evening where the odd-numbered cameras sign off.
+	scheds := make([]serve.StreamSchedule, 12)
+	for i := range scheds {
+		phases := []stream.RatePhase{
+			{Frames: 8, FPS: 2},
+			{Frames: 32, FPS: 8},
+			{Frames: 8, FPS: 2},
+			{Frames: 32, FPS: 8},
+		}
+		if i%2 == 0 {
+			phases = append(phases, stream.RatePhase{Frames: 24, FPS: 2})
+		}
+		scheds[i] = serve.StreamSchedule{Phases: phases}
+	}
+	fleet := serve.SyntheticFleetSchedules(cfg, scheds, 61)
+	total := 0
+	for _, s := range fleet {
+		total += len(s.Frames)
+	}
+	board := serve.Config{
+		Workers:    1,
+		MaxBatch:   8,
+		AdaptEvery: 4,
+		Adapt:      adapt.DefaultConfig(),
+		Mode:       orin.Mode60W,
+		DeadlineMs: orin.Deadline18FPS,
+	}
+	fmt.Printf("diurnal fleet: %d cameras (%d frames), 2 FPS lulls, 8 FPS rushes, half sign off for the evening;\n",
+		len(fleet), total)
+	fmt.Printf("%.1f ms deadline, 250 ms control epochs, predictive governors\n\n", orin.Deadline18FPS)
+
+	deployments := []struct {
+		label string
+		cfg   shard.Config
+	}{
+		{"spread, migrate-only", shard.Config{
+			Boards: 4, Board: board, Placement: shard.LeastLoaded{},
+			Governor: "predictive", EpochMs: 250, Migrate: true}},
+		{"spread + consolidate", shard.Config{
+			Boards: 4, Board: board, Placement: shard.LeastLoaded{},
+			Governor: "predictive", EpochMs: 250, Migrate: true,
+			Consolidate: true, ConsolidateUtil: 0.25}},
+		{"packed + consolidate", shard.Config{
+			Boards: 4, Board: board, Placement: shard.BinPack{Target: 0.15},
+			Governor: "predictive", EpochMs: 250, Migrate: true,
+			Consolidate: true, ConsolidateUtil: 0.25}},
+	}
+	reports := make([]shard.Report, len(deployments))
+	tb := metrics.NewTable("deployment", "served", "hit rate", "energy J", "static J",
+		"J/frame", "moves", "drains", "board-s awake")
+	for i, d := range deployments {
+		f, err := shard.New(model, d.cfg)
+		if err != nil {
+			fail(err)
+		}
+		reports[i] = f.Run(fleet)
+		rep := reports[i]
+		drains := 0
+		for _, mg := range rep.Migrations {
+			if mg.Drained {
+				drains++
+			}
+		}
+		awakeMs := 0.0
+		for _, br := range rep.Boards {
+			for _, es := range br.Report.Epochs {
+				awakeMs += es.EndMs - es.StartMs
+			}
+		}
+		tb.AddRow(d.label, rep.Frames, metrics.FormatPct(rep.HitRate),
+			fmt.Sprintf("%.1f", rep.EnergyMJ/1e3),
+			fmt.Sprintf("%.1f", rep.IdleEnergyMJ/1e3),
+			fmt.Sprintf("%.3f", rep.JPerFrame),
+			len(rep.Migrations), drains,
+			fmt.Sprintf("%.1f", awakeMs/1e3))
+	}
+	if _, err := tb.WriteTo(os.Stdout); err != nil {
+		fail(err)
+	}
+
+	con := reports[1]
+	fmt.Println("\nmigrations (spread + consolidate):")
+	for _, mg := range con.Migrations {
+		note := ""
+		if mg.Drained {
+			note = " — board drained, rail asleep"
+		}
+		fmt.Printf("  epoch %3d: stream %2d board %d → %d [%s]%s\n",
+			mg.Epoch, mg.Stream, mg.From, mg.To, mg.Reason, note)
+	}
+
+	mig := reports[0]
+	fmt.Printf("\nconsolidation vs migrate-only: %s vs %s deadline-hit rate at %.2fx the energy\n",
+		metrics.FormatPct(con.HitRate), metrics.FormatPct(mig.HitRate), con.EnergyMJ/mig.EnergyMJ)
+	fmt.Printf("(the static draw drops %.1f J → %.1f J: sleeping rails, not shed work).\n",
+		mig.IdleEnergyMJ/1e3, con.IdleEnergyMJ/1e3)
+}

@@ -95,7 +95,7 @@ func main() {
 			Boards: 4, Board: board(orin.Mode60W, 1), Placement: shard.LeastLoaded{},
 			Governor: "hysteresis", EpochMs: 250}},
 		{"4 small, hys, pack+mig", shard.Config{
-			Boards: 4, Board: board(orin.Mode60W, 1), Placement: shard.BinPack{Target: 0.25},
+			Boards: 4, Board: board(orin.Mode60W, 1), Placement: shard.BinPack{Target: 0.15},
 			Governor: "hysteresis", EpochMs: 250, Migrate: true}},
 	}
 	reports := make([]shard.Report, len(deployments))

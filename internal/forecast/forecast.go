@@ -1,0 +1,192 @@
+// Package forecast is the shared arrival-rate forecasting subsystem of
+// the fleet control plane: small, deterministic time-series models fed
+// one observation per control epoch (the epoch's arrival count) that
+// predict the next epoch's load. Every control layer consumes the same
+// forecasts — serve.EpochStats carries them per stream, govern's
+// Predictive controller pre-climbs the power ladder on them, and
+// internal/shard scores migration sources/destinations and lull
+// consolidation with them — so the quality of one estimator bounds the
+// quality of every placement and actuation decision at once (packing
+// quality is bounded by load-estimate quality, not by the packing
+// rule).
+//
+// Three models ship, in increasing order of what they can track:
+//
+//   - Naive repeats the last observation — the one-epoch-lag baseline
+//     every reactive controller implicitly uses, kept as the bar the
+//     smoothing models must beat.
+//   - EWMA is level-only exponential smoothing: robust to noise,
+//     converges to any plateau, but lags ramps by ~1/Alpha epochs.
+//   - Holt is double exponential smoothing (level + linear trend): it
+//     extrapolates ramps and flags trend reversals one epoch after
+//     they start, at the price of transient overshoot when a trend
+//     ends.
+//
+// All models are causal: they see only past epochs, never the replay's
+// future arrival stamps. A burst onset therefore still surprises them
+// by exactly one epoch — the residual gap a clairvoyant oracle keeps.
+package forecast
+
+import "fmt"
+
+// Forecaster is one stream's (or one board's) arrival-rate model.
+// Implementations are plain values: cheap to copy, deterministic, and
+// owned by exactly one control loop at a time (a migrating stream's
+// forecaster travels with it in the serve.Handoff).
+type Forecaster interface {
+	// Name labels the model in reports and CLIs.
+	Name() string
+	// Observe records the value of the epoch that just ended (an
+	// arrival count; fractional values are fine).
+	Observe(v float64)
+	// Forecast predicts the next epoch's value. It is never negative
+	// and is 0 before the first observation.
+	Forecast() float64
+}
+
+// Factory builds a fresh forecaster per stream. serve.Config and
+// shard.Config carry a Factory, not a Forecaster, because every stream
+// needs its own state.
+type Factory func() Forecaster
+
+// Naive is the one-epoch-lag baseline: tomorrow looks exactly like
+// today. Reactive governors (govern.Hysteresis) behave as if this were
+// the forecast, which is what makes it the comparison floor.
+type Naive struct {
+	last float64
+}
+
+// NewNaive returns the lag-1 baseline forecaster.
+func NewNaive() *Naive { return &Naive{} }
+
+// Name implements Forecaster.
+func (n *Naive) Name() string { return "naive" }
+
+// Observe implements Forecaster.
+func (n *Naive) Observe(v float64) { n.last = v }
+
+// Forecast implements Forecaster.
+func (n *Naive) Forecast() float64 { return clamp(n.last) }
+
+// DefaultAlpha is the level-smoothing factor used when none is set:
+// heavy enough that a plateau is trusted within a couple of epochs,
+// light enough that one noisy epoch does not whipsaw the controls.
+const DefaultAlpha = 0.6
+
+// DefaultBeta is Holt's trend-smoothing factor used when none is set.
+const DefaultBeta = 0.4
+
+// EWMA is level-only exponential smoothing:
+// level ← Alpha·v + (1−Alpha)·level.
+type EWMA struct {
+	// Alpha is the smoothing factor in (0, 1] (default DefaultAlpha).
+	Alpha float64
+
+	level float64
+	seen  bool
+}
+
+// NewEWMA returns an exponential smoother with the given Alpha
+// (0 selects DefaultAlpha).
+func NewEWMA(alpha float64) *EWMA { return &EWMA{Alpha: alpha} }
+
+// Name implements Forecaster.
+func (e *EWMA) Name() string { return "ewma" }
+
+func (e *EWMA) alpha() float64 {
+	if e.Alpha > 0 && e.Alpha <= 1 {
+		return e.Alpha
+	}
+	return DefaultAlpha
+}
+
+// Observe implements Forecaster.
+func (e *EWMA) Observe(v float64) {
+	if !e.seen {
+		e.level, e.seen = v, true
+		return
+	}
+	a := e.alpha()
+	e.level = a*v + (1-a)*e.level
+}
+
+// Forecast implements Forecaster.
+func (e *EWMA) Forecast() float64 { return clamp(e.level) }
+
+// Holt is double exponential smoothing with a linear trend term
+// (Holt 1957): level tracks where the series is, trend tracks how fast
+// it is moving, and the one-step forecast is level + trend. On a ramp
+// the trend term closes the lag EWMA cannot; after a reversal the
+// trend flips sign one epoch later.
+type Holt struct {
+	// Alpha is the level-smoothing factor in (0, 1] (default
+	// DefaultAlpha); Beta the trend-smoothing factor (default
+	// DefaultBeta).
+	Alpha, Beta float64
+
+	level, trend float64
+	seen         bool
+}
+
+// NewHolt returns a Holt linear-trend forecaster with the given
+// factors (0 selects the defaults).
+func NewHolt(alpha, beta float64) *Holt { return &Holt{Alpha: alpha, Beta: beta} }
+
+// Name implements Forecaster.
+func (h *Holt) Name() string { return "holt" }
+
+func (h *Holt) factors() (a, b float64) {
+	a, b = h.Alpha, h.Beta
+	if a <= 0 || a > 1 {
+		a = DefaultAlpha
+	}
+	if b <= 0 || b > 1 {
+		b = DefaultBeta
+	}
+	return a, b
+}
+
+// Observe implements Forecaster.
+func (h *Holt) Observe(v float64) {
+	if !h.seen {
+		h.level, h.trend, h.seen = v, 0, true
+		return
+	}
+	a, b := h.factors()
+	prev := h.level
+	h.level = a*v + (1-a)*(h.level+h.trend)
+	h.trend = b*(h.level-prev) + (1-b)*h.trend
+}
+
+// Forecast implements Forecaster.
+func (h *Holt) Forecast() float64 { return clamp(h.level + h.trend) }
+
+// clamp floors a forecast at zero: a negative arrival rate is a model
+// artifact (Holt's trend undershooting a drained stream), never a
+// prediction the control plane should act on.
+func clamp(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Default is the factory the serving stack uses when none is
+// configured: Holt with the default factors, because ramps and burst
+// tails are exactly the regimes the predictive control plane exists
+// for.
+func Default() Forecaster { return NewHolt(0, 0) }
+
+// ByName resolves a forecaster factory by CLI name: "naive", "ewma" or
+// "holt".
+func ByName(name string) (Factory, error) {
+	switch name {
+	case "naive":
+		return func() Forecaster { return NewNaive() }, nil
+	case "ewma":
+		return func() Forecaster { return NewEWMA(0) }, nil
+	case "holt":
+		return func() Forecaster { return NewHolt(0, 0) }, nil
+	}
+	return nil, fmt.Errorf("forecast: unknown forecaster %q (have naive/ewma/holt)", name)
+}

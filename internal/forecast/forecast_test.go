@@ -1,0 +1,149 @@
+package forecast
+
+import (
+	"math"
+	"testing"
+)
+
+// feed drives a forecaster through a series and returns the one-step
+// forecasts made *before* each observation (so errs[i] compares the
+// forecast available at epoch i against what epoch i actually brought).
+func feed(f Forecaster, series []float64) []float64 {
+	out := make([]float64, len(series))
+	for i, v := range series {
+		out[i] = f.Forecast()
+		f.Observe(v)
+	}
+	return out
+}
+
+func sumAbsErr(forecasts, series []float64, from int) float64 {
+	s := 0.0
+	for i := from; i < len(series); i++ {
+		s += math.Abs(forecasts[i] - series[i])
+	}
+	return s
+}
+
+// TestNaiveLagsByOneEpoch pins the baseline: the naive forecast is
+// exactly the previous observation.
+func TestNaiveLagsByOneEpoch(t *testing.T) {
+	series := []float64{3, 7, 2, 9, 9, 0}
+	f := NewNaive()
+	got := feed(f, series)
+	if got[0] != 0 {
+		t.Fatalf("naive forecast before any observation = %v, want 0", got[0])
+	}
+	for i := 1; i < len(series); i++ {
+		if got[i] != series[i-1] {
+			t.Fatalf("naive forecast at %d = %v, want previous observation %v", i, got[i], series[i-1])
+		}
+	}
+}
+
+// TestEWMAConvergesToPlateau: on a constant series the EWMA forecast
+// converges geometrically to the plateau and never overshoots it.
+func TestEWMAConvergesToPlateau(t *testing.T) {
+	f := NewEWMA(0.5)
+	f.Observe(0) // start from a cold level so convergence is visible
+	prevGap := math.Inf(1)
+	for i := 0; i < 30; i++ {
+		f.Observe(10)
+		gap := math.Abs(10 - f.Forecast())
+		if f.Forecast() > 10+1e-12 {
+			t.Fatalf("EWMA overshot the plateau: %v", f.Forecast())
+		}
+		if gap > prevGap+1e-12 {
+			t.Fatalf("EWMA gap grew at step %d: %v after %v", i, gap, prevGap)
+		}
+		prevGap = gap
+	}
+	if prevGap > 1e-3 {
+		t.Fatalf("EWMA never converged: gap %v after 30 epochs", prevGap)
+	}
+}
+
+// TestHoltTracksRamp is the reason Holt ships: on a linear ramp its
+// one-step forecast error vanishes once the trend is learned, while
+// naive stays one full slope behind and EWMA lags even further.
+func TestHoltTracksRamp(t *testing.T) {
+	series := make([]float64, 40)
+	for i := range series {
+		series[i] = float64(4 * i) // slope 4 per epoch
+	}
+	holt := feed(NewHolt(0, 0), series)
+	naive := feed(NewNaive(), series)
+	ewma := feed(NewEWMA(0), series)
+
+	// After a warmup the trend term must have closed the lag.
+	if err := math.Abs(holt[len(series)-1] - series[len(series)-1]); err > 0.5 {
+		t.Fatalf("Holt still %v off the ramp after 40 epochs", err)
+	}
+	hErr := sumAbsErr(holt, series, 10)
+	nErr := sumAbsErr(naive, series, 10)
+	eErr := sumAbsErr(ewma, series, 10)
+	if hErr >= nErr {
+		t.Fatalf("Holt ramp error %v not below naive's %v", hErr, nErr)
+	}
+	if nErr >= eErr {
+		t.Fatalf("scenario broken: naive ramp error %v should beat EWMA's %v", nErr, eErr)
+	}
+}
+
+// TestHoltReversalAndClamp: when a ramp reverses into silence, Holt's
+// trend undershoots — the forecast must clamp at zero rather than
+// predict negative arrivals, and must recover to the new level.
+func TestHoltReversalAndClamp(t *testing.T) {
+	f := NewHolt(0, 0)
+	for i := 0; i < 10; i++ {
+		f.Observe(float64(10 * i))
+	}
+	for i := 0; i < 40; i++ {
+		f.Observe(0)
+		if fc := f.Forecast(); fc < 0 {
+			t.Fatalf("forecast went negative: %v", fc)
+		}
+	}
+	if fc := f.Forecast(); fc > 1e-6 {
+		t.Fatalf("Holt never recovered from the reversal: forecast %v", fc)
+	}
+}
+
+// TestForecastersDeterministic: identical observation sequences produce
+// bitwise identical forecasts — the control plane's decisions must be
+// reproducible.
+func TestForecastersDeterministic(t *testing.T) {
+	series := []float64{2, 2, 30, 28, 31, 2, 2, 2, 15, 30}
+	for _, name := range []string{"naive", "ewma", "holt"} {
+		mk, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := feed(mk(), series)
+		b := feed(mk(), series)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s diverged at %d: %v vs %v", name, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestByName covers resolution, naming, and the unknown-model error.
+func TestByName(t *testing.T) {
+	for _, name := range []string{"naive", "ewma", "holt"} {
+		mk, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if got := mk().Name(); got != name {
+			t.Fatalf("ByName(%q) built %q", name, got)
+		}
+	}
+	if _, err := ByName("arima"); err == nil {
+		t.Fatal("unknown forecaster accepted")
+	}
+	if Default().Name() != "holt" {
+		t.Fatalf("default forecaster is %q, want holt", Default().Name())
+	}
+}

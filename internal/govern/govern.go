@@ -8,7 +8,7 @@
 // actuates the next epoch's power mode, overload policy and
 // adaptation cadence (serve.Controls).
 //
-// Three policies ship behind the serve.Controller interface:
+// Four policies ship behind the serve.Controller interface:
 //
 //   - Static pins the engine's configured controls — the baseline, and
 //     exactly Run's one-shot behavior.
@@ -19,6 +19,12 @@
 //     rung stretches the adaptation cadence and escalates the
 //     overload policy before giving up frames. It never selects a
 //     mode above its power budget.
+//   - Predictive is Hysteresis plus feed-forward: the per-stream
+//     arrival forecasts (internal/forecast) riding in EpochStats let
+//     it pre-climb straight to the lowest rung that fits the
+//     predicted load, paying only the onset epoch at a burst instead
+//     of one missed epoch per rung. With a flat forecast it decides
+//     exactly like Hysteresis.
 //   - Oracle is the upper bound: at every boundary it probes each
 //     ladder rung against the engine's exact queue/worker/window
 //     state (serve.RunGoverned's probe) and takes the cheapest rung
@@ -61,9 +67,9 @@ func Ladder(budgetW int) ([]orin.PowerMode, error) {
 	return out, nil
 }
 
-// ByName builds the governor a CLI names: "static", "hysteresis" or
-// "oracle", with an optional power budget in watts (0 =
-// unconstrained).
+// ByName builds the governor a CLI names: "static", "hysteresis",
+// "predictive" or "oracle", with an optional power budget in watts
+// (0 = unconstrained).
 func ByName(name string, budgetW int) (serve.Controller, error) {
 	if _, err := Ladder(budgetW); err != nil {
 		return nil, err
@@ -73,10 +79,12 @@ func ByName(name string, budgetW int) (serve.Controller, error) {
 		return Static{BudgetW: budgetW}, nil
 	case "hysteresis":
 		return &Hysteresis{BudgetW: budgetW}, nil
+	case "predictive":
+		return &Predictive{Hysteresis: Hysteresis{BudgetW: budgetW}}, nil
 	case "oracle":
 		return &Oracle{BudgetW: budgetW}, nil
 	}
-	return nil, fmt.Errorf("govern: unknown governor %q (have static/hysteresis/oracle)", name)
+	return nil, fmt.Errorf("govern: unknown governor %q (have static/hysteresis/predictive/oracle)", name)
 }
 
 // Static pins one set of controls for the whole run — the offline

@@ -247,7 +247,7 @@ func TestHysteresisSaturationEscalation(t *testing.T) {
 
 // TestByName covers the CLI constructor including the budget floor.
 func TestByName(t *testing.T) {
-	for _, name := range []string{"static", "hysteresis", "oracle"} {
+	for _, name := range []string{"static", "hysteresis", "predictive", "oracle"} {
 		ctl, err := ByName(name, 0)
 		if err != nil || ctl.Name() != name {
 			t.Fatalf("ByName(%q): %v, %v", name, ctl, err)

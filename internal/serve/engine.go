@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ldbnadapt/internal/adapt"
+	"ldbnadapt/internal/forecast"
 	"ldbnadapt/internal/metrics"
 	"ldbnadapt/internal/nn"
 	"ldbnadapt/internal/orin"
@@ -58,6 +59,12 @@ type Config struct {
 	// which is when SkipAdapt sheds adaptation steps and DropFrames
 	// sheds the stale frames themselves (default 1).
 	Backlog int
+	// Forecast builds the per-stream arrival-rate forecaster a Session
+	// feeds with each epoch's arrival count (default forecast.Default:
+	// Holt linear trend). The resulting next-epoch forecasts ride in
+	// EpochStats for predictive controllers and the fleet coordinator;
+	// a migrating stream's forecaster travels with it in the Handoff.
+	Forecast forecast.Factory
 }
 
 // withDefaults fills unset fields.
@@ -88,6 +95,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Backlog <= 0 {
 		c.Backlog = 1
+	}
+	if c.Forecast == nil {
+		c.Forecast = forecast.Default
 	}
 	return c
 }

@@ -71,6 +71,17 @@ type EpochStats struct {
 	// its dispatches), IdleEnergyMJ the static rail draw (IdleWatts ×
 	// epoch span), EnergyMJ their sum — all in millijoules.
 	BusyEnergyMJ, IdleEnergyMJ, EnergyMJ float64
+	// StreamArrivals counts the epoch's arrivals per board-local
+	// stream id — the observation the per-stream forecasters consume.
+	StreamArrivals []int
+	// StreamForecasts is each stream's forecast arrival count for the
+	// next epoch and ForecastArrived their sum — the leading load
+	// signal predictive controllers and the fleet coordinator act on.
+	// A Session fills them after observing the epoch; probe-simulated
+	// stats leave them nil/zero (a what-if epoch updates no
+	// forecaster).
+	StreamForecasts []float64
+	ForecastArrived float64
 
 	// accumulators finalized into the exported fields.
 	hits     int
@@ -110,7 +121,9 @@ func probe(p *planner, c Controls, startMs, endMs float64, workers int) EpochSta
 // counting, end-of-epoch backlog, rates, utilization and the static
 // energy of parking the board at the epoch's mode for its span.
 func finalizeEpoch(es *EpochStats, p *planner, spanMs float64, workers int) {
+	es.StreamArrivals = make([]int, len(p.depth))
 	for p.arrSeen < len(p.all) && p.all[p.arrSeen].arrMs < es.EndMs {
+		es.StreamArrivals[p.all[p.arrSeen].stream]++
 		p.arrSeen++
 		es.Arrived++
 	}

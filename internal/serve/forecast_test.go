@@ -1,0 +1,242 @@
+package serve
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"ldbnadapt/internal/forecast"
+	"ldbnadapt/internal/orin"
+	"ldbnadapt/internal/stream"
+)
+
+// TestEpochForecastTelemetry: every recorded epoch's per-stream
+// arrival counts must tile the epoch's Arrived total, and the
+// published forecasts must be non-negative with ForecastArrived their
+// exact sum. With the naive forecaster the next-epoch forecast is
+// exactly this epoch's fleet arrival count — the lag-1 contract, end
+// to end through the telemetry path.
+func TestEpochForecastTelemetry(t *testing.T) {
+	m := testModel(95)
+	fleet := BurstyFleet(m.Cfg, 2, 2, 4, 12, 2, 30, 43)
+	cfg := migrationConfig()
+	cfg.Forecast = func() forecast.Forecaster { return forecast.NewNaive() }
+	s := New(m, cfg).NewSession(fleet)
+	var trace []EpochStats
+	for i := 0; !s.Done(); i++ {
+		if i > 10000 {
+			t.Fatal("session failed to drain")
+		}
+		trace = append(trace, s.RunEpoch(s.Now()+250))
+	}
+	s.Finish()
+	for i, es := range trace {
+		sumA := 0
+		for _, n := range es.StreamArrivals {
+			sumA += n
+		}
+		if sumA != es.Arrived {
+			t.Fatalf("epoch %d: Σ stream arrivals %d != Arrived %d", i, sumA, es.Arrived)
+		}
+		sumF := 0.0
+		for _, f := range es.StreamForecasts {
+			if f < 0 {
+				t.Fatalf("epoch %d: negative forecast %v", i, f)
+			}
+			sumF += f
+		}
+		if math.Abs(sumF-es.ForecastArrived) > 1e-9 {
+			t.Fatalf("epoch %d: Σ forecasts %v != ForecastArrived %v", i, sumF, es.ForecastArrived)
+		}
+		if es.ForecastArrived != float64(es.Arrived) {
+			t.Fatalf("epoch %d: naive forecast %v != this epoch's arrivals %d", i, es.ForecastArrived, es.Arrived)
+		}
+	}
+}
+
+// TestHandoffCarriesForecaster: a migrating stream's forecaster — and
+// therefore its observation history — must move with the stream, while
+// the source board replaces its slot with a cold model. The EWMA level
+// built on board 1 must be visible in board 2's first boundary
+// forecast.
+func TestHandoffCarriesForecaster(t *testing.T) {
+	m := testModel(96)
+	cfg := migrationConfig()
+	cfg.Forecast = func() forecast.Forecaster { return forecast.NewEWMA(0.5) }
+	fleet := SyntheticFleet(m.Cfg, 1, 12, 4, 29) // 4 FPS: one arrival per 250 ms
+	s1 := New(m, cfg).NewSession(fleet)
+	s2 := New(m, cfg).NewSession(nil)
+	s1.RunEpoch(1000)
+	s2.RunEpoch(1000)
+	warm := s1.fc[0]
+	h := s1.DetachStream(0)
+	if h == nil {
+		t.Fatal("nothing detached")
+	}
+	if h.fc != warm {
+		t.Fatal("handoff does not carry the stream's live forecaster")
+	}
+	if s1.fc[0] == warm {
+		t.Fatal("source board kept the emigrated stream's forecaster")
+	}
+	local := s2.AttachStream(h)
+	if s2.fc[local] != warm {
+		t.Fatal("destination board did not adopt the handoff forecaster")
+	}
+	es := s2.RunEpoch(2000)
+	// Board 1 observed 4 arrivals in [0,1000); the EWMA level carried
+	// over and then absorbed board 2's first epoch, so the forecast
+	// must exceed what a cold forecaster fed one epoch could predict.
+	if es.StreamForecasts[local] <= 0 {
+		t.Fatalf("carried forecaster predicts %v after a served epoch", es.StreamForecasts[local])
+	}
+	s1.Finish()
+	s2.Finish()
+}
+
+// roundTripReports runs the same fleet twice: a reference end-to-end
+// run, and a run where stream `victim` is detached and immediately
+// re-attached to the SAME session at boundary `atMs`. Returns both
+// reports plus the victim's new local id.
+func roundTripReports(t *testing.T, seed uint64, victim int, atMs float64) (ref, rt Report, nl int) {
+	t.Helper()
+	m := testModel(seed)
+	cfg := migrationConfig()
+	cfg.MaxBatch = 2
+	// Coprime-ish rates keep arrival stamps distinct across streams, so
+	// the event-list tie-break (stream id) cannot reorder a re-attached
+	// stream's arrivals against simultaneous ones.
+	mk := func() []*stream.Source { return SyntheticFleetRates(m.Cfg, 3, 14, []float64{3.7, 5.3, 7.1}, seed+7) }
+
+	refSess := New(m, cfg).NewSession(mk())
+	ref = driveToCompletion(t, refSess, 500)
+
+	s := New(m, cfg).NewSession(mk())
+	for s.Now() < atMs {
+		s.RunEpoch(s.Now() + 500)
+	}
+	h := s.DetachStream(victim)
+	if h == nil {
+		t.Fatalf("stream %d had nothing to detach at %v ms", victim, atMs)
+	}
+	nl = s.AttachStream(h)
+	rt = driveToCompletion(t, s, 500)
+	return ref, rt, nl
+}
+
+// TestDetachAttachRoundTripInvariant is the handoff property pin
+// consolidation leans on: DetachStream immediately followed by
+// AttachStream on the same board must be invisible — the schedule
+// (frames, batches, makespan), the report totals (energy, latency,
+// misses) and the victim stream's own aggregate outcome all match the
+// untouched run exactly. The only permitted difference is bookkeeping:
+// the victim's future frames live under a fresh local id.
+func TestDetachAttachRoundTripInvariant(t *testing.T) {
+	for _, tc := range []struct {
+		seed   uint64
+		victim int
+		atMs   float64
+	}{
+		{101, 0, 500},
+		{102, 1, 1000},
+		{103, 2, 1500},
+		{104, 2, 500},
+	} {
+		ref, rt, nl := roundTripReports(t, tc.seed, tc.victim, tc.atMs)
+		if rt.Frames != ref.Frames || rt.Batches != ref.Batches {
+			t.Fatalf("seed %d: round trip changed the schedule: %d frames/%d batches vs %d/%d",
+				tc.seed, rt.Frames, rt.Batches, ref.Frames, ref.Batches)
+		}
+		for name, pair := range map[string][2]float64{
+			"virtual": {rt.VirtualSeconds, ref.VirtualSeconds},
+			"busy":    {rt.BusyEnergyMJ, ref.BusyEnergyMJ},
+			"energy":  {rt.EnergyMJ, ref.EnergyMJ},
+			"p99":     {rt.P99LatencyMs, ref.P99LatencyMs},
+			"miss":    {rt.MissRate, ref.MissRate},
+			"queue":   {rt.MeanQueueMs, ref.MeanQueueMs},
+		} {
+			if diff := math.Abs(pair[0] - pair[1]); diff > 1e-9 {
+				t.Fatalf("seed %d: round trip changed %s: %.9f vs %.9f", tc.seed, name, pair[0], pair[1])
+			}
+		}
+		// The victim stream is split across two local ids; recombined it
+		// must equal the reference stream's aggregate exactly.
+		pre, post, want := rt.Streams[tc.victim], rt.Streams[nl], ref.Streams[tc.victim]
+		if got := pre.Frames + post.Frames; got != want.Frames {
+			t.Fatalf("seed %d: victim served %d frames after round trip, want %d", tc.seed, got, want.Frames)
+		}
+		if got := pre.AdaptSteps + post.AdaptSteps; got != want.AdaptSteps {
+			t.Fatalf("seed %d: victim ran %d adaptation steps, want %d", tc.seed, got, want.AdaptSteps)
+		}
+		if diff := math.Abs(pre.EnergyMJ + post.EnergyMJ - want.EnergyMJ); diff > 1e-9 {
+			t.Fatalf("seed %d: victim energy off by %v after round trip", tc.seed, diff)
+		}
+		// Latency distribution of the recombined stream matches the
+		// reference's extremes (the full distributions are identical;
+		// max is the cheap witness).
+		if got := math.Max(pre.MaxLatencyMs, post.MaxLatencyMs); math.Abs(got-want.MaxLatencyMs) > 1e-9 {
+			t.Fatalf("seed %d: victim max latency %.9f vs %.9f", tc.seed, got, want.MaxLatencyMs)
+		}
+		// Untouched streams' reports match field for field.
+		for si := range ref.Streams {
+			if si == tc.victim {
+				continue
+			}
+			a, b := rt.Streams[si], ref.Streams[si]
+			if a.Frames != b.Frames || math.Abs(a.P99LatencyMs-b.P99LatencyMs) > 1e-9 ||
+				math.Abs(a.EnergyMJ-b.EnergyMJ) > 1e-9 || a.AdaptSteps != b.AdaptSteps {
+				t.Fatalf("seed %d: bystander stream %d changed: %+v vs %+v", tc.seed, si, a, b)
+			}
+		}
+	}
+}
+
+// TestRoundTripPreservesEpochTiling: after a same-board round trip the
+// epoch trace still tiles the run — every arrival counted exactly
+// once, per-stream arrivals summing to the fleet total.
+func TestRoundTripPreservesEpochTiling(t *testing.T) {
+	_, rt, _ := roundTripReports(t, 105, 1, 1000)
+	total := 0
+	for _, es := range rt.Epochs {
+		sumA := 0
+		for _, n := range es.StreamArrivals {
+			sumA += n
+		}
+		if sumA != es.Arrived {
+			t.Fatalf("epoch %d: Σ stream arrivals %d != %d", es.Epoch, sumA, es.Arrived)
+		}
+		total += es.Arrived
+	}
+	if total != 3*14 {
+		t.Fatalf("epoch trace counted %d arrivals, want %d", total, 3*14)
+	}
+	// Epoch boundaries stay sorted and non-overlapping.
+	if !sort.SliceIsSorted(rt.Epochs, func(i, j int) bool { return rt.Epochs[i].StartMs < rt.Epochs[j].StartMs }) {
+		t.Fatal("epoch trace out of order after round trip")
+	}
+}
+
+// TestForecastDefaultsToHolt: the engine defaults the forecaster
+// factory so sessions always publish forecasts, and a governed run's
+// trace therefore carries a usable leading signal out of the box.
+func TestForecastDefaultsToHolt(t *testing.T) {
+	m := testModel(97)
+	fleet := SyntheticFleet(m.Cfg, 2, 8, 4, 31)
+	cfg := migrationConfig()
+	e := New(m, cfg)
+	if e.Config().Forecast == nil {
+		t.Fatal("withDefaults left Forecast nil")
+	}
+	if name := e.Config().Forecast().Name(); name != "holt" {
+		t.Fatalf("default forecaster %q, want holt", name)
+	}
+	rep := e.RunGoverned(fleet, 500, fixedCtl{c: Controls{Mode: orin.Mode60W, AdaptEvery: 3}})
+	if len(rep.Epochs) == 0 {
+		t.Fatal("no epochs recorded")
+	}
+	for _, es := range rep.Epochs {
+		if es.StreamForecasts == nil {
+			t.Fatalf("epoch %d published no forecasts", es.Epoch)
+		}
+	}
+}

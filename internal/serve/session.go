@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"ldbnadapt/internal/forecast"
 	"ldbnadapt/internal/stream"
 )
 
@@ -30,6 +31,11 @@ type Session struct {
 	p       *planner
 	sources []*stream.Source
 	states  []*streamState
+	// fc is each stream's arrival-rate forecaster, observed once per
+	// epoch with the stream's arrival count; a detached stream's
+	// forecaster leaves with it in the Handoff so its history follows
+	// it across boards.
+	fc []forecast.Forecaster
 
 	batches   chan plannedBatch
 	records   chan execRec
@@ -64,6 +70,10 @@ func (e *Engine) NewSession(sources []*stream.Source) *Session {
 	}
 	for i := range s.states {
 		s.states[i] = newStreamState(e.model, e.cfg.Adapt)
+	}
+	s.fc = make([]forecast.Forecaster, len(sources))
+	for i := range s.fc {
+		s.fc[i] = e.cfg.Forecast()
 	}
 	s.p.setControls(Controls{Mode: e.cfg.Mode, Policy: e.cfg.Policy, AdaptEvery: e.cfg.AdaptEvery})
 	for w := 0; w < e.cfg.Workers; w++ {
@@ -137,6 +147,17 @@ func (s *Session) RunEpoch(endMs float64) EpochStats {
 		span = math.Min(span, math.Max(0, s.p.sc.makespanMs-s.epochStart))
 	}
 	finalizeEpoch(&es, s.p, span, s.e.cfg.Workers)
+	// Observe the epoch into the per-stream forecasters and publish
+	// their next-epoch predictions — the leading load signal a
+	// predictive controller or fleet coordinator acts on at this
+	// boundary. Probes never reach here, so what-if epochs leave the
+	// forecast state untouched.
+	es.StreamForecasts = make([]float64, len(s.fc))
+	for si, f := range s.fc {
+		f.Observe(float64(es.StreamArrivals[si]))
+		es.StreamForecasts[si] = f.Forecast()
+		es.ForecastArrived += es.StreamForecasts[si]
+	}
 	es.EndMs = s.epochStart + span
 	if span > 0 {
 		s.epochs = append(s.epochs, es)
@@ -174,6 +195,18 @@ type Handoff struct {
 	// sinceAdapt is the planner's open-window length at the boundary, so
 	// the destination continues the adaptation cadence mid-window.
 	sinceAdapt int
+	// fc is the stream's arrival-rate forecaster: its observation
+	// history moves with the stream, so the destination board's
+	// telemetry predicts the migrant's load from the first boundary.
+	fc forecast.Forecaster
+	// from and local identify the planner and local id the stream
+	// detached from. A re-attach to the same planner (a same-board
+	// rejoin, e.g. a consolidation move that found no better board) can
+	// then resume the stream's actual open adaptation window — the
+	// planned frames awaiting their step share are on that planner —
+	// so the round trip is exactly invariant, not just approximately.
+	from  *planner
+	local int
 }
 
 // DetachStream removes stream id's future frames (arrivals at or after
@@ -203,11 +236,19 @@ func (s *Session) DetachStream(id int) *Handoff {
 		kept = append(kept, a)
 	}
 	p.all = kept
-	return &Handoff{
+	h := &Handoff{
 		Source:     &stream.Source{FPS: s.sources[id].FPS, Frames: frames},
 		state:      s.states[id].snapshot(),
 		sinceAdapt: p.sinceAdapt[id],
+		fc:         s.fc[id],
+		from:       p,
+		local:      id,
 	}
+	// The local id stays valid (its served history remains here); give
+	// it a fresh forecaster so the emigrated stream's history is owned
+	// by exactly one board.
+	s.fc[id] = s.e.cfg.Forecast()
+	return h
 }
 
 // AttachStream adds a migrated (or newly joining) stream to this board
@@ -218,5 +259,22 @@ func (s *Session) DetachStream(id int) *Handoff {
 func (s *Session) AttachStream(h *Handoff) int {
 	s.sources = append(s.sources, h.Source)
 	s.states = append(s.states, h.state)
-	return s.p.addStream(h.Source, h.sinceAdapt)
+	fc := h.fc
+	if fc == nil { // a newly joining stream arrives without history
+		fc = s.e.cfg.Forecast()
+	}
+	s.fc = append(s.fc, fc)
+	nl := s.p.addStream(h.Source, h.sinceAdapt)
+	if h.from == s.p {
+		// Same-board rejoin: splice the stream's open adaptation window
+		// from its old local id, so the next completed step spreads its
+		// share over the very frames that opened the window. Cross-board
+		// attaches cannot do this — the awaiting frames live on the
+		// source planner and keep their floor latency there, like any
+		// in-flight work a real handoff leaves behind.
+		s.p.window[nl] = s.p.window[h.local]
+		s.p.window[h.local] = nil
+		s.p.sinceAdapt[h.local] = 0
+	}
+	return nl
 }

@@ -1,0 +1,135 @@
+package shard
+
+import (
+	"sort"
+
+	"ldbnadapt/internal/serve"
+)
+
+// Lull consolidation is the reverse of saturation migration: where
+// migration spreads load off a board the governor cannot save with
+// watts, consolidation packs load back onto few boards when the
+// fleet's forecast says the capacity is no longer needed. The payoff
+// is the static rail draw: a board whose streams all left drains its
+// in-flight work and sleeps (serve.Session charges no idle energy to
+// a drained board), so the 4-rail penalty that keeps governed shards
+// above a single board's energy is only paid while the load actually
+// needs four boards.
+//
+// The pass is deliberately conservative: one board per boundary, the
+// coldest one, and only when every stream it homes fits on the
+// remaining boards under the ConsolidateUtil forecast ceiling —
+// a partial drain would move streams without putting any rail to
+// sleep, all risk and no payoff.
+
+// conHome describes one homed stream during consolidation planning.
+type conHome struct {
+	gid  int
+	util float64 // provisioning utilization share at the shared frame cost
+}
+
+// peakDecay is the per-epoch decay of the coordinator's peak-load
+// memory: the insurance half-life that prices how long a lull must
+// last before the fleet stops provisioning for the last burst. It is
+// deliberately slower than govern.Predictive's per-board decay —
+// repacking a whole fleet onto one board is a far more expensive
+// mistake than holding one board's rung an epoch too long, so the
+// fleet remembers bursts for ~3× longer (half-life ≈ 14 epochs).
+const peakDecay = 0.95
+
+// consolidate drains the coldest occupied board when the fleet's
+// provisioning load — each stream's forecast, floored by its decayed
+// peak — fits on the others with headroom, migrating its streams
+// coldest-first onto the boards with the most headroom. lastCon is
+// the consolidation cooldown clock; lastSat is read-only here — a
+// stream that saturation migration just rescued must not be packed
+// straight back into the hot spot it escaped.
+func (f *Fleet) consolidate(boards []*board, stats []serve.EpochStats, home, lastSat, lastCon []int,
+	peak []float64, migrations []Migration) []Migration {
+	epoch := stats[0].Epoch
+	// Board provisioning loads in utilization units, and homed streams.
+	homed := make([][]conHome, len(boards))
+	loads := make([]float64, len(boards))
+	for _, b := range boards {
+		if b.sess.Done() {
+			// A drained-and-finished board has nothing to consolidate and
+			// nothing worth draining: its streams' schedules ended, every
+			// detach would return nil, and selecting it as the perpetual
+			// "coldest victim" would block real consolidation elsewhere
+			// for the rest of the run.
+			continue
+		}
+		for li, gid := range b.globals {
+			if home[gid] != b.id || b.local[gid] != li {
+				continue
+			}
+			frames := streamForecast(b, stats[b.id], gid)
+			if peak[gid] > frames {
+				frames = peak[gid]
+			}
+			u := frames * f.topFrameMs() / (f.cfg.EpochMs * float64(f.workers))
+			homed[b.id] = append(homed[b.id], conHome{gid: gid, util: u})
+			loads[b.id] += u
+		}
+	}
+	// The victim is the coldest occupied board; it needs company — a
+	// fleet already on one board has nothing left to consolidate.
+	victim := -1
+	occupied := 0
+	for id := range boards {
+		if len(homed[id]) == 0 {
+			continue
+		}
+		occupied++
+		if victim < 0 || loads[id] < loads[victim] {
+			victim = id
+		}
+	}
+	if occupied < 2 {
+		return migrations
+	}
+	// Plan the full drain: every victim stream must be off cooldown and
+	// must fit a keeper under the packing ceiling, or nothing moves.
+	streams := append([]conHome(nil), homed[victim]...)
+	sort.SliceStable(streams, func(i, j int) bool { return streams[i].util < streams[j].util })
+	cap := f.cfg.ConsolidateUtil
+	planned := make([]float64, len(boards))
+	dests := make([]int, len(streams))
+	for i, s := range streams {
+		if epoch-lastCon[s.gid] < f.cfg.Cooldown || epoch-lastSat[s.gid] < f.cfg.Cooldown {
+			return migrations
+		}
+		dst := -1
+		for id, b := range boards {
+			if id == victim || len(homed[id]) == 0 || f.saturated(b, stats[id]) {
+				continue // keepers only: occupied, healthy boards
+			}
+			if loads[id]+planned[id]+s.util > cap {
+				continue
+			}
+			if dst < 0 || loads[id]+planned[id] < loads[dst]+planned[dst] {
+				dst = id
+			}
+		}
+		if dst < 0 {
+			return migrations // no headroom anywhere: the lull is not deep enough
+		}
+		dests[i] = dst
+		planned[dst] += s.util
+	}
+	// Execute. A stream with no future frames detaches to nil and stays
+	// to drain — it does not keep the board awake, so the drain still
+	// completes.
+	first := len(migrations)
+	for i, s := range streams {
+		var ok bool
+		migrations, ok = f.move(boards[victim], boards[dests[i]], s.gid, home, epoch, Consolidate, migrations)
+		if ok {
+			lastCon[s.gid] = epoch
+		}
+	}
+	if len(migrations) > first {
+		migrations[len(migrations)-1].Drained = true
+	}
+	return migrations
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sort"
 
+	"ldbnadapt/internal/forecast"
 	"ldbnadapt/internal/stream"
 )
 
@@ -36,24 +37,35 @@ type Placement interface {
 	Place(loads []float64, boards, workersPerBoard int) []int
 }
 
-// StreamLoads forecasts each stream's utilization share of one worker:
-// mean arrival rate over the stream's active span × the per-frame
-// serving cost. frameMs is the zero-queue steady-state per-frame cost
-// (serve.Engine.FrameLatencyMs(1) at the board's configured mode). A
-// bursty stream's mean underestimates its peak — exactly the forecast
-// error migration exists to fix.
-func StreamLoads(sources []*stream.Source, frameMs float64) []float64 {
+// ForecastLoads estimates each stream's utilization share of one
+// worker for placement: a fresh forecaster (the same model the live
+// control plane runs) is seeded with the stream's admission-epoch
+// arrival count — the only observation an online admission controller
+// has; the whole-run mean the old estimator used assumes a replay
+// oracle — and its prediction is priced at frameMs per frame (the
+// zero-queue steady-state per-frame cost,
+// serve.Engine.FrameLatencyMs(1) at the board's configured mode) over
+// an epochMs control epoch. From the first boundary on, live
+// per-stream forecasts in serve.EpochStats supersede these seeds for
+// migration and consolidation scoring; a stream whose rate later
+// reverses trend is exactly the forecast miss migration exists to fix.
+func ForecastLoads(sources []*stream.Source, frameMs, epochMs float64, mk forecast.Factory) []float64 {
 	loads := make([]float64, len(sources))
 	for i, s := range sources {
-		if len(s.Frames) == 0 {
+		if len(s.Frames) == 0 || epochMs <= 0 {
 			continue
 		}
 		first := float64(s.Frames[0].Arrival) / 1e6
-		last := float64(s.Frames[len(s.Frames)-1].Arrival) / 1e6
-		spanMs := last - first + float64(s.Period())/1e6
-		if spanMs > 0 {
-			loads[i] = float64(len(s.Frames)) * frameMs / spanMs
+		n := 0
+		for _, fr := range s.Frames {
+			if float64(fr.Arrival)/1e6 >= first+epochMs {
+				break
+			}
+			n++
 		}
+		fc := mk()
+		fc.Observe(float64(n))
+		loads[i] = fc.Forecast() * frameMs / epochMs
 	}
 	return loads
 }

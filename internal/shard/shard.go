@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ldbnadapt/internal/govern"
+	"ldbnadapt/internal/orin"
 	"ldbnadapt/internal/serve"
 	"ldbnadapt/internal/stream"
 	"ldbnadapt/internal/ufld"
@@ -35,9 +36,22 @@ type Config struct {
 	EpochMs float64
 	// Migrate enables saturation-driven migration: when a board's epoch
 	// ran at its top affordable rung and still missed the service
-	// target, the coordinator moves its hottest stream (most arrivals
-	// due next epoch) to the coolest board with headroom.
+	// target, the coordinator moves its hottest stream (highest
+	// forecast arrivals for the next epoch) to the coolest board with
+	// headroom.
 	Migrate bool
+	// Consolidate enables the reverse path — lull consolidation: when
+	// the fleet's forecast load fits on fewer boards with headroom, the
+	// coordinator drains the coldest occupied board, migrating its
+	// streams (coldest-first) onto the boards with the most forecast
+	// headroom. A drained board sleeps and charges no rail draw until
+	// saturation migration reopens it.
+	Consolidate bool
+	// ConsolidateUtil is the forecast-utilization ceiling a board may
+	// be packed to during consolidation (default 0.5, fraction of its
+	// worker capacity): low enough that a consolidated board rides a
+	// mild burst without immediately saturating.
+	ConsolidateUtil float64
 	// TargetHitRate is the per-epoch deadline-hit service target used
 	// for saturation detection (default 0.95, matching the governors).
 	TargetHitRate float64
@@ -70,6 +84,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxUtil <= 0 {
 		c.MaxUtil = 0.5
 	}
+	if c.ConsolidateUtil <= 0 {
+		c.ConsolidateUtil = 0.5
+	}
 	if c.Cooldown <= 0 {
 		c.Cooldown = 8
 	}
@@ -79,6 +96,16 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Migration reasons.
+const (
+	// Saturate marks a move off a board pinned at its top rung while
+	// missing the service target.
+	Saturate = "saturate"
+	// Consolidate marks a lull-consolidation move onto a board with
+	// forecast headroom, part of draining the source board.
+	Consolidate = "consolidate"
+)
+
 // Migration records one stream move.
 type Migration struct {
 	// Epoch is the control epoch whose boundary triggered the move.
@@ -87,6 +114,13 @@ type Migration struct {
 	Stream int
 	// From and To are board ids.
 	From, To int
+	// Reason is Saturate or Consolidate.
+	Reason string
+	// Drained marks the final move of a consolidation that emptied the
+	// source board: every stream it still homed either moved or had no
+	// future frames, so the board sleeps once its in-flight work
+	// drains.
+	Drained bool
 }
 
 // BoardReport is one board's outcome within the fleet.
@@ -166,9 +200,19 @@ type board struct {
 
 // Fleet coordinates N governed boards serving one stream fleet.
 type Fleet struct {
-	cfg   Config
-	model *ufld.Model
-	topW  int
+	cfg    Config
+	model  *ufld.Model
+	topW   int
+	topEff float64
+	ladder []orin.PowerMode
+	// frameMs and workers are run-scoped pricing context (set by Run):
+	// the zero-queue per-frame cost at the configured mode, and the
+	// per-board worker count — the currency placement seeds, migration
+	// headroom gates and consolidation packing all share. refEff is the
+	// configured mode's EffGFLOPS, the rung frameMs was priced at.
+	frameMs float64
+	workers int
+	refEff  float64
 }
 
 // New validates the configuration and builds a coordinator. Boards are
@@ -176,6 +220,12 @@ type Fleet struct {
 // (sessions, governors) is created per Run.
 func New(m *ufld.Model, cfg Config) (*Fleet, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Consolidate && !cfg.Migrate {
+		// A drained board can only reopen through saturation migration;
+		// consolidation without it would put rails to sleep with no way
+		// to wake them when the load returns.
+		return nil, fmt.Errorf("shard: Consolidate requires Migrate (drained boards reopen only by migration)")
+	}
 	ladder, err := govern.Ladder(cfg.BudgetW)
 	if err != nil {
 		return nil, err
@@ -185,7 +235,8 @@ func New(m *ufld.Model, cfg Config) (*Fleet, error) {
 			return nil, err
 		}
 	}
-	return &Fleet{cfg: cfg, model: m, topW: ladder[len(ladder)-1].Watts}, nil
+	top := ladder[len(ladder)-1]
+	return &Fleet{cfg: cfg, model: m, topW: top.Watts, topEff: top.EffGFLOPS, ladder: ladder}, nil
 }
 
 // controller builds board b's private controller instance.
@@ -217,9 +268,11 @@ func (f *Fleet) Run(sources []*stream.Source) Report {
 	// and per-board mutable state lives in each board's Session. Its
 	// per-frame cost also prices the placement forecast.
 	eng := serve.New(f.model, cfg.Board)
-	frameMs := eng.FrameLatencyMs(1)
-	loads := StreamLoads(sources, frameMs)
-	workers := eng.Config().Workers
+	f.frameMs = eng.FrameLatencyMs(1)
+	f.workers = eng.Config().Workers
+	f.refEff = eng.Config().Mode.EffGFLOPS
+	loads := ForecastLoads(sources, f.frameMs, cfg.EpochMs, eng.Config().Forecast)
+	workers := f.workers
 	assign := cfg.Placement.Place(loads, cfg.Boards, workers)
 
 	boards := make([]*board, cfg.Boards)
@@ -248,20 +301,25 @@ func (f *Fleet) Run(sources []*stream.Source) Report {
 	}
 	home := append([]int(nil), assign...) // fleet stream id → current board
 
-	// Per-stream arrival stamps for hottest-stream selection.
-	arrivals := make([][]float64, len(sources))
-	for gi, src := range sources {
-		arrivals[gi] = make([]float64, len(src.Frames))
-		for i, fr := range src.Frames {
-			arrivals[gi][i] = float64(fr.Arrival) / 1e6
-		}
-	}
-
+	// Two cooldown clocks: lastSat guards saturation migration against
+	// ping-pong between hot boards; lastCon keeps consolidation from
+	// re-packing a stream every boundary. They are separate so a stream
+	// packed during a lull stays immediately rescuable when the lull
+	// ends.
 	var migrations []Migration
-	lastMove := make([]int, len(sources))
-	for i := range lastMove {
-		lastMove[i] = -cfg.Cooldown
+	lastSat := make([]int, len(sources))
+	lastCon := make([]int, len(sources))
+	for i := range lastSat {
+		lastSat[i] = -cfg.Cooldown
+		lastCon[i] = -cfg.Cooldown
 	}
+	// peak is the per-stream decayed peak of observed epoch arrivals —
+	// the consolidation insurance against square-wave bursts no causal
+	// forecaster sees coming (the same peak-hold rule govern.Predictive
+	// applies to descents). Packing a lull fleet by its forecast alone
+	// concentrates the next onset onto one board; packing by recent
+	// peak keeps enough boards awake to absorb it.
+	peak := make([]float64, len(sources))
 	stats := make([]serve.EpochStats, len(boards))
 	for {
 		done := true
@@ -284,9 +342,24 @@ func (f *Fleet) Run(sources []*stream.Source) Report {
 			}(b)
 		}
 		wg.Wait()
-		if cfg.Migrate {
-			migrations = f.migrate(boards, stats, home, lastMove, arrivals, end, migrations)
+		for _, b := range boards {
+			for li, gid := range b.globals {
+				if home[gid] != b.id || b.local[gid] != li || li >= len(stats[b.id].StreamArrivals) {
+					continue
+				}
+				if arr := float64(stats[b.id].StreamArrivals[li]); arr > peakDecay*peak[gid] {
+					peak[gid] = arr
+				} else {
+					peak[gid] = peakDecay * peak[gid]
+				}
+			}
 		}
+		// Governors first, placement second: each board's controller
+		// actuates from its own telemetry, then the coordinator rewires
+		// streams — and may raise (never lower) a migration
+		// destination's rung for the load it just handed it (energize).
+		// In the reverse order the controllers would overwrite that
+		// actuation before it ever priced a dispatch.
 		for _, b := range boards {
 			// A drained board has nothing to govern (and an oracle would
 			// sweep probes for nothing); its controller resumes at the
@@ -299,86 +372,202 @@ func (f *Fleet) Run(sources []*stream.Source) Report {
 			})
 			b.sess.SetControls(next)
 		}
+		moved := len(migrations)
+		if cfg.Migrate {
+			migrations = f.migrate(boards, stats, home, lastSat, migrations)
+		}
+		// Consolidation waits out boundaries that just migrated for
+		// saturation: the migrant's forecast is not yet in any board's
+		// telemetry, so packing decisions this boundary would run on a
+		// stale fleet picture.
+		if cfg.Consolidate && len(migrations) == moved {
+			migrations = f.consolidate(boards, stats, home, lastSat, lastCon, peak, migrations)
+		}
 	}
 
 	return f.buildReport(boards, sources, migrations, workers, time.Since(start))
 }
 
-// saturated reports whether a board's epoch ran pinned at its top rung
-// while missing the service target — the trigger the governor cannot
-// resolve with watts, only placement can.
-func (f *Fleet) saturated(b *board, es serve.EpochStats) bool {
-	return es.Controls.Mode.Watts >= b.satW && es.DeadlineHitRate < f.cfg.TargetHitRate
+// topFrameMs reprices the shared per-frame cost from the configured
+// mode to the fleet's top affordable rung — the capacity currency
+// saturation detection and destination headroom compare against.
+func (f *Fleet) topFrameMs() float64 {
+	if f.refEff <= 0 || f.topEff <= 0 {
+		return f.frameMs
+	}
+	return f.frameMs * f.refEff / f.topEff
 }
 
-// migrate moves the hottest stream off each saturated board onto the
-// coolest board with headroom, carrying the stream's adaptation state
-// through a serve.Handoff.
-func (f *Fleet) migrate(boards []*board, stats []serve.EpochStats, home, lastMove []int,
-	arrivals [][]float64, end float64, migrations []Migration) []Migration {
-	// A destination takes at most one migrant per boundary: its epoch
-	// stats are stale within the pass, and two saturated boards dumping
-	// onto the same cool board would just move the hot spot.
+// saturated reports whether a board needs load taken off it — a
+// problem the governor cannot resolve with watts, only placement can.
+// Two triggers: the reactive one (the epoch ran pinned at its top
+// rung and still missed the service target) and the predictive one
+// (the forecast demand — next-epoch arrivals plus the backlog already
+// queued — exceeds the board's worker capacity even at top-rung
+// pricing, so waiting for the governor to finish climbing would just
+// let deadlines die in the queue).
+func (f *Fleet) saturated(b *board, es serve.EpochStats) bool {
+	if es.Controls.Mode.Watts >= b.satW && es.DeadlineHitRate < f.cfg.TargetHitRate {
+		return true
+	}
+	demand := (es.ForecastArrived + float64(es.QueueDepth)) * f.topFrameMs() / (f.cfg.EpochMs * float64(f.workers))
+	return es.QueueDepth > 0 && demand >= 1
+}
+
+// forecastUtil is a board's predicted next-epoch utilization at its
+// top affordable rung: its streams' forecast arrivals priced at the
+// shared per-frame cost over the epoch. The observed utilization —
+// rescaled from the rung it was measured at to the top rung, because
+// a board running hot at 15 W still has a ladder to climb — is taken
+// as a floor: a board draining backlog is busier than its arrivals
+// suggest.
+func (f *Fleet) forecastUtil(es serve.EpochStats) float64 {
+	u := es.ForecastArrived * f.topFrameMs() / (f.cfg.EpochMs * float64(f.workers))
+	if es.Controls.Mode.EffGFLOPS > 0 && f.topEff > 0 {
+		if obs := es.Utilization * es.Controls.Mode.EffGFLOPS / f.topEff; obs > u {
+			u = obs
+		}
+	}
+	return u
+}
+
+// streamForecast reads one homed stream's next-epoch arrival forecast
+// from its board's telemetry (zero when the epoch predates the
+// stream's attach).
+func streamForecast(b *board, es serve.EpochStats, gid int) float64 {
+	li, ok := b.local[gid]
+	if !ok || li >= len(es.StreamForecasts) {
+		return 0
+	}
+	return es.StreamForecasts[li]
+}
+
+// energize raises a migration destination's power mode when its
+// current rung cannot serve its post-attach forecast demand — a
+// reopened board wakes at whatever rung it froze at (often the ladder
+// floor), and waiting one epoch for its governor to notice the
+// migrant costs exactly the deadlines the move was meant to save. The
+// coordinator knows the incoming load, so it actuates the lowest
+// affordable rung that fits; the board's own controller takes over at
+// the next boundary, by then fed telemetry that includes the migrant.
+// Static deployments are left alone — pinning the mode is their
+// contract.
+func (f *Fleet) energize(dst *board, es serve.EpochStats, extraFrames float64) {
+	if dst.ctl == nil || f.cfg.Governor == "static" {
+		return
+	}
+	demand := es.ForecastArrived + float64(es.QueueDepth) + extraFrames
+	utilAt := func(m orin.PowerMode) float64 {
+		return demand * f.frameMs * f.refEff / m.EffGFLOPS / (f.cfg.EpochMs * float64(f.workers))
+	}
+	cur := dst.sess.Controls()
+	if utilAt(cur.Mode) <= 0.7 {
+		return
+	}
+	for _, m := range f.ladder {
+		if m.Watts <= cur.Mode.Watts {
+			continue
+		}
+		if utilAt(m) <= 0.7 || m.Watts == f.ladder[len(f.ladder)-1].Watts {
+			cur.Mode = m
+			dst.sess.SetControls(cur)
+			return
+		}
+	}
+}
+
+// move hands stream gid from src to dst at an epoch boundary and
+// records the migration. Returns false when the stream has no future
+// frames (nothing to migrate — it drains where it is).
+func (f *Fleet) move(src, dst *board, gid int, home []int, epoch int,
+	reason string, migrations []Migration) ([]Migration, bool) {
+	h := src.sess.DetachStream(src.local[gid])
+	if h == nil {
+		return migrations, false
+	}
+	nl := dst.sess.AttachStream(h)
+	delete(src.local, gid)
+	dst.local[gid] = nl
+	dst.globals = append(dst.globals, gid)
+	home[gid] = dst.id
+	src.out++
+	dst.in++
+	return append(migrations, Migration{
+		Epoch: epoch, Stream: gid, From: src.id, To: dst.id, Reason: reason,
+	}), true
+}
+
+// migrate sheds streams off each saturated board — hottest first, one
+// per eligible destination — onto the boards with the most forecast
+// headroom, carrying each stream's adaptation state (and forecaster)
+// through a serve.Handoff. A destination takes at most one migrant
+// per boundary: its epoch stats are stale within the pass, and
+// several saturated boards dumping onto the same cool board would
+// just move the hot spot. A single saturated board may shed several
+// streams in one boundary (one per destination) — a board that
+// inherited a packed lull fleet cannot wait an epoch per stream when
+// the burst lands.
+func (f *Fleet) migrate(boards []*board, stats []serve.EpochStats, home, lastSat []int,
+	migrations []Migration) []Migration {
 	taken := make(map[*board]bool)
 	for _, src := range boards {
 		if !f.saturated(src, stats[src.id]) {
 			continue
 		}
-		var dst *board
-		for _, c := range boards {
-			if c == src || taken[c] || stats[c.id].Utilization >= f.cfg.MaxUtil || f.saturated(c, stats[c.id]) {
-				continue
+		// Shed at least one stream (the board is missing its target
+		// regardless of what the forecast claims), then keep shedding
+		// until the remaining forecast load fits the same headroom gate
+		// destinations are held to — or the fleet runs out of cool
+		// boards.
+		remaining := f.forecastUtil(stats[src.id])
+		for first := true; first || remaining >= f.cfg.MaxUtil; first = false {
+			var dst *board
+			for _, c := range boards {
+				if c == src || taken[c] || f.forecastUtil(stats[c.id]) >= f.cfg.MaxUtil || f.saturated(c, stats[c.id]) {
+					continue
+				}
+				if dst == nil || f.forecastUtil(stats[c.id]) < f.forecastUtil(stats[dst.id]) {
+					dst = c
+				}
 			}
-			if dst == nil || stats[c.id].Utilization < stats[dst.id].Utilization {
-				dst = c
+			if dst == nil {
+				break // nowhere cooler to go: the whole fleet is hot
 			}
+			gid := f.hottest(src, home, lastSat, stats[src.id])
+			if gid < 0 {
+				break
+			}
+			shedFrames := streamForecast(src, stats[src.id], gid)
+			var ok bool
+			migrations, ok = f.move(src, dst, gid, home, stats[src.id].Epoch, Saturate, migrations)
+			if !ok {
+				break
+			}
+			f.energize(dst, stats[dst.id], shedFrames)
+			lastSat[gid] = stats[src.id].Epoch
+			taken[dst] = true
+			remaining -= shedFrames * f.topFrameMs() / (f.cfg.EpochMs * float64(f.workers))
 		}
-		if dst == nil {
-			continue // nowhere cooler to go: the whole fleet is hot
-		}
-		gid := f.hottest(src, home, lastMove, arrivals, stats[src.id].Epoch, end)
-		if gid < 0 {
-			continue
-		}
-		h := src.sess.DetachStream(src.local[gid])
-		if h == nil {
-			continue
-		}
-		nl := dst.sess.AttachStream(h)
-		delete(src.local, gid)
-		dst.local[gid] = nl
-		dst.globals = append(dst.globals, gid)
-		home[gid] = dst.id
-		src.out++
-		dst.in++
-		taken[dst] = true
-		lastMove[gid] = stats[src.id].Epoch
-		migrations = append(migrations, Migration{
-			Epoch: stats[src.id].Epoch, Stream: gid, From: src.id, To: dst.id,
-		})
 	}
 	return migrations
 }
 
-// hottest picks the stream homed on board src with the most arrivals
-// due in the next epoch window [end, end+EpochMs) — the load whose
-// removal relieves the board soonest. Streams still in their
-// migration cooldown are skipped. Returns -1 when no eligible stream
-// has upcoming arrivals (a saturated board draining backlog sheds
-// nothing by migration).
-func (f *Fleet) hottest(src *board, home, lastMove []int, arrivals [][]float64, epoch int, end float64) int {
-	best, bestDue := -1, 0
-	for gid, b := range home {
-		if b != src.id || epoch-lastMove[gid] < f.cfg.Cooldown {
+// hottest picks the stream homed on board src with the highest
+// forecast arrivals for the next epoch — the load whose removal the
+// forecast says relieves the board soonest. Streams still in their
+// saturation-migration cooldown are skipped; consolidation moves do
+// not count against it, so a stream packed during a lull can be
+// rescued the moment the lull ends. Returns -1 when no eligible
+// stream forecasts upcoming arrivals (a saturated board draining
+// backlog sheds nothing by migration).
+func (f *Fleet) hottest(src *board, home, lastSat []int, es serve.EpochStats) int {
+	best, bestDue := -1, 0.0
+	for li, gid := range src.globals {
+		if home[gid] != src.id || src.local[gid] != li ||
+			es.Epoch-lastSat[gid] < f.cfg.Cooldown {
 			continue
 		}
-		due := 0
-		for _, a := range arrivals[gid] {
-			if a >= end && a < end+f.cfg.EpochMs {
-				due++
-			}
-		}
-		if due > bestDue {
+		if due := streamForecast(src, es, gid); due > bestDue {
 			best, bestDue = gid, due
 		}
 	}

@@ -24,7 +24,12 @@
 #                fetches via `go run`, and skips with a notice when the
 #                tool is unavailable offline — the CI workflow always
 #                has it, so the gate cannot silently rot there
-#   make ci      build + fmt + vet + staticcheck + test + race + bench-json
+#   make chaos-smoke  seeded fault-tolerance pins (board kill at burst
+#                peak, rolling upgrade) plus an ldserve -chaos run, so
+#                the CLI failover path cannot rot while the package
+#                tests stay green
+#   make ci      build + fmt + vet + staticcheck + test + race +
+#                chaos-smoke + bench-json
 
 GO ?= go
 # Pinned staticcheck: 2024.1.1 supports the go 1.22/1.23 CI matrix.
@@ -32,7 +37,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GIT_SHA := $(shell git rev-parse HEAD 2>/dev/null || echo unknown)
 
-.PHONY: build fmt vet test race bench bench-smoke bench-json serve-bench staticcheck ci
+.PHONY: build fmt vet test race bench bench-smoke bench-json serve-bench staticcheck chaos-smoke ci
 
 build:
 	$(GO) build ./...
@@ -84,4 +89,11 @@ staticcheck:
 		echo "staticcheck $(STATICCHECK_VERSION) unavailable (offline?); skipping"; \
 	fi
 
-ci: build fmt vet staticcheck test race bench-json
+# The package pins cover recovery semantics; the ldserve run proves
+# the -chaos/-ckpt-every flag path end to end on a tiny fleet.
+chaos-smoke:
+	$(GO) test -run 'TestChaosRecoveryPin|TestRollingUpgrade|TestMembershipSurvivesBoardZero' ./internal/shard/
+	$(GO) run ./cmd/ldserve -streams 4 -frames 12 -fps 4 -boards 2 -workers 1 -epochs 1 \
+		-epoch-ms 250 -ckpt-every 1 -chaos kill:hot@2,join@4 >/dev/null
+
+ci: build fmt vet staticcheck test race chaos-smoke bench-json

@@ -13,6 +13,8 @@
 //	ldserve -streams 4 -govern predictive -forecast holt
 //	ldserve -streams 8 -boards 4 -workers 1 -govern hysteresis -placement bin-pack -migrate
 //	ldserve -streams 12 -boards 4 -workers 1 -govern predictive -migrate -consolidate
+//	ldserve -streams 8 -boards 4 -workers 1 -ckpt-every 2 -chaos kill:hot@8
+//	ldserve -streams 8 -boards 4 -workers 1 -chaos join@4,drain:0@6 -ckpt-dir /tmp/ckpts
 //
 // Latency accounting runs on an event-time virtual clock: each frame's
 // latency is its measured queue wait behind earlier work plus its
@@ -45,6 +47,15 @@
 // path: when the forecast fleet load fits on fewer boards, the
 // coordinator drains the coldest board (coldest streams first) so its
 // rail sleeps until migration needs it again.
+//
+// -chaos injects a seeded membership plan ("kind[:target]@epoch" items,
+// comma-separated: kill:hot@8, kill:2@5, drain:0@6, join@4) to
+// exercise the fault-tolerance path: a killed board's streams re-admit
+// onto survivors from their latest checkpoints, a drained board
+// evacuates its streams live before retiring, and a join adds a fresh
+// board the coordinator can migrate onto. -ckpt-every sets the
+// checkpoint cadence in epochs (defaults to every epoch under -chaos)
+// and -ckpt-dir persists checkpoints as files instead of in memory.
 //
 // Flag ↔ paper mapping (Fig. 3 deployment settings): -model and -watts
 // select the Fig. 3 row (backbone × power mode); -deadline-fps 30|18
@@ -109,6 +120,9 @@ func main() {
 	migrate := flag.Bool("migrate", false, "migrate the hottest stream off a saturated board at epoch boundaries (-boards >1)")
 	consolidate := flag.Bool("consolidate", false, "drain the coldest board during forecast lulls so its rail sleeps (-boards >1, needs -migrate to reopen boards)")
 	forecastName := flag.String("forecast", "holt", "per-stream arrival-rate forecaster: naive|ewma|holt")
+	chaos := flag.String("chaos", "", "seeded membership plan, e.g. kill:hot@8,join@10,drain:0@12 (-boards >1)")
+	ckptEvery := flag.Int("ckpt-every", 0, "checkpoint every stream every N epochs (0 = only under -chaos, then every epoch)")
+	ckptDir := flag.String("ckpt-dir", "", "persist stream checkpoints under this directory (default: in-memory store)")
 	seed := flag.Uint64("seed", 1, "seed for fleet generation and pre-training")
 	flag.Parse()
 
@@ -139,6 +153,28 @@ func main() {
 	}
 	if *consolidate && !*migrate {
 		fail(fmt.Errorf("-consolidate needs -migrate: drained boards reopen only by migration"))
+	}
+	if (*chaos != "" || *ckptEvery > 0 || *ckptDir != "") && *boards <= 1 {
+		fail(fmt.Errorf("-chaos, -ckpt-every and -ckpt-dir need a fleet; use -boards >1"))
+	}
+	var plan *shard.FailurePlan
+	if *chaos != "" {
+		p, err := shard.ParsePlan(*chaos)
+		if err != nil {
+			fail(err)
+		}
+		plan = p
+	}
+	var ckpts serve.CheckpointStore
+	if *ckptDir != "" {
+		s, err := serve.NewFileCheckpoints(*ckptDir)
+		if err != nil {
+			fail(err)
+		}
+		ckpts = s
+		if *ckptEvery <= 0 {
+			*ckptEvery = 1
+		}
 	}
 	forecaster, err := forecast.ByName(*forecastName)
 	if err != nil {
@@ -207,14 +243,17 @@ func main() {
 			fail(err)
 		}
 		f, err := shard.New(m, shard.Config{
-			Boards:      *boards,
-			Board:       scfg,
-			Placement:   placement,
-			Governor:    *governName,
-			BudgetW:     *powerBudget,
-			EpochMs:     *epochMs,
-			Migrate:     *migrate,
-			Consolidate: *consolidate,
+			Boards:          *boards,
+			Board:           scfg,
+			Placement:       placement,
+			Governor:        *governName,
+			BudgetW:         *powerBudget,
+			EpochMs:         *epochMs,
+			Migrate:         *migrate,
+			Consolidate:     *consolidate,
+			Plan:            plan,
+			CheckpointEvery: *ckptEvery,
+			Checkpoints:     ckpts,
 		})
 		if err != nil {
 			fail(err)
@@ -276,17 +315,25 @@ func printFleetReport(rep shard.Report, govern, placement string) {
 	fmt.Printf("sharded fleet (%d boards, %s placement, %s governors): %d frames, hit rate %s\n",
 		len(rep.Boards), placement, govern, rep.Frames, metrics.FormatPct(rep.HitRate))
 	tb := metrics.NewTable("board", "streams", "frames", "hit rate", "p99 ms", "energy J",
-		"mig in", "mig out")
+		"mig in", "mig out", "epochs")
 	for _, br := range rep.Boards {
 		hit, p99 := "-", "-"
 		if br.Report.Frames > 0 {
 			hit = metrics.FormatPct(1 - br.Report.MissRate)
 			p99 = fmt.Sprintf("%.1f", br.Report.P99LatencyMs)
 		}
+		life := "all"
+		if br.JoinEpoch > 0 || br.LeaveEpoch >= 0 {
+			end := "-"
+			if br.LeaveEpoch >= 0 {
+				end = fmt.Sprintf("%d", br.LeaveEpoch)
+			}
+			life = fmt.Sprintf("%d..%s", br.JoinEpoch, end)
+		}
 		tb.AddRow(fmt.Sprintf("#%d", br.Board), len(br.Globals), br.Report.Frames,
 			hit, p99,
 			fmt.Sprintf("%.1f", br.Report.EnergyMJ/1e3),
-			br.MigratedIn, br.MigratedOut)
+			br.MigratedIn, br.MigratedOut, life)
 	}
 	if _, err := tb.WriteTo(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -306,6 +353,20 @@ func printFleetReport(rep shard.Report, govern, placement string) {
 			note = " (board drained)"
 		}
 		fmt.Printf("migration: epoch %d stream %d board %d -> %d [%s]%s\n", mg.Epoch, mg.Stream, mg.From, mg.To, mg.Reason, note)
+	}
+	for _, ev := range rep.Events {
+		switch ev.Kind {
+		case shard.Kill:
+			fmt.Printf("event: epoch %d killed board %d — %d streams re-admitted (%d from checkpoints, %d cold), %d queued frames lost\n",
+				ev.Epoch, ev.Board, ev.Streams, ev.Recovered, ev.Cold, ev.LostFrames)
+		case shard.Drain:
+			fmt.Printf("event: epoch %d draining board %d — %d streams evacuated live\n", ev.Epoch, ev.Board, ev.Streams)
+		case shard.Join:
+			fmt.Printf("event: epoch %d board %d joined the fleet\n", ev.Epoch, ev.Board)
+		}
+	}
+	if rep.Checkpoints > 0 || rep.CheckpointErrors > 0 {
+		fmt.Printf("checkpoints: %d written, %d errors\n", rep.Checkpoints, rep.CheckpointErrors)
 	}
 	fmt.Printf("fleet energy: %.1f J total (%.1f J busy + %.1f J static), %.3f J/frame, %.1f worker-s stranded\n",
 		rep.EnergyMJ/1e3, rep.BusyEnergyMJ/1e3, rep.IdleEnergyMJ/1e3, rep.JPerFrame, rep.StrandedMs/1e3)

@@ -1,0 +1,220 @@
+// Board failure at the worst moment: a fleet member dies at the peak
+// of a burst, taking its streams' adaptation state — BN statistics
+// tuned to each camera's domain, optimizer moments, half-filled
+// adaptation windows, forecaster trends — down with it. This demo
+// serves one fault scenario under three recovery deployments plus a
+// planned-maintenance run:
+//
+//   - no failure: the reference run. Six cameras on three governed
+//     boards; the two cameras on board 0 burst from 4 to 16 FPS at
+//     t=2 s.
+//   - kill + checkpoints: every stream's state is checkpointed to the
+//     fleet store every other epoch (serve.EncodeCheckpoint — the
+//     same bundle format as saved weights). Board 0 is killed at the
+//     burst peak; at the very next epoch boundary the coordinator
+//     re-admits its orphaned streams onto the survivors from their
+//     latest checkpoints, placed by forecast load with destination
+//     boards pre-energized, and only the frames queued on the dead
+//     board are lost.
+//   - kill, checkpoints lost: same kill, but the checkpoint store
+//     dropped every write — the orphans re-admit with fresh state and
+//     re-warm their BN statistics from scratch, which is what
+//     recovery looked like before checkpoints.
+//   - rolling upgrade: no failure at all — a fresh board joins, the
+//     old board drains, its streams evacuate live with their state.
+//     Planned membership change loses nothing.
+//
+// The acceptance comparison (pinned by TestChaosRecoveryPin) is
+// kill + checkpoints vs no failure: every orphan re-admitted at the
+// kill boundary from its checkpoint, hit rate within a small margin
+// of the unfailed run.
+//
+// Run with: go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ldbnadapt/internal/adapt"
+	"ldbnadapt/internal/carlane"
+	"ldbnadapt/internal/metrics"
+	"ldbnadapt/internal/orin"
+	"ldbnadapt/internal/resnet"
+	"ldbnadapt/internal/serve"
+	"ldbnadapt/internal/shard"
+	"ldbnadapt/internal/stream"
+	"ldbnadapt/internal/tensor"
+	"ldbnadapt/internal/ufld"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "failover:", err)
+	os.Exit(1)
+}
+
+// blackhole is a checkpoint store whose writes never persist: every
+// recovery misses and restarts cold, which is what board failure cost
+// before durable checkpoints.
+type blackhole struct{}
+
+func (blackhole) Put(int, []byte) error            { return nil }
+func (blackhole) Latest(int) ([]byte, bool, error) { return nil, false, nil }
+
+func main() {
+	rng := tensor.NewRNG(67)
+	cfg := ufld.Tiny(resnet.R18, 2)
+	src := carlane.Generate(cfg, carlane.SplitSpec{
+		Name:    "failover/source-train",
+		Layouts: []carlane.Layout{carlane.Ego2},
+		Domains: []carlane.Domain{carlane.Sim},
+		N:       80,
+		Seed:    67,
+	})
+	model := ufld.MustNewModel(cfg, rng)
+	tc := ufld.DefaultTrainConfig()
+	tc.Epochs = 5
+	fmt.Fprintln(os.Stderr, "pre-training on simulator source...")
+	if _, err := ufld.TrainSource(model, src, tc, rng.Split()); err != nil {
+		fail(err)
+	}
+
+	// Six cameras, two per board under least-loaded placement; both of
+	// board 0's cameras burst to 16 FPS at t=2 s, making it the
+	// unambiguous hottest board when the kill fires.
+	scheds := make([]serve.StreamSchedule, 6)
+	for i := range scheds {
+		if i == 0 || i == 3 {
+			scheds[i] = serve.StreamSchedule{Phases: []stream.RatePhase{
+				{Frames: 8, FPS: 4}, {Frames: 24, FPS: 16},
+			}}
+		} else {
+			scheds[i] = serve.StreamSchedule{Phases: []stream.RatePhase{
+				{Frames: 8, FPS: 4}, {Frames: 16, FPS: 4},
+			}}
+		}
+	}
+	fleet := serve.SyntheticFleetSchedules(cfg, scheds, 167)
+	total := 0
+	for _, s := range fleet {
+		total += len(s.Frames)
+	}
+	board := serve.Config{
+		Workers:    1,
+		MaxBatch:   8,
+		AdaptEvery: 4,
+		Adapt:      adapt.DefaultConfig(),
+		Mode:       orin.Mode60W,
+		DeadlineMs: orin.Deadline18FPS,
+	}
+	base := shard.Config{
+		Boards: 3, Board: board, Placement: shard.LeastLoaded{},
+		Governor: "hysteresis", EpochMs: 250, Migrate: true,
+	}
+	kill := func() *shard.FailurePlan {
+		return &shard.FailurePlan{Events: []shard.FleetEvent{
+			{Epoch: 8, Kind: shard.Kill, Board: shard.HottestBoard},
+		}}
+	}
+	upgrade := &shard.FailurePlan{Events: []shard.FleetEvent{
+		{Epoch: 4, Kind: shard.Join},
+		{Epoch: 5, Kind: shard.Drain, Board: 0},
+	}}
+	fmt.Printf("fleet: %d cameras (%d frames) on 3 boards; board 0's cameras burst 4→16 FPS at t=2 s\n\n",
+		len(fleet), total)
+
+	deployments := []struct {
+		label string
+		mut   func(*shard.Config)
+	}{
+		{"no failure", func(c *shard.Config) {}},
+		{"kill + checkpoints", func(c *shard.Config) {
+			c.Plan = kill()
+			c.CheckpointEvery = 2
+		}},
+		{"kill, checkpoints lost", func(c *shard.Config) {
+			c.Plan = kill()
+			c.CheckpointEvery = 2
+			c.Checkpoints = blackhole{}
+		}},
+		{"rolling upgrade", func(c *shard.Config) {
+			c.Plan = upgrade
+			c.CheckpointEvery = 2
+		}},
+	}
+	reports := make([]shard.Report, len(deployments))
+	tb := metrics.NewTable("deployment", "served", "hit rate", "accuracy", "lost", "warm", "cold",
+		"energy J")
+	for i, d := range deployments {
+		sc := base
+		d.mut(&sc)
+		f, err := shard.New(model, sc)
+		if err != nil {
+			fail(err)
+		}
+		reports[i] = f.Run(fleet)
+		rep := reports[i]
+		warm, cold := 0, 0
+		for _, ev := range rep.Events {
+			warm += ev.Recovered
+			cold += ev.Cold
+		}
+		// Frame-weighted fleet accuracy: a cold restart re-warms its BN
+		// statistics from scratch, which shows up here, not in latency.
+		accW, accN := 0.0, 0
+		for _, br := range rep.Boards {
+			accW += br.Report.OnlineAccuracy * float64(br.Report.Frames)
+			accN += br.Report.Frames
+		}
+		acc := "-"
+		if accN > 0 {
+			acc = metrics.FormatPct(accW / float64(accN))
+		}
+		tb.AddRow(d.label, rep.Frames, metrics.FormatPct(rep.HitRate), acc, rep.LostFrames,
+			warm, cold, fmt.Sprintf("%.1f", rep.EnergyMJ/1e3))
+	}
+	if _, err := tb.WriteTo(os.Stdout); err != nil {
+		fail(err)
+	}
+
+	ckpt := reports[1]
+	fmt.Println("\nrecovery trace (kill + checkpoints):")
+	for _, ev := range ckpt.Events {
+		fmt.Printf("  epoch %d: board %d killed — %d streams orphaned, %d re-admitted from checkpoints, %d queued frames lost\n",
+			ev.Epoch, ev.Board, ev.Streams, ev.Recovered, ev.LostFrames)
+	}
+	for _, mg := range ckpt.Migrations {
+		if mg.Reason == shard.Failover {
+			fmt.Printf("  epoch %d: stream %d board %d → %d [%s]\n",
+				mg.Epoch, mg.Stream, mg.From, mg.To, mg.Reason)
+		}
+	}
+
+	up := reports[3]
+	fmt.Println("\nmembership trace (rolling upgrade):")
+	for _, ev := range up.Events {
+		switch ev.Kind {
+		case shard.Join:
+			fmt.Printf("  epoch %d: board %d joined\n", ev.Epoch, ev.Board)
+		case shard.Drain:
+			fmt.Printf("  epoch %d: board %d draining — %d streams evacuating live\n",
+				ev.Epoch, ev.Board, ev.Streams)
+		}
+	}
+	for _, mg := range up.Migrations {
+		if mg.Reason == shard.Evacuate {
+			note := ""
+			if mg.Drained {
+				note = " — board drained, retiring"
+			}
+			fmt.Printf("  epoch %d: stream %d board %d → %d [%s]%s\n",
+				mg.Epoch, mg.Stream, mg.From, mg.To, mg.Reason, note)
+		}
+	}
+
+	nofail := reports[0]
+	fmt.Printf("\nkill + checkpoints vs no failure: %s vs %s hit rate, %d frames lost with the board's queue\n",
+		metrics.FormatPct(ckpt.HitRate), metrics.FormatPct(nofail.HitRate), ckpt.LostFrames)
+	fmt.Printf("rolling upgrade: %s hit rate, %d frames lost — planned membership change costs nothing.\n",
+		metrics.FormatPct(up.HitRate), up.LostFrames)
+}

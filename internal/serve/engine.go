@@ -354,9 +354,17 @@ func (e *Engine) buildReport(p *planner, states []*streamState, recs []execRec, 
 		if a.frames > 0 {
 			sr.MeanLatencyMs = a.latSum / float64(a.frames)
 			sr.MissRate = float64(a.misses) / float64(a.frames)
+		}
+		// Guard the percentiles on the sample slices themselves, not the
+		// frame counter: a stream can end a run with zero latency samples
+		// (fully shed under DropFrames, or detached before serving) and
+		// metrics.Percentile panics on empty input.
+		if len(a.lats) > 0 {
 			sr.P50LatencyMs = metrics.Percentile(a.lats, 50)
 			sr.P99LatencyMs = metrics.Percentile(a.lats, 99)
 			sr.MaxLatencyMs = metrics.Percentile(a.lats, 100)
+		}
+		if len(a.queues) > 0 {
 			sr.MeanQueueMs = metrics.Mean(a.queues)
 			sr.MaxQueueMs = metrics.Percentile(a.queues, 100)
 		}
@@ -382,8 +390,12 @@ func (e *Engine) buildReport(p *planner, states []*streamState, recs []execRec, 
 	}
 	if rep.Frames > 0 {
 		rep.MissRate = float64(totalMisses) / float64(rep.Frames)
+	}
+	if len(allLats) > 0 {
 		rep.P50LatencyMs = metrics.Percentile(allLats, 50)
 		rep.P99LatencyMs = metrics.Percentile(allLats, 99)
+	}
+	if len(allQueues) > 0 {
 		rep.MeanQueueMs = metrics.Mean(allQueues)
 		rep.P99QueueMs = metrics.Percentile(allQueues, 99)
 	}

@@ -122,10 +122,17 @@ func RunNaive(m *ufld.Model, cfg Config, sources []*stream.Source) Report {
 			}
 			if sr.Frames > 0 {
 				sr.MissRate = float64(misses) / float64(sr.Frames)
+			}
+			// Percentiles guard on the samples, not the frame counter —
+			// metrics.Percentile panics on empty input, and the naive path
+			// keeps them decoupled the same way the engine report does.
+			if len(lats) > 0 {
 				sr.MeanLatencyMs = metrics.Mean(lats)
 				sr.P50LatencyMs = metrics.Percentile(lats, 50)
 				sr.P99LatencyMs = metrics.Percentile(lats, 99)
 				sr.MaxLatencyMs = metrics.Percentile(lats, 100)
+			}
+			if len(queues) > 0 {
 				sr.MeanQueueMs = metrics.Mean(queues)
 				sr.MaxQueueMs = metrics.Percentile(queues, 100)
 			}
@@ -164,8 +171,12 @@ func RunNaive(m *ufld.Model, cfg Config, sources []*stream.Source) Report {
 		rep.MeanBatch = 1
 		rep.JPerFrame = rep.EnergyMJ / 1e3 / float64(rep.Frames)
 		rep.MissRate = float64(totalMisses) / float64(rep.Frames)
+	}
+	if len(allLats) > 0 {
 		rep.P50LatencyMs = metrics.Percentile(allLats, 50)
 		rep.P99LatencyMs = metrics.Percentile(allLats, 99)
+	}
+	if len(allQueues) > 0 {
 		rep.MeanQueueMs = metrics.Mean(allQueues)
 		rep.P99QueueMs = metrics.Percentile(allQueues, 99)
 	}

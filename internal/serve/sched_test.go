@@ -188,3 +188,36 @@ func TestSchedMixedFPSFleet(t *testing.T) {
 		t.Fatalf("virtual makespan %.3f s shorter than the slow streams' arrival span", rep.VirtualSeconds)
 	}
 }
+
+// TestSchedFullyShedStreamReports is the empty-latency-slice
+// regression: a stream whose every frame goes stale behind a hogged
+// worker serves nothing under DropFrames, so its report aggregates
+// zero latency samples. The report path must guard the percentile
+// calls on the samples themselves — metrics.Percentile panics on empty
+// input — and still account every shed frame.
+func TestSchedFullyShedStreamReports(t *testing.T) {
+	m := testModel(47)
+	// Stream 0 floods the single worker (40 frames at 200 FPS); stream 1
+	// joins mid-flood at 100 FPS, so its Backlog=1 shed cap is one 10 ms
+	// period while the queue ahead of it is already tens of frames deep:
+	// every one of its frames is stale by dispatch time.
+	fleet := SyntheticFleetSchedules(m.Cfg, []StreamSchedule{
+		{Phases: []stream.RatePhase{{Frames: 40, FPS: 200}}},
+		{Start: 50 * time.Millisecond, Phases: []stream.RatePhase{{Frames: 6, FPS: 100}}},
+	}, 31)
+	rep := New(m, overloadConfig(stream.DropFrames)).Run(fleet)
+	shed := rep.Streams[1]
+	if shed.Frames != 0 || shed.FramesDropped != 6 {
+		t.Fatalf("shed stream served %d, dropped %d — want 0 served, all 6 dropped",
+			shed.Frames, shed.FramesDropped)
+	}
+	if shed.P50LatencyMs != 0 || shed.MaxLatencyMs != 0 || shed.MaxQueueMs != 0 || shed.MissRate != 0 {
+		t.Fatalf("shed stream reports phantom latency: %+v", shed)
+	}
+	if rep.Frames == 0 || rep.Frames+rep.FramesDropped != 46 {
+		t.Fatalf("served %d + dropped %d != 46 produced", rep.Frames, rep.FramesDropped)
+	}
+	if rep.P50LatencyMs <= 0 {
+		t.Fatal("fleet percentiles lost the served stream's samples")
+	}
+}

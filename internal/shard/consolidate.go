@@ -1,10 +1,6 @@
 package shard
 
-import (
-	"sort"
-
-	"ldbnadapt/internal/serve"
-)
+import "sort"
 
 // Lull consolidation is the reverse of saturation migration: where
 // migration spreads load off a board the governor cannot save with
@@ -44,26 +40,27 @@ const peakDecay = 0.95
 // the consolidation cooldown clock; lastSat is read-only here — a
 // stream that saturation migration just rescued must not be packed
 // straight back into the hot spot it escaped.
-func (f *Fleet) consolidate(boards []*board, stats []serve.EpochStats, home, lastSat, lastCon []int,
-	peak []float64, migrations []Migration) []Migration {
-	epoch := stats[0].Epoch
-	// Board provisioning loads in utilization units, and homed streams.
+func (f *Fleet) consolidate(boards []*board, home, lastSat, lastCon []int,
+	peak []float64, epoch int, migrations []Migration) []Migration {
+	// Board provisioning loads in utilization units, and homed streams
+	// (registry-indexed: a board's id is its slice index, dead and
+	// leaving incarnations simply contribute nothing).
 	homed := make([][]conHome, len(boards))
 	loads := make([]float64, len(boards))
 	for _, b := range boards {
-		if b.sess.Done() {
-			// A drained-and-finished board has nothing to consolidate and
-			// nothing worth draining: its streams' schedules ended, every
-			// detach would return nil, and selecting it as the perpetual
-			// "coldest victim" would block real consolidation elsewhere
-			// for the rest of the run.
+		if !b.alive || b.leaving || b.sess.Done() {
+			// A dead or leaving board takes no part; a drained-and-finished
+			// board has nothing to consolidate and nothing worth draining:
+			// its streams' schedules ended, every detach would return nil,
+			// and selecting it as the perpetual "coldest victim" would
+			// block real consolidation elsewhere for the rest of the run.
 			continue
 		}
 		for li, gid := range b.globals {
 			if home[gid] != b.id || b.local[gid] != li {
 				continue
 			}
-			frames := streamForecast(b, stats[b.id], gid)
+			frames := streamForecast(b, gid)
 			if peak[gid] > frames {
 				frames = peak[gid]
 			}
@@ -101,8 +98,8 @@ func (f *Fleet) consolidate(boards []*board, stats []serve.EpochStats, home, las
 		}
 		dst := -1
 		for id, b := range boards {
-			if id == victim || len(homed[id]) == 0 || f.saturated(b, stats[id]) {
-				continue // keepers only: occupied, healthy boards
+			if id == victim || len(homed[id]) == 0 || f.saturated(b) {
+				continue // keepers only: occupied, healthy, live boards
 			}
 			if loads[id]+planned[id]+s.util > cap {
 				continue

@@ -1,0 +1,478 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ldbnadapt/internal/serve"
+	"ldbnadapt/internal/stream"
+)
+
+// Fault tolerance. The paper's premise — continuous per-stream
+// adaptation on edge boards — makes board death expensive: the BN
+// statistics, γ/β and optimizer moments a stream accumulated are state
+// that took its whole history to build and lives only in the dead
+// board's memory. The coordinator therefore checkpoints every homed
+// stream's adaptation state into a CheckpointStore on a configurable
+// epoch cadence, and when a board dies (injected by a FailurePlan, the
+// seeded chaos hook), its orphaned streams are re-admitted onto
+// survivors at the same boundary: future frames come from the
+// cameras, adaptation state from the last checkpoint (bounded-stale by
+// the cadence), placement from the checkpointed forecast through the
+// same scoring and destination-energize path live migration uses.
+// Frames already queued on the dead board are lost and reported.
+//
+// Membership is elastic in both directions: a Drain event evacuates a
+// board live (nothing lost — the rolling-upgrade path) and retires it
+// once its queue drains; a Join event adds a cold board that placement
+// starts using immediately.
+
+// EventKind labels a membership event.
+type EventKind string
+
+const (
+	// Kill removes a board instantly: its queue is lost, its homed
+	// streams recover from checkpoints.
+	Kill EventKind = "kill"
+	// Drain removes a board gracefully: its streams evacuate live
+	// (Reason=Evacuate), it serves out its queue, then retires.
+	Drain EventKind = "drain"
+	// Join adds a fresh cold board to the fleet.
+	Join EventKind = "join"
+)
+
+// Board targets that resolve against fleet state when the event fires,
+// rather than naming a fixed id.
+const (
+	// HottestBoard targets the live board with the highest forecast
+	// utilization that still homes at least one stream.
+	HottestBoard = -1
+	// ColdestBoard targets the live stream-homing board with the
+	// lowest forecast utilization.
+	ColdestBoard = -2
+)
+
+// FleetEvent is one membership event, applied at the boundary after
+// the given fleet epoch completes.
+type FleetEvent struct {
+	// Epoch is the fleet epoch whose boundary fires the event.
+	Epoch int
+	// Kind is Kill, Drain or Join.
+	Kind EventKind
+	// Board is the target id, or HottestBoard/ColdestBoard to resolve
+	// by load at fire time (ignored for Join).
+	Board int
+}
+
+// FailurePlan is a deterministic membership schedule: the chaos-test
+// and rolling-upgrade injection point. Events that target a board
+// already dead or leaving, or that fire after the fleet drains, are
+// skipped.
+type FailurePlan struct {
+	Events []FleetEvent
+}
+
+// ParsePlan parses a CLI chaos spec: comma-separated
+// "kind[:target]@epoch" events, where kind is kill/drain/join and
+// target is a board id, "hot" or "cold" (default hot; join takes no
+// target). Example: "kill:hot@12,join@14,drain:0@20".
+func ParsePlan(spec string) (*FailurePlan, error) {
+	p := &FailurePlan{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		head, at, ok := strings.Cut(part, "@")
+		if !ok {
+			return nil, fmt.Errorf("shard: event %q has no @epoch", part)
+		}
+		epoch, err := strconv.Atoi(at)
+		if err != nil || epoch < 0 {
+			return nil, fmt.Errorf("shard: event %q has bad epoch %q", part, at)
+		}
+		kindS, targetS, hasTarget := strings.Cut(head, ":")
+		ev := FleetEvent{Epoch: epoch, Kind: EventKind(kindS), Board: HottestBoard}
+		switch ev.Kind {
+		case Kill, Drain:
+			if hasTarget {
+				switch targetS {
+				case "hot":
+					ev.Board = HottestBoard
+				case "cold":
+					ev.Board = ColdestBoard
+				default:
+					id, err := strconv.Atoi(targetS)
+					if err != nil || id < 0 {
+						return nil, fmt.Errorf("shard: event %q has bad target %q", part, targetS)
+					}
+					ev.Board = id
+				}
+			}
+		case Join:
+			if hasTarget {
+				return nil, fmt.Errorf("shard: join event %q takes no target", part)
+			}
+			ev.Board = 0
+		default:
+			return nil, fmt.Errorf("shard: unknown event kind %q (have kill/drain/join)", kindS)
+		}
+		p.Events = append(p.Events, ev)
+	}
+	if len(p.Events) == 0 {
+		return nil, fmt.Errorf("shard: empty chaos plan %q", spec)
+	}
+	return p, nil
+}
+
+// EventRecord is one fired membership event and its outcome.
+type EventRecord struct {
+	// Epoch is the fleet epoch the event fired at; Kind and Board the
+	// resolved event (Board is the new incarnation's id for a Join).
+	Epoch int
+	Kind  EventKind
+	Board int
+	// Streams counts streams the event displaced (orphans re-admitted
+	// for a Kill, streams evacuated for a Drain).
+	Streams int
+	// Recovered and Cold split a Kill's re-admissions by whether the
+	// stream resumed from its checkpoint or restarted cold.
+	Recovered, Cold int
+	// LostFrames counts frames destroyed in a killed board's queue.
+	LostFrames int
+}
+
+// pendingKill is a board killed at this boundary, awaiting orphan
+// re-admission (which runs after the governors).
+type pendingKill struct {
+	b       *board
+	orphans []int
+	lost    int
+}
+
+// runCtx is one Run's mutable fleet state: the board registry, the
+// stream→board map and cooldown clocks, and the fault-tolerance
+// bookkeeping.
+type runCtx struct {
+	f       *Fleet
+	eng     *serve.Engine
+	boards  []*board
+	sources []*stream.Source
+	home    []int
+	lastSat []int
+	lastCon []int
+	peak    []float64
+
+	migrations []Migration
+	events     []EventRecord
+	store      serve.CheckpointStore
+	ckpts      int
+	ckptErrs   int
+
+	pendingKills  []pendingKill
+	pendingDrains []*board
+}
+
+// resolve maps an event target to a live, non-leaving board (nil when
+// nothing qualifies — the event is skipped). Hottest/coldest consider
+// only boards homing at least one stream, because killing or draining
+// an empty board is a no-op nobody schedules chaos for.
+func (r *runCtx) resolve(target int) *board {
+	if target >= 0 {
+		if target < len(r.boards) && r.boards[target].alive && !r.boards[target].leaving {
+			return r.boards[target]
+		}
+		return nil
+	}
+	homes := make(map[int]int)
+	for _, h := range r.home {
+		if h >= 0 {
+			homes[h]++
+		}
+	}
+	var pick *board
+	for _, b := range r.boards {
+		if !b.alive || b.leaving || homes[b.id] == 0 {
+			continue
+		}
+		if pick == nil {
+			pick = b
+			continue
+		}
+		u, best := r.f.forecastUtil(b), r.f.forecastUtil(pick)
+		if (target == HottestBoard && u > best) || (target == ColdestBoard && u < best) {
+			pick = b
+		}
+	}
+	return pick
+}
+
+// applyEvents fires this boundary's membership events: kills finalize
+// immediately (orphans are collected for recoverOrphans), drains mark
+// the board leaving (evacuation follows the governors), joins open a
+// fresh incarnation already caught up to the fleet clock.
+func (r *runCtx) applyEvents(epoch int, end float64) {
+	if r.f.cfg.Plan == nil {
+		return
+	}
+	for _, ev := range r.f.cfg.Plan.Events {
+		if ev.Epoch != epoch {
+			continue
+		}
+		switch ev.Kind {
+		case Kill:
+			if b := r.resolve(ev.Board); b != nil {
+				r.kill(b, epoch)
+			}
+		case Drain:
+			if b := r.resolve(ev.Board); b != nil {
+				b.leaving = true
+				r.pendingDrains = append(r.pendingDrains, b)
+			}
+		case Join:
+			id := len(r.boards)
+			b := r.f.openBoard(r.eng, id, epoch, nil)
+			// One zero-cost epoch catches the empty session's clock up to
+			// the fleet boundary, so its first real epoch is in lockstep.
+			b.stats = b.sess.RunEpoch(end)
+			r.boards = append(r.boards, b)
+			r.events = append(r.events, EventRecord{Epoch: epoch, Kind: Join, Board: id})
+		}
+	}
+}
+
+// kill removes a board instantly: the session finalizes with whatever
+// it served, frames still queued are counted lost, and the streams it
+// homed become orphans for recoverOrphans.
+func (r *runCtx) kill(b *board, epoch int) {
+	b.alive, b.leaveEpoch = false, epoch
+	rep := b.sess.Finish()
+	arrived := 0
+	for _, es := range rep.Epochs {
+		arrived += es.Arrived
+	}
+	pk := pendingKill{b: b, lost: arrived - rep.Frames - rep.FramesDropped}
+	for gid, h := range r.home {
+		if h == b.id {
+			pk.orphans = append(pk.orphans, gid)
+		}
+	}
+	r.pendingKills = append(r.pendingKills, pk)
+}
+
+// futureSource clips a stream's original source to the frames the
+// cameras have not yet delivered at the boundary — what a dead board's
+// stream still has left to serve. Frames the dead board had already
+// received are gone; frames from the boundary on re-home with the
+// stream.
+func futureSource(src *stream.Source, endMs float64) *stream.Source {
+	var fut []stream.Frame
+	for _, fr := range src.Frames {
+		if float64(fr.Arrival)/1e6 >= endMs {
+			fut = append(fut, fr)
+		}
+	}
+	if len(fut) == 0 {
+		return nil
+	}
+	return &stream.Source{FPS: src.FPS, Frames: fut}
+}
+
+// recoverOrphans re-admits every killed board's orphaned streams onto
+// survivors, hottest first: adaptation state from the stream's last
+// checkpoint when one decodes (cold otherwise), destination chosen by
+// the same forecast-utilization scoring live migration uses — least
+// loaded including the load already replanned onto it this boundary —
+// and energized for the incoming demand. Re-admission never blocks on
+// headroom: a recovered stream on a warm board beats a stream served
+// nowhere. The stream's saturation cooldown is left untouched, so a
+// migrant that lands hot stays immediately rescuable.
+func (r *runCtx) recoverOrphans(epoch int, end float64) {
+	if len(r.pendingKills) == 0 {
+		return
+	}
+	f := r.f
+	for _, pk := range r.pendingKills {
+		ev := EventRecord{Epoch: epoch, Kind: Kill, Board: pk.b.id, LostFrames: pk.lost}
+		type orphan struct {
+			gid  int
+			src  *stream.Source
+			h    *serve.Handoff
+			load float64 // forecast next-epoch frames
+		}
+		var orphans []orphan
+		for _, gid := range pk.orphans {
+			src := futureSource(r.sources[gid], end)
+			if src == nil {
+				continue // the stream's schedule ended; nothing to revive
+			}
+			o := orphan{gid: gid, src: src}
+			if r.store != nil {
+				if data, ok, err := r.store.Latest(gid); err != nil {
+					r.ckptErrs++
+				} else if ok {
+					if c, derr := r.eng.DecodeCheckpoint(bytes.NewReader(data)); derr != nil {
+						r.ckptErrs++
+					} else {
+						o.h = r.eng.RestoreHandoff(c, src)
+					}
+				}
+			}
+			if o.h != nil {
+				o.load = o.h.Forecast()
+				ev.Recovered++
+			} else {
+				o.h = r.eng.NewHandoff(src)
+				ev.Cold++
+			}
+			if o.load <= 0 {
+				// No forecaster history: provision by the camera's nominal
+				// rate, the same prior cold admission uses.
+				o.load = src.FPS * f.cfg.EpochMs / 1000
+			}
+			orphans = append(orphans, o)
+		}
+		sort.SliceStable(orphans, func(i, j int) bool { return orphans[i].load > orphans[j].load })
+		planned := make(map[*board]float64)
+		extra := make(map[*board]float64)
+		for _, o := range orphans {
+			var dst *board
+			score := func(c *board) float64 { return f.forecastUtil(c) + planned[c] }
+			for _, c := range r.boards {
+				if !c.alive || c.leaving {
+					continue
+				}
+				if dst == nil || score(c) < score(dst) {
+					dst = c
+				}
+			}
+			if dst == nil {
+				break // no survivors: the remaining orphans die with the fleet
+			}
+			nl := dst.sess.AttachStream(o.h)
+			dst.local[o.gid] = nl
+			dst.globals = append(dst.globals, o.gid)
+			r.home[o.gid] = dst.id
+			pk.b.out++
+			dst.in++
+			r.migrations = append(r.migrations, Migration{
+				Epoch: epoch, Stream: o.gid, From: pk.b.id, To: dst.id, Reason: Failover,
+			})
+			// Hold the consolidation clock so the recovered stream is not
+			// immediately re-packed while its telemetry is still settling.
+			r.lastCon[o.gid] = epoch
+			planned[dst] += o.load * f.topFrameMs() / (f.cfg.EpochMs * float64(f.workers))
+			extra[dst] += o.load
+			ev.Streams++
+		}
+		for dst, x := range extra {
+			f.energize(dst, x)
+		}
+		r.events = append(r.events, ev)
+	}
+	r.pendingKills = nil
+}
+
+// evacuateLeavers moves every stream off boards marked leaving at this
+// boundary — coldest first onto the least-loaded survivors, the same
+// packing order consolidation uses but unconditional: the board is
+// leaving whether or not the lull is deep enough, so there is no
+// headroom ceiling to refuse at. The handoffs are live (full state,
+// open windows, forecasters), which is what makes Drain the lossless
+// rolling-upgrade path. The last successful move carries Drained, and
+// the board retires once its in-flight queue empties.
+func (r *runCtx) evacuateLeavers(epoch int) {
+	if len(r.pendingDrains) == 0 {
+		return
+	}
+	f := r.f
+	for _, b := range r.pendingDrains {
+		if !b.alive {
+			continue // already retired: it was Done the moment it was marked
+		}
+		ev := EventRecord{Epoch: epoch, Kind: Drain, Board: b.id}
+		type item struct {
+			gid  int
+			load float64
+		}
+		var items []item
+		for li, gid := range b.globals {
+			if r.home[gid] != b.id || b.local[gid] != li {
+				continue
+			}
+			items = append(items, item{gid: gid, load: streamForecast(b, gid)})
+		}
+		sort.SliceStable(items, func(i, j int) bool { return items[i].load < items[j].load })
+		planned := make(map[*board]float64)
+		extra := make(map[*board]float64)
+		first := len(r.migrations)
+		for _, it := range items {
+			var dst *board
+			score := func(c *board) float64 { return f.forecastUtil(c) + planned[c] }
+			for _, c := range r.boards {
+				if c == b || !c.alive || c.leaving {
+					continue
+				}
+				if dst == nil || score(c) < score(dst) {
+					dst = c
+				}
+			}
+			if dst == nil {
+				break // nowhere to go: the board keeps serving until done
+			}
+			var ok bool
+			r.migrations, ok = f.move(b, dst, it.gid, r.home, epoch, Evacuate, r.migrations)
+			if !ok {
+				continue // no future frames: the stream drains in place
+			}
+			r.lastCon[it.gid] = epoch
+			planned[dst] += it.load * f.topFrameMs() / (f.cfg.EpochMs * float64(f.workers))
+			extra[dst] += it.load
+			ev.Streams++
+		}
+		if len(r.migrations) > first {
+			r.migrations[len(r.migrations)-1].Drained = true
+		}
+		for dst, x := range extra {
+			f.energize(dst, x)
+		}
+		r.events = append(r.events, ev)
+	}
+	r.pendingDrains = nil
+}
+
+// checkpointPass writes every homed stream's adaptation state into the
+// store on the configured cadence — after the boundary's placement, so
+// each checkpoint reflects the stream's current home and the state its
+// next epoch will start from.
+func (r *runCtx) checkpointPass(epoch int) {
+	every := r.f.cfg.CheckpointEvery
+	if r.store == nil || every <= 0 || epoch%every != 0 {
+		return
+	}
+	for _, b := range r.boards {
+		if !b.alive {
+			continue
+		}
+		for li, gid := range b.globals {
+			if r.home[gid] != b.id || b.local[gid] != li {
+				continue
+			}
+			c := b.sess.Checkpoint(li)
+			c.Stream, c.Epoch = gid, epoch
+			var buf bytes.Buffer
+			if err := serve.EncodeCheckpoint(&buf, c); err != nil {
+				r.ckptErrs++
+				continue
+			}
+			if err := r.store.Put(gid, buf.Bytes()); err != nil {
+				r.ckptErrs++
+				continue
+			}
+			r.ckpts++
+		}
+	}
+}

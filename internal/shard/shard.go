@@ -68,6 +68,18 @@ type Config struct {
 	// controller factory (tests). Boards built this way are treated as
 	// pinned at the ladder top for saturation detection.
 	MakeController func(board int) serve.Controller
+	// CheckpointEvery writes every homed stream's adaptation state into
+	// Checkpoints every N fleet epochs (0 disables checkpointing;
+	// defaults to 1 when a failure Plan is set). The cadence bounds the
+	// BN-state staleness a recovered stream resumes with.
+	CheckpointEvery int
+	// Checkpoints is the durable store failover recovery reads stream
+	// state back from (default: a fresh in-memory store whenever
+	// checkpointing is enabled).
+	Checkpoints serve.CheckpointStore
+	// Plan injects membership events — board kills, graceful drains and
+	// cold joins — at epoch boundaries: the seeded chaos hook.
+	Plan *FailurePlan
 }
 
 // withDefaults fills unset fields.
@@ -93,6 +105,12 @@ func (c Config) withDefaults() Config {
 	if c.Placement == nil {
 		c.Placement = LeastLoaded{}
 	}
+	if c.Plan != nil && len(c.Plan.Events) > 0 && c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 1
+	}
+	if c.CheckpointEvery > 0 && c.Checkpoints == nil {
+		c.Checkpoints = serve.NewMemCheckpoints()
+	}
 	return c
 }
 
@@ -104,6 +122,13 @@ const (
 	// Consolidate marks a lull-consolidation move onto a board with
 	// forecast headroom, part of draining the source board.
 	Consolidate = "consolidate"
+	// Failover marks a re-admission of a dead board's stream onto a
+	// survivor, resumed from its last durable checkpoint (or cold when
+	// none was readable).
+	Failover = "failover"
+	// Evacuate marks a move off a board gracefully leaving the fleet (a
+	// Drain event): all state travels live, nothing is lost.
+	Evacuate = "evacuate"
 )
 
 // Migration records one stream move.
@@ -114,12 +139,12 @@ type Migration struct {
 	Stream int
 	// From and To are board ids.
 	From, To int
-	// Reason is Saturate or Consolidate.
+	// Reason is Saturate, Consolidate, Failover or Evacuate.
 	Reason string
-	// Drained marks the final move of a consolidation that emptied the
-	// source board: every stream it still homed either moved or had no
-	// future frames, so the board sleeps once its in-flight work
-	// drains.
+	// Drained marks the final move of a consolidation or evacuation
+	// that emptied the source board: every stream it still homed either
+	// moved or had no future frames, so the board sleeps once its
+	// in-flight work drains.
 	Drained bool
 }
 
@@ -136,6 +161,12 @@ type BoardReport struct {
 	Globals []int
 	// MigratedIn and MigratedOut count stream moves at this board.
 	MigratedIn, MigratedOut int
+	// JoinEpoch is the fleet epoch this board incarnation joined at (0
+	// for founding boards). LeaveEpoch is the epoch it was killed or
+	// retired after draining, -1 if it was still in the fleet at run
+	// end. A rejoin after failure is a new incarnation with a new id,
+	// so every id names exactly one lifetime.
+	JoinEpoch, LeaveEpoch int
 }
 
 // StreamSummary aggregates one fleet-wide stream across every board
@@ -163,6 +194,18 @@ type Report struct {
 	Streams []StreamSummary
 	// Migrations lists every stream move in epoch order.
 	Migrations []Migration
+	// Events lists the membership events that fired (kills, drains,
+	// joins) with their recovery outcomes, in epoch order.
+	Events []EventRecord
+	// LostFrames totals frames that had arrived at killed boards but
+	// were neither served nor shed when the board died — the queue the
+	// failure destroyed. (Frames not yet delivered at the kill re-home
+	// with their stream and are not lost.)
+	LostFrames int
+	// Checkpoints counts successful stream-checkpoint writes;
+	// CheckpointErrors counts failed writes, unreadable reads and
+	// undecodable checkpoints (each of which forces a cold recovery).
+	Checkpoints, CheckpointErrors int
 	// Frames is the fleet's total served frame count.
 	Frames int
 	// HitRate is the fleet deadline-hit fraction over served frames.
@@ -185,6 +228,10 @@ type Report struct {
 }
 
 // board is one governed engine plus its coordinator-side bookkeeping.
+// Boards live in a registry (the run's append-only []*board): a
+// board's id is its registry index, stable for its lifetime and never
+// reused — a recovered board rejoins as a new incarnation with a new
+// id. Liveness is a flag, not removal, so nothing ever re-indexes.
 type board struct {
 	id      int
 	sess    *serve.Session
@@ -196,6 +243,18 @@ type board struct {
 	// top": the ladder top for closed-loop governors, the pinned mode
 	// for static deployments.
 	satW int
+	// stats is the board's last epoch telemetry. It lives on the board,
+	// written only by the board's own goroutine at the barrier — there
+	// is no dense-id fleet slice to index out of range when membership
+	// changes mid-run.
+	stats serve.EpochStats
+	// alive is false once the board is killed or retired; leaving marks
+	// a graceful drain in progress (evacuated, still draining its
+	// queue, excluded from placement).
+	alive, leaving bool
+	// joinEpoch and leaveEpoch bound the incarnation's lifetime in
+	// fleet epochs (leaveEpoch -1 while in the fleet).
+	joinEpoch, leaveEpoch int
 }
 
 // Fleet coordinates N governed boards serving one stream fleet.
@@ -254,11 +313,43 @@ func (f *Fleet) controller(b int) serve.Controller {
 	return ctl
 }
 
+// openBoard builds one board incarnation around a fresh session over
+// the given streams, with its private controller started.
+func (f *Fleet) openBoard(eng *serve.Engine, id, joinEpoch int, mine []*stream.Source) *board {
+	b := &board{
+		id: id, ctl: f.controller(id), local: make(map[int]int), satW: f.topW,
+		alive: true, joinEpoch: joinEpoch, leaveEpoch: -1,
+	}
+	b.sess = eng.NewSession(mine)
+	if b.ctl != nil {
+		cur := b.ctl.Start(eng.Config())
+		b.sess.SetControls(cur)
+		if f.cfg.Governor == "static" {
+			b.satW = cur.Mode.Watts
+		}
+	} else {
+		b.satW = eng.Config().Mode.Watts
+	}
+	return b
+}
+
+// live filters the registry down to the boards currently in the fleet:
+// alive incarnations, including leaving boards still draining.
+func live(boards []*board) []*board {
+	out := make([]*board, 0, len(boards))
+	for _, b := range boards {
+		if b.alive {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
 // Run places the fleet onto the boards and serves it to completion:
-// every board steps the same control epochs in lockstep (concurrently
-// on the host), the coordinator migrates streams off saturated boards
-// at the boundaries, then each board's governor actuates its next
-// epoch.
+// every live board steps the same control epochs in lockstep
+// (concurrently on the host), the coordinator applies membership
+// events and migrates streams at the boundaries, then each board's
+// governor actuates its next epoch.
 func (f *Fleet) Run(sources []*stream.Source) Report {
 	cfg := f.cfg
 	start := time.Now()
@@ -275,55 +366,50 @@ func (f *Fleet) Run(sources []*stream.Source) Report {
 	workers := f.workers
 	assign := cfg.Placement.Place(loads, cfg.Boards, workers)
 
-	boards := make([]*board, cfg.Boards)
-	for bi := range boards {
-		b := &board{id: bi, ctl: f.controller(bi), local: make(map[int]int), satW: f.topW}
-		var mine []*stream.Source
-		for gi, a := range assign {
-			if a != bi {
-				continue
-			}
-			b.local[gi] = len(mine)
-			b.globals = append(b.globals, gi)
-			mine = append(mine, sources[gi])
-		}
-		b.sess = eng.NewSession(mine)
-		if b.ctl != nil {
-			cur := b.ctl.Start(eng.Config())
-			b.sess.SetControls(cur)
-			if cfg.Governor == "static" {
-				b.satW = cur.Mode.Watts
-			}
-		} else {
-			b.satW = eng.Config().Mode.Watts
-		}
-		boards[bi] = b
-	}
-	home := append([]int(nil), assign...) // fleet stream id → current board
-
 	// Two cooldown clocks: lastSat guards saturation migration against
 	// ping-pong between hot boards; lastCon keeps consolidation from
 	// re-packing a stream every boundary. They are separate so a stream
 	// packed during a lull stays immediately rescuable when the lull
-	// ends.
-	var migrations []Migration
-	lastSat := make([]int, len(sources))
-	lastCon := make([]int, len(sources))
-	for i := range lastSat {
-		lastSat[i] = -cfg.Cooldown
-		lastCon[i] = -cfg.Cooldown
+	// ends. peak is the per-stream decayed peak of observed epoch
+	// arrivals — the consolidation insurance against square-wave bursts
+	// no causal forecaster sees coming.
+	r := &runCtx{
+		f: f, eng: eng, sources: sources,
+		home:    append([]int(nil), assign...), // fleet stream id → current board
+		lastSat: make([]int, len(sources)),
+		lastCon: make([]int, len(sources)),
+		peak:    make([]float64, len(sources)),
+		store:   cfg.Checkpoints,
 	}
-	// peak is the per-stream decayed peak of observed epoch arrivals —
-	// the consolidation insurance against square-wave bursts no causal
-	// forecaster sees coming (the same peak-hold rule govern.Predictive
-	// applies to descents). Packing a lull fleet by its forecast alone
-	// concentrates the next onset onto one board; packing by recent
-	// peak keeps enough boards awake to absorb it.
-	peak := make([]float64, len(sources))
-	stats := make([]serve.EpochStats, len(boards))
-	for {
+	for i := range r.lastSat {
+		r.lastSat[i] = -cfg.Cooldown
+		r.lastCon[i] = -cfg.Cooldown
+	}
+	for bi := 0; bi < cfg.Boards; bi++ {
+		var mine []*stream.Source
+		var globals []int
+		for gi, a := range assign {
+			if a != bi {
+				continue
+			}
+			globals = append(globals, gi)
+			mine = append(mine, sources[gi])
+		}
+		b := f.openBoard(eng, bi, 0, mine)
+		b.globals = globals
+		for li, gi := range globals {
+			b.local[gi] = li
+		}
+		r.boards = append(r.boards, b)
+	}
+
+	for epoch := 0; ; epoch++ {
+		stepped := live(r.boards)
+		if len(stepped) == 0 {
+			break // every board dead: nothing left to serve with
+		}
 		done := true
-		for _, b := range boards {
+		for _, b := range stepped {
 			if !b.sess.Done() {
 				done = false
 				break
@@ -332,26 +418,48 @@ func (f *Fleet) Run(sources []*stream.Source) Report {
 		if done {
 			break
 		}
-		end := boards[0].sess.Now() + cfg.EpochMs
+		// The fleet clock is the max session clock over live boards —
+		// never a fixed board's — so the boundary cadence survives any
+		// board's death, including board 0's.
+		now := 0.0
+		for _, b := range stepped {
+			if t := b.sess.Now(); t > now {
+				now = t
+			}
+		}
+		end := now + cfg.EpochMs
 		var wg sync.WaitGroup
-		for _, b := range boards {
+		for _, b := range stepped {
 			wg.Add(1)
 			go func(b *board) {
 				defer wg.Done()
-				stats[b.id] = b.sess.RunEpoch(end)
+				b.stats = b.sess.RunEpoch(end)
 			}(b)
 		}
 		wg.Wait()
-		for _, b := range boards {
+		for _, b := range stepped {
 			for li, gid := range b.globals {
-				if home[gid] != b.id || b.local[gid] != li || li >= len(stats[b.id].StreamArrivals) {
+				if r.home[gid] != b.id || b.local[gid] != li || li >= len(b.stats.StreamArrivals) {
 					continue
 				}
-				if arr := float64(stats[b.id].StreamArrivals[li]); arr > peakDecay*peak[gid] {
-					peak[gid] = arr
+				if arr := float64(b.stats.StreamArrivals[li]); arr > peakDecay*r.peak[gid] {
+					r.peak[gid] = arr
 				} else {
-					peak[gid] = peakDecay * peak[gid]
+					r.peak[gid] = peakDecay * r.peak[gid]
 				}
+			}
+		}
+		// Membership first: kills and drains change who may be
+		// governed or placed onto at this boundary; joins add fresh
+		// destinations. Orphan re-admission itself waits until after
+		// the governors so energize is not overwritten.
+		r.applyEvents(epoch, end)
+		for _, b := range stepped {
+			if b.alive && b.leaving && b.sess.Done() {
+				// A drained leaver retires: rail off, out of the registry's
+				// live view, report already final.
+				b.alive, b.leaveEpoch = false, epoch
+				b.sess.Finish()
 			}
 		}
 		// Governors first, placement second: each board's controller
@@ -359,33 +467,39 @@ func (f *Fleet) Run(sources []*stream.Source) Report {
 		// streams — and may raise (never lower) a migration
 		// destination's rung for the load it just handed it (energize).
 		// In the reverse order the controllers would overwrite that
-		// actuation before it ever priced a dispatch.
-		for _, b := range boards {
-			// A drained board has nothing to govern (and an oracle would
-			// sweep probes for nothing); its controller resumes at the
-			// first boundary after a stream attaches.
-			if b.ctl == nil || b.sess.Done() {
+		// actuation before it ever priced a dispatch. Boards that
+		// joined at this boundary have no telemetry yet and sit the
+		// round out.
+		for _, b := range stepped {
+			// A dead board has no governor to run; a drained board has
+			// nothing to govern (and an oracle would sweep probes for
+			// nothing) — its controller resumes at the first boundary
+			// after a stream attaches.
+			if !b.alive || b.ctl == nil || b.sess.Done() {
 				continue
 			}
-			next := b.ctl.Decide(stats[b.id], b.sess.Controls(), func(c serve.Controls) serve.EpochStats {
+			next := b.ctl.Decide(b.stats, b.sess.Controls(), func(c serve.Controls) serve.EpochStats {
 				return b.sess.Probe(c, cfg.EpochMs)
 			})
 			b.sess.SetControls(next)
 		}
-		moved := len(migrations)
+		r.recoverOrphans(epoch, end)
+		r.evacuateLeavers(epoch)
+		moved := len(r.migrations)
 		if cfg.Migrate {
-			migrations = f.migrate(boards, stats, home, lastSat, migrations)
+			r.migrations = f.migrate(r.boards, r.home, r.lastSat, epoch, r.migrations)
 		}
-		// Consolidation waits out boundaries that just migrated for
-		// saturation: the migrant's forecast is not yet in any board's
-		// telemetry, so packing decisions this boundary would run on a
-		// stale fleet picture.
-		if cfg.Consolidate && len(migrations) == moved {
-			migrations = f.consolidate(boards, stats, home, lastSat, lastCon, peak, migrations)
+		// Consolidation waits out boundaries that just moved streams
+		// (for saturation, failover or evacuation): the migrants'
+		// forecasts are not yet in any board's telemetry, so packing
+		// decisions this boundary would run on a stale fleet picture.
+		if cfg.Consolidate && len(r.migrations) == moved {
+			r.migrations = f.consolidate(r.boards, r.home, r.lastSat, r.lastCon, r.peak, epoch, r.migrations)
 		}
+		r.checkpointPass(epoch)
 	}
 
-	return f.buildReport(boards, sources, migrations, workers, time.Since(start))
+	return f.buildReport(r, workers, time.Since(start))
 }
 
 // topFrameMs reprices the shared per-frame cost from the configured
@@ -406,7 +520,8 @@ func (f *Fleet) topFrameMs() float64 {
 // queued — exceeds the board's worker capacity even at top-rung
 // pricing, so waiting for the governor to finish climbing would just
 // let deadlines die in the queue).
-func (f *Fleet) saturated(b *board, es serve.EpochStats) bool {
+func (f *Fleet) saturated(b *board) bool {
+	es := b.stats
 	if es.Controls.Mode.Watts >= b.satW && es.DeadlineHitRate < f.cfg.TargetHitRate {
 		return true
 	}
@@ -421,7 +536,8 @@ func (f *Fleet) saturated(b *board, es serve.EpochStats) bool {
 // a board running hot at 15 W still has a ladder to climb — is taken
 // as a floor: a board draining backlog is busier than its arrivals
 // suggest.
-func (f *Fleet) forecastUtil(es serve.EpochStats) float64 {
+func (f *Fleet) forecastUtil(b *board) float64 {
+	es := b.stats
 	u := es.ForecastArrived * f.topFrameMs() / (f.cfg.EpochMs * float64(f.workers))
 	if es.Controls.Mode.EffGFLOPS > 0 && f.topEff > 0 {
 		if obs := es.Utilization * es.Controls.Mode.EffGFLOPS / f.topEff; obs > u {
@@ -432,14 +548,14 @@ func (f *Fleet) forecastUtil(es serve.EpochStats) float64 {
 }
 
 // streamForecast reads one homed stream's next-epoch arrival forecast
-// from its board's telemetry (zero when the epoch predates the
+// from its board's last telemetry (zero when the epoch predates the
 // stream's attach).
-func streamForecast(b *board, es serve.EpochStats, gid int) float64 {
+func streamForecast(b *board, gid int) float64 {
 	li, ok := b.local[gid]
-	if !ok || li >= len(es.StreamForecasts) {
+	if !ok || li >= len(b.stats.StreamForecasts) {
 		return 0
 	}
-	return es.StreamForecasts[li]
+	return b.stats.StreamForecasts[li]
 }
 
 // energize raises a migration destination's power mode when its
@@ -452,10 +568,11 @@ func streamForecast(b *board, es serve.EpochStats, gid int) float64 {
 // the next boundary, by then fed telemetry that includes the migrant.
 // Static deployments are left alone — pinning the mode is their
 // contract.
-func (f *Fleet) energize(dst *board, es serve.EpochStats, extraFrames float64) {
+func (f *Fleet) energize(dst *board, extraFrames float64) {
 	if dst.ctl == nil || f.cfg.Governor == "static" {
 		return
 	}
+	es := dst.stats
 	demand := es.ForecastArrived + float64(es.QueueDepth) + extraFrames
 	utilAt := func(m orin.PowerMode) float64 {
 		return demand * f.frameMs * f.refEff / m.EffGFLOPS / (f.cfg.EpochMs * float64(f.workers))
@@ -507,11 +624,11 @@ func (f *Fleet) move(src, dst *board, gid int, home []int, epoch int,
 // streams in one boundary (one per destination) — a board that
 // inherited a packed lull fleet cannot wait an epoch per stream when
 // the burst lands.
-func (f *Fleet) migrate(boards []*board, stats []serve.EpochStats, home, lastSat []int,
+func (f *Fleet) migrate(boards []*board, home, lastSat []int, epoch int,
 	migrations []Migration) []Migration {
 	taken := make(map[*board]bool)
 	for _, src := range boards {
-		if !f.saturated(src, stats[src.id]) {
+		if !src.alive || src.leaving || !f.saturated(src) {
 			continue
 		}
 		// Shed at least one stream (the board is missing its target
@@ -519,32 +636,33 @@ func (f *Fleet) migrate(boards []*board, stats []serve.EpochStats, home, lastSat
 		// until the remaining forecast load fits the same headroom gate
 		// destinations are held to — or the fleet runs out of cool
 		// boards.
-		remaining := f.forecastUtil(stats[src.id])
+		remaining := f.forecastUtil(src)
 		for first := true; first || remaining >= f.cfg.MaxUtil; first = false {
 			var dst *board
 			for _, c := range boards {
-				if c == src || taken[c] || f.forecastUtil(stats[c.id]) >= f.cfg.MaxUtil || f.saturated(c, stats[c.id]) {
+				if c == src || !c.alive || c.leaving || taken[c] ||
+					f.forecastUtil(c) >= f.cfg.MaxUtil || f.saturated(c) {
 					continue
 				}
-				if dst == nil || f.forecastUtil(stats[c.id]) < f.forecastUtil(stats[dst.id]) {
+				if dst == nil || f.forecastUtil(c) < f.forecastUtil(dst) {
 					dst = c
 				}
 			}
 			if dst == nil {
 				break // nowhere cooler to go: the whole fleet is hot
 			}
-			gid := f.hottest(src, home, lastSat, stats[src.id])
+			gid := f.hottest(src, home, lastSat, epoch)
 			if gid < 0 {
 				break
 			}
-			shedFrames := streamForecast(src, stats[src.id], gid)
+			shedFrames := streamForecast(src, gid)
 			var ok bool
-			migrations, ok = f.move(src, dst, gid, home, stats[src.id].Epoch, Saturate, migrations)
+			migrations, ok = f.move(src, dst, gid, home, epoch, Saturate, migrations)
 			if !ok {
 				break
 			}
-			f.energize(dst, stats[dst.id], shedFrames)
-			lastSat[gid] = stats[src.id].Epoch
+			f.energize(dst, shedFrames)
+			lastSat[gid] = epoch
 			taken[dst] = true
 			remaining -= shedFrames * f.topFrameMs() / (f.cfg.EpochMs * float64(f.workers))
 		}
@@ -560,37 +678,45 @@ func (f *Fleet) migrate(boards []*board, stats []serve.EpochStats, home, lastSat
 // rescued the moment the lull ends. Returns -1 when no eligible
 // stream forecasts upcoming arrivals (a saturated board draining
 // backlog sheds nothing by migration).
-func (f *Fleet) hottest(src *board, home, lastSat []int, es serve.EpochStats) int {
+func (f *Fleet) hottest(src *board, home, lastSat []int, epoch int) int {
 	best, bestDue := -1, 0.0
 	for li, gid := range src.globals {
 		if home[gid] != src.id || src.local[gid] != li ||
-			es.Epoch-lastSat[gid] < f.cfg.Cooldown {
+			epoch-lastSat[gid] < f.cfg.Cooldown {
 			continue
 		}
-		if due := streamForecast(src, es, gid); due > bestDue {
+		if due := streamForecast(src, gid); due > bestDue {
 			best, bestDue = gid, due
 		}
 	}
 	return best
 }
 
-// buildReport finalizes every board and aggregates the fleet view.
-func (f *Fleet) buildReport(boards []*board, sources []*stream.Source,
-	migrations []Migration, workers int, wall time.Duration) Report {
+// buildReport finalizes every board incarnation (Finish is idempotent,
+// so killed and retired boards contribute their already-final reports)
+// and aggregates the fleet view.
+func (f *Fleet) buildReport(r *runCtx, workers int, wall time.Duration) Report {
 	rep := Report{
-		Streams:     make([]StreamSummary, len(sources)),
-		Migrations:  migrations,
-		WallSeconds: wall.Seconds(),
+		Streams:          make([]StreamSummary, len(r.sources)),
+		Migrations:       r.migrations,
+		Events:           r.events,
+		Checkpoints:      r.ckpts,
+		CheckpointErrors: r.ckptErrs,
+		WallSeconds:      wall.Seconds(),
+	}
+	for _, ev := range r.events {
+		rep.LostFrames += ev.LostFrames
 	}
 	for gi := range rep.Streams {
 		rep.Streams[gi].Stream = gi
 	}
 	misses := 0.0
-	for _, b := range boards {
+	for _, b := range r.boards {
 		br := BoardReport{
 			Board: b.id, Report: b.sess.Finish(),
 			Globals:    b.globals,
 			MigratedIn: b.in, MigratedOut: b.out,
+			JoinEpoch: b.joinEpoch, LeaveEpoch: b.leaveEpoch,
 		}
 		rep.Boards = append(rep.Boards, br)
 		rep.Frames += br.Report.Frames

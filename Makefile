@@ -13,11 +13,15 @@
 #                runs (bench measures, bench-smoke only proves the
 #                benchmarks still compile and execute)
 #   make bench-json   run the bench suite and write BENCH_serve.json
-#                (benchmark name → ns/op, B/op, allocs/op), stamped
-#                with the git commit SHA and Go version so uploaded
-#                artifacts form a comparable perf trajectory; doubles
-#                as the bit-rot gate in make ci — one bench run covers
-#                both the smoke and the artifact
+#                (benchmark name → ns/op, B/op, allocs/op, plus every
+#                b.ReportMetric column: frames/s, steps/s,
+#                coord-share), stamped with the git commit SHA and Go
+#                version so uploaded artifacts form a comparable perf
+#                trajectory; doubles as the bit-rot gate in make ci —
+#                one bench run covers both the smoke and the artifact.
+#                Convention: the manifest is committed at the repo
+#                root, so refresh it (and include it in the commit)
+#                whenever a change moves the serving or fleet numbers
 #   make serve-bench  the multi-stream serving benchmark only
 #   make staticcheck  honnef.co staticcheck at a pinned version; uses a
 #                PATH binary if present (CI installs one), otherwise
@@ -28,8 +32,13 @@
 #                peak, rolling upgrade) plus an ldserve -chaos run, so
 #                the CLI failover path cannot rot while the package
 #                tests stay green
+#   make fleet-smoke  one short-horizon ldserve run at fleet scale (64
+#                boards × 256 shared-scene streams in groups of 16,
+#                admission gate on), so the hierarchical-runtime CLI
+#                path — groups, admission, coordinator-overhead report
+#                — cannot rot while the package tests stay green
 #   make ci      build + fmt + vet + staticcheck + test + race +
-#                chaos-smoke + bench-json
+#                chaos-smoke + fleet-smoke + bench-json
 
 GO ?= go
 # Pinned staticcheck: 2024.1.1 supports the go 1.22/1.23 CI matrix.
@@ -37,7 +46,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GIT_SHA := $(shell git rev-parse HEAD 2>/dev/null || echo unknown)
 
-.PHONY: build fmt vet test race bench bench-smoke bench-json serve-bench staticcheck chaos-smoke ci
+.PHONY: build fmt vet test race bench bench-smoke bench-json serve-bench staticcheck chaos-smoke fleet-smoke ci
 
 build:
 	$(GO) build ./...
@@ -96,4 +105,13 @@ chaos-smoke:
 	$(GO) run ./cmd/ldserve -streams 4 -frames 12 -fps 4 -boards 2 -workers 1 -epochs 1 \
 		-epoch-ms 250 -ckpt-every 1 -chaos kill:hot@2,join@4 >/dev/null
 
-ci: build fmt vet staticcheck test race chaos-smoke bench-json
+# The package tests pin the hierarchical runtime's semantics; this run
+# proves the -groups/-admit/-shared-scenes flag path end to end at a
+# board count where every layer (actors, group placers, admission,
+# cross-group rebalance) is live.
+fleet-smoke:
+	$(GO) run ./cmd/ldserve -streams 256 -frames 4 -fps 4 -boards 64 -workers 1 -epochs 1 \
+		-epoch-ms 250 -govern hysteresis -migrate -consolidate -groups 16 \
+		-shared-scenes -admit queue >/dev/null
+
+ci: build fmt vet staticcheck test race chaos-smoke fleet-smoke bench-json

@@ -8,11 +8,16 @@
 //	         plus the analytic Orin pricing itself)
 //	§II    — BenchmarkSOTACostModel (epoch-cost claim)
 //	§III   — BenchmarkAblation* (conv/FC adaptation step costs)
+//	fleet  — BenchmarkFleetScale (the hierarchical coordinator at 16
+//	         and 64 boards: fleet step rate and coordinator-overhead
+//	         share, the serving-extension trajectory BENCH_serve.json
+//	         archives)
 //
 // Run with: go test -bench=. -benchmem
 package ldbnadapt_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -22,6 +27,7 @@ import (
 	"ldbnadapt/internal/orin"
 	"ldbnadapt/internal/resnet"
 	"ldbnadapt/internal/serve"
+	"ldbnadapt/internal/shard"
 	"ldbnadapt/internal/sota"
 	"ldbnadapt/internal/tensor"
 	"ldbnadapt/internal/ufld"
@@ -259,6 +265,61 @@ func BenchmarkServeMultiStream(b *testing.B) {
 		}
 		b.ReportMetric(float64(streams*frames*b.N)/b.Elapsed().Seconds(), "frames/s")
 	})
+}
+
+// BenchmarkFleetScale measures the hierarchical fleet coordinator at
+// scale: boards run as actors in placement groups of 16, streams share
+// one rendered scene set with phase-shifted arrivals (setup is
+// O(frames), so the 64-board × 1024-stream point stays affordable),
+// and migration plus consolidation keep the group placers busy. Each
+// sub-benchmark reports the fleet step rate (control-epoch boundaries
+// per host second) and the coordinator-overhead share (wall time the
+// board actors spent idle at the barrier while the coordinator placed,
+// admitted and checkpointed) — the two numbers the tentpole runtime is
+// tracked by.
+func BenchmarkFleetScale(b *testing.B) {
+	f := getFixture(b)
+	for _, sc := range []struct{ boards, streams int }{
+		{16, 256},
+		{64, 1024},
+	} {
+		b.Run(fmt.Sprintf("boards=%d,streams=%d", sc.boards, sc.streams), func(b *testing.B) {
+			fleet := serve.SyntheticFleetShared(f.model.Cfg, sc.streams, 4, 4, 2024)
+			cfg := shard.Config{
+				Boards: sc.boards,
+				Board: serve.Config{
+					Workers:    1,
+					MaxBatch:   8,
+					AdaptEvery: 4,
+					Adapt:      adapt.DefaultConfig(),
+					Mode:       orin.Mode30W,
+				},
+				Governor:    "hysteresis",
+				EpochMs:     250,
+				Migrate:     true,
+				Consolidate: true,
+				GroupSize:   16,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			epochs, coord, wall := 0, 0.0, 0.0
+			for i := 0; i < b.N; i++ {
+				fl, err := shard.New(f.model, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep := fl.Run(fleet)
+				if rep.Frames <= 0 || rep.FleetEpochs <= 0 {
+					b.Fatalf("degenerate fleet run: %d frames, %d epochs", rep.Frames, rep.FleetEpochs)
+				}
+				epochs += rep.FleetEpochs
+				coord += rep.CoordSeconds
+				wall += rep.WallSeconds
+			}
+			b.ReportMetric(float64(epochs)/b.Elapsed().Seconds(), "steps/s")
+			b.ReportMetric(coord/wall, "coord-share")
+		})
+	}
 }
 
 // BenchmarkTrainEpoch measures one supervised source-training epoch

@@ -5,7 +5,9 @@
 //	go test -run xxx -bench . -benchmem -benchtime 1x ./... | benchjson -o BENCH_serve.json
 //
 // Lines that are not benchmark results (package headers, PASS/ok) are
-// ignored; the -benchmem columns are optional. The manifest also
+// ignored; the -benchmem columns are optional, and any other
+// value-unit pair (b.ReportMetric columns like frames/s or
+// coord-share) lands in the result's metrics map. The manifest also
 // records the git commit (-sha, falling back to the binary's embedded
 // VCS revision), the Go version and GOMAXPROCS, so the uploaded CI
 // artifacts form a comparable perf trajectory across commits and
@@ -36,6 +38,10 @@ type Result struct {
 	// without it).
 	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds every b.ReportMetric column by its unit (frames/s,
+	// steps/s, coord-share, …) — the benchmark-specific numbers the
+	// perf trajectory actually tracks.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Manifest is the artifact schema.
@@ -94,6 +100,11 @@ func parseLine(line string) (Result, bool) {
 		case "allocs/op":
 			a := v
 			r.AllocsPerOp = &a
+		default:
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[fields[i+1]] = v
 		}
 	}
 	return r, seen

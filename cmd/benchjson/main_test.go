@@ -18,6 +18,14 @@ func TestParseLine(t *testing.T) {
 		r.AllocsPerOp == nil || *r.AllocsPerOp != 2 {
 		t.Fatalf("benchmem line parsed as %+v, %v", r, ok)
 	}
+	if r.Metrics != nil {
+		t.Fatalf("benchmem line grew custom metrics: %+v", r.Metrics)
+	}
+	r, ok = parseLine("BenchmarkFleetScale/boards=64-8 1 9876543 ns/op 12.5 steps/s 0.031 coord-share 128 B/op 3 allocs/op")
+	if !ok || r.Metrics["steps/s"] != 12.5 || r.Metrics["coord-share"] != 0.031 ||
+		r.BytesPerOp == nil || *r.BytesPerOp != 128 {
+		t.Fatalf("ReportMetric line parsed as %+v, %v", r, ok)
+	}
 	for _, line := range []string{
 		"ok  	ldbnadapt/internal/serve	8.731s",
 		"PASS",

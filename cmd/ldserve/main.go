@@ -15,6 +15,7 @@
 //	ldserve -streams 12 -boards 4 -workers 1 -govern predictive -migrate -consolidate
 //	ldserve -streams 8 -boards 4 -workers 1 -ckpt-every 2 -chaos kill:hot@8
 //	ldserve -streams 8 -boards 4 -workers 1 -chaos join@4,drain:0@6 -ckpt-dir /tmp/ckpts
+//	ldserve -streams 256 -frames 4 -fps 4 -boards 64 -workers 1 -groups 16 -shared-scenes -admit queue
 //
 // Latency accounting runs on an event-time virtual clock: each frame's
 // latency is its measured queue wait behind earlier work plus its
@@ -47,6 +48,20 @@
 // path: when the forecast fleet load fits on fewer boards, the
 // coordinator drains the coldest board (coldest streams first) so its
 // rail sleeps until migration needs it again.
+//
+// At fleet scale the coordinator runs hierarchically: -groups
+// partitions the boards into placement groups (migration,
+// consolidation and failover score within a group; a top-level placer
+// rebalances streams across groups on aggregated forecast load),
+// -admit gates streams that come online mid-run behind a
+// forecast-headroom check (queue waits for headroom, shed rejects
+// outright; -admit-util and -admit-queue tune the ceiling and the
+// waiting-room cap), and -shared-scenes renders one scene set shared
+// by every stream with phase-shifted arrivals so generating a
+// four-digit-stream fleet costs O(frames), not O(streams × frames).
+// The fleet report then ends with the coordinator-overhead line:
+// fleet epochs stepped, the step rate, and the share of wall time the
+// board actors spent waiting on coordinator boundary work.
 //
 // -chaos injects a seeded membership plan ("kind[:target]@epoch" items,
 // comma-separated: kill:hot@8, kill:2@5, drain:0@6, join@4) to
@@ -119,6 +134,12 @@ func main() {
 	placementName := flag.String("placement", "least-loaded", "stream→board placement for -boards >1: round-robin|least-loaded|bin-pack")
 	migrate := flag.Bool("migrate", false, "migrate the hottest stream off a saturated board at epoch boundaries (-boards >1)")
 	consolidate := flag.Bool("consolidate", false, "drain the coldest board during forecast lulls so its rail sleeps (-boards >1, needs -migrate to reopen boards)")
+	groups := flag.Int("groups", 0, "placement-group size for -boards >1: migration/consolidation/failover score within groups of this many boards, a top-level placer rebalances across them (0 = internal/shard default)")
+	admitName := flag.String("admit", "", "admission gate for streams that come online mid-run (-boards >1): queue (wait for forecast headroom) or shed (reject on arrival without headroom); empty places every stream up front")
+	admitUtil := flag.Float64("admit-util", 0, "forecast-utilization ceiling the admission gate fills boards to (0 = the migration headroom gate)")
+	admitQueue := flag.Int("admit-queue", 0, "cap on streams waiting at the admission gate; overflow is shed (0 = unbounded, -admit queue only)")
+	sharedScenes := flag.Bool("shared-scenes", false, "render one scene set shared by every stream with phase-shifted arrivals — O(frames) setup for fleet-scale runs instead of O(streams x frames)")
+	lockstep := flag.Bool("lockstep", false, "step boards serially through the coordinator instead of concurrently (the equivalence-pin reference execution, not a production mode)")
 	forecastName := flag.String("forecast", "holt", "per-stream arrival-rate forecaster: naive|ewma|holt")
 	chaos := flag.String("chaos", "", "seeded membership plan, e.g. kill:hot@8,join@10,drain:0@12 (-boards >1)")
 	ckptEvery := flag.Int("ckpt-every", 0, "checkpoint every stream every N epochs (0 = only under -chaos, then every epoch)")
@@ -156,6 +177,18 @@ func main() {
 	}
 	if (*chaos != "" || *ckptEvery > 0 || *ckptDir != "") && *boards <= 1 {
 		fail(fmt.Errorf("-chaos, -ckpt-every and -ckpt-dir need a fleet; use -boards >1"))
+	}
+	if (*groups > 0 || *admitName != "" || *lockstep) && *boards <= 1 {
+		fail(fmt.Errorf("-groups, -admit and -lockstep need a fleet; use -boards >1"))
+	}
+	if *admitName != "" && *admitName != "queue" && *admitName != "shed" {
+		fail(fmt.Errorf("unknown admission policy %q: want queue or shed", *admitName))
+	}
+	if (*admitUtil > 0 || *admitQueue > 0) && *admitName == "" {
+		fail(fmt.Errorf("-admit-util and -admit-queue tune the gate; enable it with -admit queue|shed"))
+	}
+	if *sharedScenes && *fpsAlt > 0 {
+		fail(fmt.Errorf("-shared-scenes phase-shifts one schedule and cannot mix rates; drop -fps-alt"))
 	}
 	var plan *shard.FailurePlan
 	if *chaos != "" {
@@ -217,11 +250,16 @@ func main() {
 		}
 	}
 
-	rates := []float64{*fps}
-	if *fpsAlt > 0 {
-		rates = append(rates, *fpsAlt)
+	var fleet []*stream.Source
+	if *sharedScenes {
+		fleet = serve.SyntheticFleetShared(cfg, *streams, *frames, *fps, *seed+2000)
+	} else {
+		rates := []float64{*fps}
+		if *fpsAlt > 0 {
+			rates = append(rates, *fpsAlt)
+		}
+		fleet = serve.SyntheticFleetRates(cfg, *streams, *frames, rates, *seed+2000)
 	}
-	fleet := serve.SyntheticFleetRates(cfg, *streams, *frames, rates, *seed+2000)
 	scfg := serve.Config{
 		Variant:    variant,
 		Workers:    *workers,
@@ -242,6 +280,10 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		var adm *shard.Admission
+		if *admitName != "" {
+			adm = &shard.Admission{MaxUtil: *admitUtil, Queue: *admitQueue, Shed: *admitName == "shed"}
+		}
 		f, err := shard.New(m, shard.Config{
 			Boards:          *boards,
 			Board:           scfg,
@@ -251,6 +293,9 @@ func main() {
 			EpochMs:         *epochMs,
 			Migrate:         *migrate,
 			Consolidate:     *consolidate,
+			GroupSize:       *groups,
+			Admission:       adm,
+			Lockstep:        *lockstep,
 			Plan:            plan,
 			CheckpointEvery: *ckptEvery,
 			Checkpoints:     ckpts,
@@ -314,7 +359,7 @@ func printFleetReport(rep shard.Report, govern, placement string) {
 	}
 	fmt.Printf("sharded fleet (%d boards, %s placement, %s governors): %d frames, hit rate %s\n",
 		len(rep.Boards), placement, govern, rep.Frames, metrics.FormatPct(rep.HitRate))
-	tb := metrics.NewTable("board", "streams", "frames", "hit rate", "p99 ms", "energy J",
+	tb := metrics.NewTable("board", "group", "streams", "frames", "hit rate", "p99 ms", "energy J",
 		"mig in", "mig out", "epochs")
 	for _, br := range rep.Boards {
 		hit, p99 := "-", "-"
@@ -330,7 +375,7 @@ func printFleetReport(rep shard.Report, govern, placement string) {
 			}
 			life = fmt.Sprintf("%d..%s", br.JoinEpoch, end)
 		}
-		tb.AddRow(fmt.Sprintf("#%d", br.Board), len(br.Globals), br.Report.Frames,
+		tb.AddRow(fmt.Sprintf("#%d", br.Board), br.Group, len(br.Globals), br.Report.Frames,
 			hit, p99,
 			fmt.Sprintf("%.1f", br.Report.EnergyMJ/1e3),
 			br.MigratedIn, br.MigratedOut, life)
@@ -365,8 +410,22 @@ func printFleetReport(rep shard.Report, govern, placement string) {
 			fmt.Printf("event: epoch %d board %d joined the fleet\n", ev.Epoch, ev.Board)
 		}
 	}
+	for _, ar := range rep.Admissions {
+		if ar.Rejected {
+			fmt.Printf("admission: epoch %d stream %d shed after %d epochs at the gate — %d frames lost\n",
+				ar.Epoch, ar.Stream, ar.Waited, ar.DroppedFrames)
+		} else {
+			fmt.Printf("admission: epoch %d stream %d -> board %d (waited %d epochs, %d frames lost at the gate)\n",
+				ar.Epoch, ar.Stream, ar.Board, ar.Waited, ar.DroppedFrames)
+		}
+	}
 	if rep.Checkpoints > 0 || rep.CheckpointErrors > 0 {
 		fmt.Printf("checkpoints: %d written, %d errors\n", rep.Checkpoints, rep.CheckpointErrors)
+	}
+	if rep.WallSeconds > 0 {
+		fmt.Printf("coordinator: %d fleet epochs, %.1f steps/s, %s of wall time at the boundary\n",
+			rep.FleetEpochs, float64(rep.FleetEpochs)/rep.WallSeconds,
+			metrics.FormatPct(rep.CoordSeconds/rep.WallSeconds))
 	}
 	fmt.Printf("fleet energy: %.1f J total (%.1f J busy + %.1f J static), %.3f J/frame, %.1f worker-s stranded\n",
 		rep.EnergyMJ/1e3, rep.BusyEnergyMJ/1e3, rep.IdleEnergyMJ/1e3, rep.JPerFrame, rep.StrandedMs/1e3)

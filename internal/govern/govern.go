@@ -34,6 +34,14 @@
 // alone favors MAXN (race-to-idle — higher modes finish the same work
 // in disproportionately less time), but a board parked at MAXN
 // through a load lull burns orin.PowerMode.IdleWatts for nothing.
+//
+// Controllers are board-local and goroutine-confined: a Controller
+// instance observes and actuates exactly one engine, keeps no shared
+// state, and needs no locking. The fleet runtime (internal/shard)
+// relies on that to run every board's Decide concurrently on the
+// board's own actor goroutine between epoch barriers — parallel
+// decides cannot change any decision because no controller can see
+// another board.
 package govern
 
 import (

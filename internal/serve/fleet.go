@@ -56,6 +56,36 @@ func SyntheticFleetRates(cfg ufld.Config, streams, framesPerStream int, rates []
 	return out
 }
 
+// SyntheticFleetShared generates a fleet-scale workload: one scene set
+// is rendered once (framesPerStream samples under the fleet seed) and
+// shared by every stream, with stream i's arrivals phase-shifted by
+// i/streams of a frame period so the fleet's load interleaves instead
+// of arriving in lockstep spikes. Rendering cost is O(frames), not
+// O(streams × frames), which is what makes 64-board × 1024-stream
+// coordinator benchmarks affordable; per-stream adaptation still
+// diverges because every stream owns its BN state and sees its own
+// arrival clock. Use SyntheticFleet when per-stream scene drift
+// matters more than scale.
+func SyntheticFleetShared(cfg ufld.Config, streams, framesPerStream int, fps float64, seed uint64) []*stream.Source {
+	if streams <= 0 {
+		return nil
+	}
+	base := stream.NewSource(fleetStreamDataset(cfg, 0, framesPerStream, seed), fps)
+	period := base.Period()
+	out := make([]*stream.Source, streams)
+	out[0] = base
+	for i := 1; i < streams; i++ {
+		shift := time.Duration(int64(period) * int64(i) / int64(streams))
+		frames := make([]stream.Frame, len(base.Frames))
+		for k, fr := range base.Frames {
+			fr.Arrival += shift
+			frames[k] = fr
+		}
+		out[i] = &stream.Source{FPS: fps, Frames: frames}
+	}
+	return out
+}
+
 // StreamSchedule describes one time-varying camera in a fleet: when it
 // joins and the rate phases it plays. A short schedule is a stream
 // that leaves early.

@@ -26,6 +26,16 @@ import (
 // virtual-clock accounting is unaffected, and a one-shot Run plans
 // everything in a single epoch so the batching benchmarks lose
 // nothing.
+//
+// Ownership: a Session is confined to one goroutine. It has no
+// internal locking beyond the worker pool — the epoch-synchronous
+// methods above must all be called from the same goroutine, with any
+// cross-goroutine handoff ordered by a happens-before edge. The fleet
+// runtime (internal/shard) follows exactly that contract: each
+// board's actor goroutine owns its Session for the board's lifetime
+// and serves typed directives over a control bus, and the coordinator
+// may read a quiescent session (Done, Now, Controls) only after
+// receiving the actor's reply for the current directive.
 type Session struct {
 	e       *Engine
 	p       *planner

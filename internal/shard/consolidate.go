@@ -33,21 +33,22 @@ type conHome struct {
 // fleet remembers bursts for ~3× longer (half-life ≈ 14 epochs).
 const peakDecay = 0.95
 
-// consolidate drains the coldest occupied board when the fleet's
-// provisioning load — each stream's forecast, floored by its decayed
-// peak — fits on the others with headroom, migrating its streams
-// coldest-first onto the boards with the most headroom. lastCon is
-// the consolidation cooldown clock; lastSat is read-only here — a
-// stream that saturation migration just rescued must not be packed
-// straight back into the hot spot it escaped.
-func (f *Fleet) consolidate(boards []*board, home, lastSat, lastCon []int,
+// consolidate drains the coldest occupied board in the group when the
+// group's provisioning load — each stream's forecast, floored by its
+// decayed peak — fits on the others with headroom, migrating its
+// streams coldest-first onto the boards with the most headroom. The
+// scan is positional over the group slice, so planning state is
+// O(group) regardless of fleet size. lastCon is the consolidation
+// cooldown clock; lastSat is read-only here — a stream that saturation
+// migration just rescued must not be packed straight back into the hot
+// spot it escaped.
+func (f *Fleet) consolidate(grp []*board, home, lastSat, lastCon []int,
 	peak []float64, epoch int, migrations []Migration) []Migration {
-	// Board provisioning loads in utilization units, and homed streams
-	// (registry-indexed: a board's id is its slice index, dead and
-	// leaving incarnations simply contribute nothing).
-	homed := make([][]conHome, len(boards))
-	loads := make([]float64, len(boards))
-	for _, b := range boards {
+	// Board provisioning loads in utilization units and homed streams,
+	// indexed by position in the group slice.
+	homed := make([][]conHome, len(grp))
+	loads := make([]float64, len(grp))
+	for pi, b := range grp {
 		if !b.alive || b.leaving || b.sess.Done() {
 			// A dead or leaving board takes no part; a drained-and-finished
 			// board has nothing to consolidate and nothing worth draining:
@@ -65,21 +66,21 @@ func (f *Fleet) consolidate(boards []*board, home, lastSat, lastCon []int,
 				frames = peak[gid]
 			}
 			u := frames * f.topFrameMs() / (f.cfg.EpochMs * float64(f.workers))
-			homed[b.id] = append(homed[b.id], conHome{gid: gid, util: u})
-			loads[b.id] += u
+			homed[pi] = append(homed[pi], conHome{gid: gid, util: u})
+			loads[pi] += u
 		}
 	}
 	// The victim is the coldest occupied board; it needs company — a
-	// fleet already on one board has nothing left to consolidate.
+	// group already on one board has nothing left to consolidate.
 	victim := -1
 	occupied := 0
-	for id := range boards {
-		if len(homed[id]) == 0 {
+	for pi := range grp {
+		if len(homed[pi]) == 0 {
 			continue
 		}
 		occupied++
-		if victim < 0 || loads[id] < loads[victim] {
-			victim = id
+		if victim < 0 || loads[pi] < loads[victim] {
+			victim = pi
 		}
 	}
 	if occupied < 2 {
@@ -90,22 +91,22 @@ func (f *Fleet) consolidate(boards []*board, home, lastSat, lastCon []int,
 	streams := append([]conHome(nil), homed[victim]...)
 	sort.SliceStable(streams, func(i, j int) bool { return streams[i].util < streams[j].util })
 	cap := f.cfg.ConsolidateUtil
-	planned := make([]float64, len(boards))
+	planned := make([]float64, len(grp))
 	dests := make([]int, len(streams))
 	for i, s := range streams {
 		if epoch-lastCon[s.gid] < f.cfg.Cooldown || epoch-lastSat[s.gid] < f.cfg.Cooldown {
 			return migrations
 		}
 		dst := -1
-		for id, b := range boards {
-			if id == victim || len(homed[id]) == 0 || f.saturated(b) {
+		for pi, b := range grp {
+			if pi == victim || len(homed[pi]) == 0 || f.saturated(b) {
 				continue // keepers only: occupied, healthy, live boards
 			}
-			if loads[id]+planned[id]+s.util > cap {
+			if loads[pi]+planned[pi]+s.util > cap {
 				continue
 			}
-			if dst < 0 || loads[id]+planned[id] < loads[dst]+planned[dst] {
-				dst = id
+			if dst < 0 || loads[pi]+planned[pi] < loads[dst]+planned[dst] {
+				dst = pi
 			}
 		}
 		if dst < 0 {
@@ -120,7 +121,7 @@ func (f *Fleet) consolidate(boards []*board, home, lastSat, lastCon []int,
 	first := len(migrations)
 	for i, s := range streams {
 		var ok bool
-		migrations, ok = f.move(boards[victim], boards[dests[i]], s.gid, home, epoch, Consolidate, migrations)
+		migrations, ok = f.move(grp[victim], grp[dests[i]], s.gid, home, epoch, Consolidate, migrations)
 		if ok {
 			lastCon[s.gid] = epoch
 		}

@@ -171,9 +171,16 @@ type runCtx struct {
 	store      serve.CheckpointStore
 	ckpts      int
 	ckptErrs   int
+	epochs     int
 
 	pendingKills  []pendingKill
 	pendingDrains []*board
+
+	// Admission-gate state (see admission.go): arrivals waiting for
+	// forecast headroom, and the gate's outcome trace.
+	pending      []pendingStream
+	admissions   []AdmissionRecord
+	admitDropped int
 }
 
 // resolve maps an event target to a live, non-leaving board (nil when
@@ -235,9 +242,11 @@ func (r *runCtx) applyEvents(epoch int, end float64) {
 		case Join:
 			id := len(r.boards)
 			b := r.f.openBoard(r.eng, id, epoch, nil)
+			b.group = r.assignGroup()
 			// One zero-cost epoch catches the empty session's clock up to
 			// the fleet boundary, so its first real epoch is in lockstep.
-			b.stats = b.sess.RunEpoch(end)
+			b.beginStep(end)
+			b.awaitStep()
 			r.boards = append(r.boards, b)
 			r.events = append(r.events, EventRecord{Epoch: epoch, Kind: Join, Board: id})
 		}
@@ -245,11 +254,12 @@ func (r *runCtx) applyEvents(epoch int, end float64) {
 }
 
 // kill removes a board instantly: the session finalizes with whatever
-// it served, frames still queued are counted lost, and the streams it
-// homed become orphans for recoverOrphans.
+// it served (and the board's actor stops), frames still queued are
+// counted lost, and the streams it homed become orphans for
+// recoverOrphans.
 func (r *runCtx) kill(b *board, epoch int) {
 	b.alive, b.leaveEpoch = false, epoch
-	rep := b.sess.Finish()
+	rep := b.retire()
 	arrived := 0
 	for _, es := range rep.Epochs {
 		arrived += es.Arrived
@@ -281,21 +291,45 @@ func futureSource(src *stream.Source, endMs float64) *stream.Source {
 	return &stream.Source{FPS: src.FPS, Frames: fut}
 }
 
+// survivorCandidates scopes failover and evacuation destinations to
+// the displaced board's own placement group — O(group) scoring — with
+// the whole fleet as the fallback when the group has no live,
+// non-leaving survivor: a recovered stream anywhere beats a stream
+// served nowhere.
+func (r *runCtx) survivorCandidates(group int) []*board {
+	var ingrp, all []*board
+	for _, b := range r.boards {
+		if !b.alive || b.leaving {
+			continue
+		}
+		all = append(all, b)
+		if b.group == group {
+			ingrp = append(ingrp, b)
+		}
+	}
+	if len(ingrp) > 0 {
+		return ingrp
+	}
+	return all
+}
+
 // recoverOrphans re-admits every killed board's orphaned streams onto
 // survivors, hottest first: adaptation state from the stream's last
 // checkpoint when one decodes (cold otherwise), destination chosen by
 // the same forecast-utilization scoring live migration uses — least
-// loaded including the load already replanned onto it this boundary —
-// and energized for the incoming demand. Re-admission never blocks on
-// headroom: a recovered stream on a warm board beats a stream served
-// nowhere. The stream's saturation cooldown is left untouched, so a
-// migrant that lands hot stays immediately rescuable.
+// loaded in the dead board's group (fleet-wide only when the group
+// died with it), including the load already replanned onto it this
+// boundary — and energized for the incoming demand. Re-admission never
+// blocks on headroom: a recovered stream on a warm board beats a
+// stream served nowhere. The stream's saturation cooldown is left
+// untouched, so a migrant that lands hot stays immediately rescuable.
 func (r *runCtx) recoverOrphans(epoch int, end float64) {
 	if len(r.pendingKills) == 0 {
 		return
 	}
 	f := r.f
 	for _, pk := range r.pendingKills {
+		cands := r.survivorCandidates(pk.b.group)
 		ev := EventRecord{Epoch: epoch, Kind: Kill, Board: pk.b.id, LostFrames: pk.lost}
 		type orphan struct {
 			gid  int
@@ -341,10 +375,7 @@ func (r *runCtx) recoverOrphans(epoch int, end float64) {
 		for _, o := range orphans {
 			var dst *board
 			score := func(c *board) float64 { return f.forecastUtil(c) + planned[c] }
-			for _, c := range r.boards {
-				if !c.alive || c.leaving {
-					continue
-				}
+			for _, c := range cands {
 				if dst == nil || score(c) < score(dst) {
 					dst = c
 				}
@@ -352,7 +383,7 @@ func (r *runCtx) recoverOrphans(epoch int, end float64) {
 			if dst == nil {
 				break // no survivors: the remaining orphans die with the fleet
 			}
-			nl := dst.sess.AttachStream(o.h)
+			nl := dst.attach(o.h)
 			dst.local[o.gid] = nl
 			dst.globals = append(dst.globals, o.gid)
 			r.home[o.gid] = dst.id
@@ -377,10 +408,11 @@ func (r *runCtx) recoverOrphans(epoch int, end float64) {
 }
 
 // evacuateLeavers moves every stream off boards marked leaving at this
-// boundary — coldest first onto the least-loaded survivors, the same
-// packing order consolidation uses but unconditional: the board is
-// leaving whether or not the lull is deep enough, so there is no
-// headroom ceiling to refuse at. The handoffs are live (full state,
+// boundary — coldest first onto the least-loaded survivors in the
+// leaver's group (fleet-wide when the group has no other survivor),
+// the same packing order consolidation uses but unconditional: the
+// board is leaving whether or not the lull is deep enough, so there is
+// no headroom ceiling to refuse at. The handoffs are live (full state,
 // open windows, forecasters), which is what makes Drain the lossless
 // rolling-upgrade path. The last successful move carries Drained, and
 // the board retires once its in-flight queue empties.
@@ -393,6 +425,7 @@ func (r *runCtx) evacuateLeavers(epoch int) {
 		if !b.alive {
 			continue // already retired: it was Done the moment it was marked
 		}
+		cands := r.survivorCandidates(b.group)
 		ev := EventRecord{Epoch: epoch, Kind: Drain, Board: b.id}
 		type item struct {
 			gid  int
@@ -412,10 +445,7 @@ func (r *runCtx) evacuateLeavers(epoch int) {
 		for _, it := range items {
 			var dst *board
 			score := func(c *board) float64 { return f.forecastUtil(c) + planned[c] }
-			for _, c := range r.boards {
-				if c == b || !c.alive || c.leaving {
-					continue
-				}
+			for _, c := range cands {
 				if dst == nil || score(c) < score(dst) {
 					dst = c
 				}
@@ -447,32 +477,57 @@ func (r *runCtx) evacuateLeavers(epoch int) {
 // checkpointPass writes every homed stream's adaptation state into the
 // store on the configured cadence — after the boundary's placement, so
 // each checkpoint reflects the stream's current home and the state its
-// next epoch will start from.
+// next epoch will start from. Snapshot and encode run on each board's
+// actor (broadcast, then collect — the deep copies and the binary
+// codec dominate the cost); only the store writes stay serial on the
+// coordinator, in board/stream order, so the pass is deterministic. In
+// Lockstep mode each board is awaited before the next is asked.
 func (r *runCtx) checkpointPass(epoch int) {
 	every := r.f.cfg.CheckpointEvery
 	if r.store == nil || every <= 0 || epoch%every != 0 {
 		return
 	}
-	for _, b := range r.boards {
-		if !b.alive {
-			continue
-		}
-		for li, gid := range b.globals {
-			if r.home[gid] != b.id || b.local[gid] != li {
-				continue
-			}
-			c := b.sess.Checkpoint(li)
-			c.Stream, c.Epoch = gid, epoch
-			var buf bytes.Buffer
-			if err := serve.EncodeCheckpoint(&buf, c); err != nil {
+	type job struct {
+		b       *board
+		globals []int
+	}
+	write := func(j job, data [][]byte) {
+		for i, d := range data {
+			if d == nil {
 				r.ckptErrs++
 				continue
 			}
-			if err := r.store.Put(gid, buf.Bytes()); err != nil {
+			if err := r.store.Put(j.globals[i], d); err != nil {
 				r.ckptErrs++
 				continue
 			}
 			r.ckpts++
 		}
+	}
+	var jobs []job
+	for _, b := range r.boards {
+		if !b.alive {
+			continue
+		}
+		var locals, globals []int
+		for li, gid := range b.globals {
+			if r.home[gid] != b.id || b.local[gid] != li {
+				continue
+			}
+			locals = append(locals, li)
+			globals = append(globals, gid)
+		}
+		if len(locals) == 0 {
+			continue
+		}
+		b.beginCheckpoint(locals, globals, epoch)
+		if r.f.cfg.Lockstep {
+			write(job{b: b, globals: globals}, b.awaitCheckpoint())
+			continue
+		}
+		jobs = append(jobs, job{b: b, globals: globals})
+	}
+	for _, j := range jobs {
+		write(j, j.b.awaitCheckpoint())
 	}
 }

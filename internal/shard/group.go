@@ -1,0 +1,158 @@
+package shard
+
+import "sort"
+
+// Group placers. Boards partition into placement groups of
+// Config.GroupSize (founding board i belongs to group i/GroupSize;
+// joins land in the emptiest group). Saturation migration and lull
+// consolidation run inside a per-group placer — their scoring scans
+// O(group) boards, not O(fleet) — and a top-level fleet placer watches
+// the groups' aggregated forecast load, moving a stream across groups
+// only when the spread between the hottest and coolest group is one no
+// per-group placer can see. Failover re-admission and drain evacuation
+// prefer the displaced board's own group and fall back to the whole
+// fleet when the group has no eligible survivor: a recovered stream
+// anywhere beats a stream served nowhere.
+
+// groupView buckets the live boards by placement group, registry order
+// preserved within each group, indexed by group id (gaps are empty
+// slices). For a single-group fleet the one bucket is exactly the old
+// flat coordinator's live-board scan, which is what keeps the group
+// placers' decisions pinned to the lockstep reference.
+func (r *runCtx) groupView() [][]*board {
+	var out [][]*board
+	for _, b := range r.boards {
+		if !b.alive {
+			continue
+		}
+		for len(out) <= b.group {
+			out = append(out, nil)
+		}
+		out[b.group] = append(out[b.group], b)
+	}
+	return out
+}
+
+// assignGroup picks the placement group for a board joining mid-run:
+// the group with the fewest live members (ties to the lowest id), or a
+// fresh group when every existing one is full.
+func (r *runCtx) assignGroup() int {
+	var counts []int
+	for _, b := range r.boards {
+		if !b.alive {
+			continue
+		}
+		for len(counts) <= b.group {
+			counts = append(counts, 0)
+		}
+		counts[b.group]++
+	}
+	best := -1
+	for g, n := range counts {
+		if n < r.f.cfg.GroupSize && (best < 0 || n < counts[best]) {
+			best = g
+		}
+	}
+	if best < 0 {
+		return len(counts)
+	}
+	return best
+}
+
+// runGroups runs one boundary of the placement hierarchy: each group's
+// placer migrates and consolidates within its own boards, then the
+// top-level placer checks the cross-group spread. Consolidation waits
+// out boundaries whose group just moved streams (for saturation,
+// failover or evacuation): the migrants' forecasts are not yet in any
+// board's telemetry, so packing decisions this boundary would run on a
+// stale picture of the group.
+func (f *Fleet) runGroups(r *runCtx, epoch int) {
+	groups := r.groupView()
+	for _, grp := range groups {
+		if len(grp) == 0 {
+			continue
+		}
+		moved := len(r.migrations)
+		if f.cfg.Migrate {
+			r.migrations = f.migrate(grp, r.home, r.lastSat, epoch, r.migrations)
+		}
+		if f.cfg.Consolidate && len(r.migrations) == moved {
+			r.migrations = f.consolidate(grp, r.home, r.lastSat, r.lastCon, r.peak, epoch, r.migrations)
+		}
+	}
+	if f.cfg.Migrate {
+		r.rebalance(groups, epoch)
+	}
+}
+
+// rebalance is the top-level fleet placer. It never looks at
+// individual streams across the fleet — only at each group's mean
+// forecast utilization — and acts when the hottest group's mean
+// clears the saturation ceiling while trailing the coolest group by at
+// least RebalanceGap: an imbalance the per-group placers are blind to
+// because neither group has both ends of it. One stream moves per
+// boundary (the hottest eligible stream of the hot group's hottest
+// board onto the cool group's least-loaded board with headroom), so
+// group telemetry catches up between moves.
+func (r *runCtx) rebalance(groups [][]*board, epoch int) {
+	f := r.f
+	type gload struct {
+		id   int
+		mean float64
+	}
+	var loads []gload
+	for gi, grp := range groups {
+		n, sum := 0, 0.0
+		for _, b := range grp {
+			if b.leaving {
+				continue
+			}
+			n++
+			sum += f.forecastUtil(b)
+		}
+		if n > 0 {
+			loads = append(loads, gload{id: gi, mean: sum / float64(n)})
+		}
+	}
+	if len(loads) < 2 {
+		return
+	}
+	sort.SliceStable(loads, func(i, j int) bool { return loads[i].mean < loads[j].mean })
+	hot, cold := loads[len(loads)-1], loads[0]
+	if hot.mean < f.cfg.MaxUtil || hot.mean-cold.mean < f.cfg.RebalanceGap {
+		return
+	}
+	var src *board
+	for _, b := range groups[hot.id] {
+		if b.leaving {
+			continue
+		}
+		if src == nil || f.forecastUtil(b) > f.forecastUtil(src) {
+			src = b
+		}
+	}
+	var dst *board
+	for _, b := range groups[cold.id] {
+		if b.leaving || f.forecastUtil(b) >= f.cfg.MaxUtil || f.saturated(b) {
+			continue
+		}
+		if dst == nil || f.forecastUtil(b) < f.forecastUtil(dst) {
+			dst = b
+		}
+	}
+	if src == nil || dst == nil {
+		return
+	}
+	gid := f.hottest(src, r.home, r.lastSat, epoch)
+	if gid < 0 {
+		return
+	}
+	shed := streamForecast(src, gid)
+	var ok bool
+	r.migrations, ok = f.move(src, dst, gid, r.home, epoch, Rebalance, r.migrations)
+	if !ok {
+		return
+	}
+	f.energize(dst, shed)
+	r.lastSat[gid] = epoch
+}

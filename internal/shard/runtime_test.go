@@ -1,0 +1,230 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"ldbnadapt/internal/orin"
+	"ldbnadapt/internal/serve"
+	"ldbnadapt/internal/stream"
+	"ldbnadapt/internal/ufld"
+)
+
+// normalizeReport zeroes every host-wall-clock field in a fleet report
+// so two runs of the same seeded workload can be compared for exact
+// virtual-semantics equality: all scheduling, accounting and placement
+// is virtual-time deterministic, only the host timings differ.
+func normalizeReport(rep *Report) {
+	rep.WallSeconds, rep.CoordSeconds = 0, 0
+	for i := range rep.Boards {
+		rep.Boards[i].Report.WallSeconds = 0
+		rep.Boards[i].Report.ThroughputFPS = 0
+	}
+}
+
+// scaleScenario is the hierarchical-runtime reference workload: 16
+// boards in groups of 4, 32 shared-scene streams of which every fourth
+// comes online two seconds late (exercising the admission gate), a
+// mid-run kill and a join (exercising group-scoped failover and join
+// group assignment), checkpoints, migration and consolidation — every
+// layer of the runtime in one run small enough for the race detector.
+func scaleScenario(seed uint64) (*ufld.Model, []*stream.Source, Config) {
+	m := testModel(seed)
+	fleet := serve.SyntheticFleetShared(m.Cfg, 32, 4, 8, seed)
+	for i, src := range fleet {
+		if i%4 == 0 {
+			for k := range src.Frames {
+				src.Frames[k].Arrival += 2 * time.Second
+			}
+		}
+	}
+	cfg := Config{
+		Boards:          16,
+		Board:           boardConfig(orin.Mode30W, 1),
+		Placement:       LeastLoaded{},
+		Governor:        "hysteresis",
+		EpochMs:         250,
+		Migrate:         true,
+		Consolidate:     true,
+		GroupSize:       4,
+		Admission:       &Admission{},
+		CheckpointEvery: 2,
+		Plan: &FailurePlan{Events: []FleetEvent{
+			{Epoch: 1, Kind: Kill, Board: HottestBoard},
+			{Epoch: 2, Kind: Join},
+		}},
+	}
+	return m, fleet, cfg
+}
+
+// TestConcurrentMatchesLockstep is the equivalence pin the tentpole is
+// gated on: on every pinned fleet the concurrent runtime must
+// reproduce the serial lockstep coordinator's Report exactly —
+// per-board serve reports, migration and event traces, admissions,
+// energy, everything but host wall time.
+func TestConcurrentMatchesLockstep(t *testing.T) {
+	scenarios := []struct {
+		name  string
+		build func() (*ufld.Model, []*stream.Source, Config)
+	}{
+		{"migration", func() (*ufld.Model, []*stream.Source, Config) {
+			m, fleet, cfg := migrationScenario(53)
+			cfg.Migrate = true
+			return m, fleet, cfg
+		}},
+		{"chaos", func() (*ufld.Model, []*stream.Source, Config) {
+			m, fleet := chaosScenario(67)
+			cfg := chaosConfig(&FailurePlan{Events: []FleetEvent{{Epoch: 8, Kind: Kill, Board: HottestBoard}}})
+			return m, fleet, cfg
+		}},
+		{"rolling-upgrade", func() (*ufld.Model, []*stream.Source, Config) {
+			m := testModel(73)
+			fleet := serve.SyntheticFleet(m.Cfg, 4, 24, 4, 73)
+			cfg := Config{
+				Boards:    2,
+				Board:     boardConfig(orin.Mode60W, 1),
+				Placement: LeastLoaded{},
+				EpochMs:   250,
+				Plan: &FailurePlan{Events: []FleetEvent{
+					{Epoch: 2, Kind: Join},
+					{Epoch: 3, Kind: Drain, Board: 0},
+				}},
+			}
+			return m, fleet, cfg
+		}},
+		{"scale", func() (*ufld.Model, []*stream.Source, Config) {
+			return scaleScenario(91)
+		}},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			if testing.Short() && sc.name != "scale" {
+				// The scale scenario alone exercises every concurrent path
+				// (the race target's concern); the rest are seeded
+				// acceptance pins make test still runs.
+				t.Skip("equivalence pins run without -short")
+			}
+			run := func(lockstep bool) Report {
+				m, fleet, cfg := sc.build()
+				cfg.Lockstep = lockstep
+				f, err := New(m, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep := f.Run(fleet)
+				normalizeReport(&rep)
+				return rep
+			}
+			ref := run(true)
+			got := run(false)
+			if !reflect.DeepEqual(ref, got) {
+				t.Fatalf("concurrent runtime diverged from lockstep reference:\nlockstep:   %+v\nconcurrent: %+v", ref, got)
+			}
+		})
+	}
+}
+
+// TestConcurrentRerunDeterministic pins that the concurrent runtime is
+// deterministic against itself: two runs of the full-stack scale
+// scenario produce identical reports, so host goroutine scheduling
+// never leaks into fleet decisions.
+func TestConcurrentRerunDeterministic(t *testing.T) {
+	run := func() Report {
+		m, fleet, cfg := scaleScenario(97)
+		f, err := New(m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := f.Run(fleet)
+		normalizeReport(&rep)
+		return rep
+	}
+	a := run()
+	if testing.Short() {
+		t.Skip("determinism rerun runs without -short")
+	}
+	b := run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("concurrent rerun diverged:\nfirst:  %+v\nsecond: %+v", a, b)
+	}
+}
+
+// TestFleetRuntimeAtScale drives the concurrent runtime at 16 boards
+// with every layer live — actors, group placers, admission, failover —
+// and checks global frame conservation: every produced frame is
+// served, shed, lost in the killed board's queue, or dropped at the
+// admission gate. It runs under -short on purpose: this is the ≥16
+// board workload `make race` holds the actor protocol to.
+func TestFleetRuntimeAtScale(t *testing.T) {
+	m, fleet, cfg := scaleScenario(91)
+	f, err := New(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := f.Run(fleet)
+	total := 0
+	for _, src := range fleet {
+		total += len(src.Frames)
+	}
+	if got := rep.Frames + rep.FramesDropped + rep.LostFrames + rep.AdmitDropped; got != total {
+		t.Fatalf("conservation: served %d + dropped %d + lost %d + admit-dropped %d = %d, want %d",
+			rep.Frames, rep.FramesDropped, rep.LostFrames, rep.AdmitDropped, got, total)
+	}
+	if rep.FleetEpochs <= 0 {
+		t.Fatalf("fleet stepped %d epochs", rep.FleetEpochs)
+	}
+	if len(rep.Admissions) == 0 {
+		t.Fatal("late streams never hit the admission gate")
+	}
+	admitted := 0
+	for _, ar := range rep.Admissions {
+		if !ar.Rejected {
+			admitted++
+			if ar.Board < 0 {
+				t.Fatalf("admitted stream with no board: %+v", ar)
+			}
+		}
+	}
+	if admitted == 0 {
+		t.Fatal("no late stream was ever admitted")
+	}
+	groups := make(map[int]int)
+	for _, br := range rep.Boards {
+		groups[br.Group]++
+	}
+	if len(groups) != 4 {
+		t.Fatalf("16 boards in groups of 4 formed %d groups (+1 join): %v", len(groups), groups)
+	}
+}
+
+// TestJoinGroupAssignment pins the membership side of the hierarchy: a
+// board joining mid-run lands in the group with the fewest live
+// members — here the group the kill left one short.
+func TestJoinGroupAssignment(t *testing.T) {
+	m, fleet, cfg := scaleScenario(103)
+	f, err := New(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := f.Run(fleet)
+	var killed, joined *BoardReport
+	for i := range rep.Boards {
+		br := &rep.Boards[i]
+		if br.JoinEpoch > 0 {
+			joined = br
+		}
+	}
+	for _, ev := range rep.Events {
+		if ev.Kind == Kill {
+			killed = &rep.Boards[ev.Board]
+		}
+	}
+	if killed == nil || joined == nil {
+		t.Fatalf("scenario must kill and join (events %+v)", rep.Events)
+	}
+	if joined.Group != killed.Group {
+		t.Fatalf("joined board landed in group %d, want the kill-shrunk group %d", joined.Group, killed.Group)
+	}
+}

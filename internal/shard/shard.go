@@ -2,7 +2,6 @@ package shard
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
 	"ldbnadapt/internal/govern"
@@ -64,6 +63,29 @@ type Config struct {
 	// it saturated reads as still-saturated for a few epochs, and
 	// without inertia the same stream ping-pongs between boards.
 	Cooldown int
+	// GroupSize partitions boards into placement groups of this size
+	// (default 16). Saturation migration, lull consolidation and
+	// failover re-admission score O(group) inside each group's placer;
+	// a top-level fleet placer rebalances streams across groups on
+	// aggregated forecast load. Fleets of at most GroupSize boards form
+	// a single group and reproduce the flat coordinator's decisions
+	// exactly.
+	GroupSize int
+	// RebalanceGap is the minimum spread between the hottest and
+	// coolest group's mean forecast utilization before the fleet placer
+	// moves a stream across groups (default 0.25).
+	RebalanceGap float64
+	// Admission gates streams that come online after the run starts
+	// (first frame beyond the first epoch boundary): instead of being
+	// placed up front, they wait for a board with forecast headroom,
+	// queuing or shedding per the policy. Nil keeps the legacy
+	// contract — every stream placed unconditionally at start.
+	Admission *Admission
+	// Lockstep steps the boards serially through their actors — one
+	// directive outstanding at a time — instead of concurrently. It is
+	// the reference execution the concurrent runtime is pinned against
+	// (TestConcurrentMatchesLockstep), not a production mode.
+	Lockstep bool
 	// MakeController overrides Governor with a custom per-board
 	// controller factory (tests). Boards built this way are treated as
 	// pinned at the ladder top for saturation detection.
@@ -105,6 +127,20 @@ func (c Config) withDefaults() Config {
 	if c.Placement == nil {
 		c.Placement = LeastLoaded{}
 	}
+	if c.GroupSize <= 0 {
+		c.GroupSize = 16
+	}
+	if c.RebalanceGap <= 0 {
+		c.RebalanceGap = 0.25
+	}
+	if c.Admission != nil {
+		// Copy before defaulting so the caller's struct stays untouched.
+		a := *c.Admission
+		if a.MaxUtil <= 0 {
+			a.MaxUtil = c.MaxUtil
+		}
+		c.Admission = &a
+	}
 	if c.Plan != nil && len(c.Plan.Events) > 0 && c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 1
 	}
@@ -129,6 +165,11 @@ const (
 	// Evacuate marks a move off a board gracefully leaving the fleet (a
 	// Drain event): all state travels live, nothing is lost.
 	Evacuate = "evacuate"
+	// Rebalance marks a cross-group move by the top-level fleet placer:
+	// the hottest group's mean forecast load cleared the saturation
+	// ceiling while another group sat cold, a spread no per-group
+	// placer can see.
+	Rebalance = "rebalance"
 )
 
 // Migration records one stream move.
@@ -150,8 +191,9 @@ type Migration struct {
 
 // BoardReport is one board's outcome within the fleet.
 type BoardReport struct {
-	// Board is the board id.
-	Board int
+	// Board is the board id; Group is the placement group it belonged
+	// to.
+	Board, Group int
 	// Report is the board's full serve report; its Streams are indexed
 	// by board-local id.
 	Report serve.Report
@@ -225,6 +267,23 @@ type Report struct {
 	StrandedMs float64
 	// WallSeconds is the host wall-clock duration of the run.
 	WallSeconds float64
+	// FleetEpochs counts the control-epoch boundaries the fleet
+	// stepped; FleetEpochs / WallSeconds is the fleet step rate the
+	// scale benchmark tracks.
+	FleetEpochs int
+	// CoordSeconds is host wall-clock the coordinator spent in boundary
+	// work — membership, placement, admission, checkpoint store writes
+	// — while the board actors idled at the barrier. CoordSeconds /
+	// WallSeconds is the coordinator-overhead share; board stepping and
+	// the parallel governor/checkpoint-encode barriers are excluded.
+	CoordSeconds float64
+	// Admissions lists the admission gate's outcomes in epoch order
+	// (empty without Config.Admission).
+	Admissions []AdmissionRecord
+	// AdmitDropped totals frames lost at the admission gate: frames
+	// that passed while a stream waited for headroom, plus the full
+	// schedules of streams the gate rejected.
+	AdmitDropped int
 }
 
 // board is one governed engine plus its coordinator-side bookkeeping.
@@ -236,6 +295,8 @@ type board struct {
 	id      int
 	sess    *serve.Session
 	ctl     serve.Controller
+	act     *boardActor
+	group   int         // placement group (see Config.GroupSize)
 	globals []int       // local id → fleet stream id
 	local   map[int]int // fleet stream id → current local id
 	in, out int
@@ -243,10 +304,10 @@ type board struct {
 	// top": the ladder top for closed-loop governors, the pinned mode
 	// for static deployments.
 	satW int
-	// stats is the board's last epoch telemetry. It lives on the board,
-	// written only by the board's own goroutine at the barrier — there
-	// is no dense-id fleet slice to index out of range when membership
-	// changes mid-run.
+	// stats is the board's last epoch telemetry, written only by the
+	// coordinator as it collects the actor's step reply at the barrier
+	// — there is no dense-id fleet slice to index out of range when
+	// membership changes mid-run.
 	stats serve.EpochStats
 	// alive is false once the board is killed or retired; leaving marks
 	// a graceful drain in progress (evacuated, still draining its
@@ -314,7 +375,10 @@ func (f *Fleet) controller(b int) serve.Controller {
 }
 
 // openBoard builds one board incarnation around a fresh session over
-// the given streams, with its private controller started.
+// the given streams, with its private controller started, and hands
+// the session to a new long-lived board actor. The setup touches the
+// session directly — the actor does not exist yet, so the coordinator
+// still owns it.
 func (f *Fleet) openBoard(eng *serve.Engine, id, joinEpoch int, mine []*stream.Source) *board {
 	b := &board{
 		id: id, ctl: f.controller(id), local: make(map[int]int), satW: f.topW,
@@ -330,6 +394,7 @@ func (f *Fleet) openBoard(eng *serve.Engine, id, joinEpoch int, mine []*stream.S
 	} else {
 		b.satW = eng.Config().Mode.Watts
 	}
+	b.act = newBoardActor(b.sess, b.ctl)
 	return b
 }
 
@@ -345,11 +410,17 @@ func live(boards []*board) []*board {
 	return out
 }
 
-// Run places the fleet onto the boards and serves it to completion:
-// every live board steps the same control epochs in lockstep
-// (concurrently on the host), the coordinator applies membership
-// events and migrates streams at the boundaries, then each board's
-// governor actuates its next epoch.
+// Run places the fleet onto the boards and serves it to completion.
+// Every board's session is owned by a long-lived actor goroutine; the
+// coordinator drives them through shared control epochs with an
+// explicit barrier protocol (see actor.go): step barrier, then
+// board-local governor actuation, then the coordinator's boundary
+// work — membership, failover, admission, the per-group placers and
+// the top-level rebalancer — then the checkpoint pass. Every placement
+// decision runs single-threaded at the boundary while the actors are
+// quiescent, so the concurrent runtime reproduces the lockstep
+// coordinator's Report bit for bit (Config.Lockstep is the pinned
+// reference).
 func (f *Fleet) Run(sources []*stream.Source) Report {
 	cfg := f.cfg
 	start := time.Now()
@@ -364,7 +435,6 @@ func (f *Fleet) Run(sources []*stream.Source) Report {
 	f.refEff = eng.Config().Mode.EffGFLOPS
 	loads := ForecastLoads(sources, f.frameMs, cfg.EpochMs, eng.Config().Forecast)
 	workers := f.workers
-	assign := cfg.Placement.Place(loads, cfg.Boards, workers)
 
 	// Two cooldown clocks: lastSat guards saturation migration against
 	// ping-pong between hot boards; lastCon keeps consolidation from
@@ -375,7 +445,7 @@ func (f *Fleet) Run(sources []*stream.Source) Report {
 	// no causal forecaster sees coming.
 	r := &runCtx{
 		f: f, eng: eng, sources: sources,
-		home:    append([]int(nil), assign...), // fleet stream id → current board
+		home:    make([]int, len(sources)), // fleet stream id → current board
 		lastSat: make([]int, len(sources)),
 		lastCon: make([]int, len(sources)),
 		peak:    make([]float64, len(sources)),
@@ -384,18 +454,28 @@ func (f *Fleet) Run(sources []*stream.Source) Report {
 	for i := range r.lastSat {
 		r.lastSat[i] = -cfg.Cooldown
 		r.lastCon[i] = -cfg.Cooldown
+		r.home[i] = -1
+	}
+	// With an admission gate, streams that come online later than the
+	// first boundary are withheld from initial placement and queue for
+	// the gate instead; without one every stream is placed up front.
+	upfront := r.splitAdmission()
+	assign := cfg.Placement.Place(pickLoads(loads, upfront), cfg.Boards, workers)
+	for i, gi := range upfront {
+		r.home[gi] = assign[i]
 	}
 	for bi := 0; bi < cfg.Boards; bi++ {
 		var mine []*stream.Source
 		var globals []int
-		for gi, a := range assign {
-			if a != bi {
+		for _, gi := range upfront {
+			if r.home[gi] != bi {
 				continue
 			}
 			globals = append(globals, gi)
 			mine = append(mine, sources[gi])
 		}
 		b := f.openBoard(eng, bi, 0, mine)
+		b.group = bi / cfg.GroupSize
 		b.globals = globals
 		for li, gi := range globals {
 			b.local[gi] = li
@@ -403,16 +483,19 @@ func (f *Fleet) Run(sources []*stream.Source) Report {
 		r.boards = append(r.boards, b)
 	}
 
+	var coord time.Duration
 	for epoch := 0; ; epoch++ {
 		stepped := live(r.boards)
 		if len(stepped) == 0 {
 			break // every board dead: nothing left to serve with
 		}
-		done := true
-		for _, b := range stepped {
-			if !b.sess.Done() {
-				done = false
-				break
+		done := len(r.pending) == 0
+		if done {
+			for _, b := range stepped {
+				if !b.sess.Done() {
+					done = false
+					break
+				}
 			}
 		}
 		if done {
@@ -428,15 +511,9 @@ func (f *Fleet) Run(sources []*stream.Source) Report {
 			}
 		}
 		end := now + cfg.EpochMs
-		var wg sync.WaitGroup
-		for _, b := range stepped {
-			wg.Add(1)
-			go func(b *board) {
-				defer wg.Done()
-				b.stats = b.sess.RunEpoch(end)
-			}(b)
-		}
-		wg.Wait()
+		f.stepBarrier(stepped, end)
+		r.epochs++
+		t0 := time.Now()
 		for _, b := range stepped {
 			for li, gid := range b.globals {
 				if r.home[gid] != b.id || b.local[gid] != li || li >= len(b.stats.StreamArrivals) {
@@ -459,47 +536,44 @@ func (f *Fleet) Run(sources []*stream.Source) Report {
 				// A drained leaver retires: rail off, out of the registry's
 				// live view, report already final.
 				b.alive, b.leaveEpoch = false, epoch
-				b.sess.Finish()
+				b.retire()
 			}
 		}
+		coord += time.Since(t0)
 		// Governors first, placement second: each board's controller
-		// actuates from its own telemetry, then the coordinator rewires
-		// streams — and may raise (never lower) a migration
-		// destination's rung for the load it just handed it (energize).
-		// In the reverse order the controllers would overwrite that
-		// actuation before it ever priced a dispatch. Boards that
-		// joined at this boundary have no telemetry yet and sit the
-		// round out.
-		for _, b := range stepped {
-			// A dead board has no governor to run; a drained board has
-			// nothing to govern (and an oracle would sweep probes for
-			// nothing) — its controller resumes at the first boundary
-			// after a stream attaches.
-			if !b.alive || b.ctl == nil || b.sess.Done() {
-				continue
-			}
-			next := b.ctl.Decide(b.stats, b.sess.Controls(), func(c serve.Controls) serve.EpochStats {
-				return b.sess.Probe(c, cfg.EpochMs)
-			})
-			b.sess.SetControls(next)
-		}
+		// actuates from its own telemetry — on its own actor, in
+		// parallel — then the coordinator rewires streams, and may
+		// raise (never lower) a migration destination's rung for the
+		// load it just handed it (energize). In the reverse order the
+		// controllers would overwrite that actuation before it ever
+		// priced a dispatch. Boards that joined at this boundary have
+		// no telemetry yet and sit the round out.
+		f.decideBarrier(stepped)
+		t0 = time.Now()
 		r.recoverOrphans(epoch, end)
 		r.evacuateLeavers(epoch)
-		moved := len(r.migrations)
-		if cfg.Migrate {
-			r.migrations = f.migrate(r.boards, r.home, r.lastSat, epoch, r.migrations)
-		}
-		// Consolidation waits out boundaries that just moved streams
-		// (for saturation, failover or evacuation): the migrants'
-		// forecasts are not yet in any board's telemetry, so packing
-		// decisions this boundary would run on a stale fleet picture.
-		if cfg.Consolidate && len(r.migrations) == moved {
-			r.migrations = f.consolidate(r.boards, r.home, r.lastSat, r.lastCon, r.peak, epoch, r.migrations)
-		}
+		r.admitPass(epoch, end)
+		f.runGroups(r, epoch)
 		r.checkpointPass(epoch)
+		coord += time.Since(t0)
+	}
+	for _, b := range r.boards {
+		if b.act != nil {
+			b.act.stop()
+		}
 	}
 
-	return f.buildReport(r, workers, time.Since(start))
+	return f.buildReport(r, workers, time.Since(start), coord)
+}
+
+// pickLoads selects the load-forecast entries for the given fleet
+// stream ids, in order.
+func pickLoads(loads []float64, idx []int) []float64 {
+	out := make([]float64, len(idx))
+	for i, gi := range idx {
+		out[i] = loads[gi]
+	}
+	return out
 }
 
 // topFrameMs reprices the shared per-frame cost from the configured
@@ -587,22 +661,24 @@ func (f *Fleet) energize(dst *board, extraFrames float64) {
 		}
 		if utilAt(m) <= 0.7 || m.Watts == f.ladder[len(f.ladder)-1].Watts {
 			cur.Mode = m
-			dst.sess.SetControls(cur)
+			dst.setControls(cur)
 			return
 		}
 	}
 }
 
-// move hands stream gid from src to dst at an epoch boundary and
-// records the migration. Returns false when the stream has no future
-// frames (nothing to migrate — it drains where it is).
+// move hands stream gid from src to dst at an epoch boundary — a
+// detach/attach request-reply pair on the two boards' buses, never a
+// direct cross-board session call — and records the migration. Returns
+// false when the stream has no future frames (nothing to migrate — it
+// drains where it is).
 func (f *Fleet) move(src, dst *board, gid int, home []int, epoch int,
 	reason string, migrations []Migration) ([]Migration, bool) {
-	h := src.sess.DetachStream(src.local[gid])
+	h := src.detach(src.local[gid])
 	if h == nil {
 		return migrations, false
 	}
-	nl := dst.sess.AttachStream(h)
+	nl := dst.attach(h)
 	delete(src.local, gid)
 	dst.local[gid] = nl
 	dst.globals = append(dst.globals, gid)
@@ -614,32 +690,34 @@ func (f *Fleet) move(src, dst *board, gid int, home []int, epoch int,
 	}), true
 }
 
-// migrate sheds streams off each saturated board — hottest first, one
-// per eligible destination — onto the boards with the most forecast
-// headroom, carrying each stream's adaptation state (and forecaster)
-// through a serve.Handoff. A destination takes at most one migrant
-// per boundary: its epoch stats are stale within the pass, and
-// several saturated boards dumping onto the same cool board would
-// just move the hot spot. A single saturated board may shed several
-// streams in one boundary (one per destination) — a board that
+// migrate sheds streams off each saturated board in the group —
+// hottest first, one per eligible destination — onto the group's
+// boards with the most forecast headroom, carrying each stream's
+// adaptation state (and forecaster) through a serve.Handoff. Both the
+// source scan and the destination scoring are O(group): cross-group
+// spreads are the top-level rebalancer's job. A destination takes at
+// most one migrant per boundary: its epoch stats are stale within the
+// pass, and several saturated boards dumping onto the same cool board
+// would just move the hot spot. A single saturated board may shed
+// several streams in one boundary (one per destination) — a board that
 // inherited a packed lull fleet cannot wait an epoch per stream when
 // the burst lands.
-func (f *Fleet) migrate(boards []*board, home, lastSat []int, epoch int,
+func (f *Fleet) migrate(grp []*board, home, lastSat []int, epoch int,
 	migrations []Migration) []Migration {
 	taken := make(map[*board]bool)
-	for _, src := range boards {
+	for _, src := range grp {
 		if !src.alive || src.leaving || !f.saturated(src) {
 			continue
 		}
 		// Shed at least one stream (the board is missing its target
 		// regardless of what the forecast claims), then keep shedding
 		// until the remaining forecast load fits the same headroom gate
-		// destinations are held to — or the fleet runs out of cool
+		// destinations are held to — or the group runs out of cool
 		// boards.
 		remaining := f.forecastUtil(src)
 		for first := true; first || remaining >= f.cfg.MaxUtil; first = false {
 			var dst *board
-			for _, c := range boards {
+			for _, c := range grp {
 				if c == src || !c.alive || c.leaving || taken[c] ||
 					f.forecastUtil(c) >= f.cfg.MaxUtil || f.saturated(c) {
 					continue
@@ -649,7 +727,7 @@ func (f *Fleet) migrate(boards []*board, home, lastSat []int, epoch int,
 				}
 			}
 			if dst == nil {
-				break // nowhere cooler to go: the whole fleet is hot
+				break // nowhere cooler to go: the whole group is hot
 			}
 			gid := f.hottest(src, home, lastSat, epoch)
 			if gid < 0 {
@@ -692,10 +770,11 @@ func (f *Fleet) hottest(src *board, home, lastSat []int, epoch int) int {
 	return best
 }
 
-// buildReport finalizes every board incarnation (Finish is idempotent,
-// so killed and retired boards contribute their already-final reports)
-// and aggregates the fleet view.
-func (f *Fleet) buildReport(r *runCtx, workers int, wall time.Duration) Report {
+// buildReport finalizes every board incarnation (every actor is
+// stopped by now, so the coordinator owns the sessions again; Finish
+// is idempotent, so killed and retired boards contribute their
+// already-final reports) and aggregates the fleet view.
+func (f *Fleet) buildReport(r *runCtx, workers int, wall, coord time.Duration) Report {
 	rep := Report{
 		Streams:          make([]StreamSummary, len(r.sources)),
 		Migrations:       r.migrations,
@@ -703,6 +782,10 @@ func (f *Fleet) buildReport(r *runCtx, workers int, wall time.Duration) Report {
 		Checkpoints:      r.ckpts,
 		CheckpointErrors: r.ckptErrs,
 		WallSeconds:      wall.Seconds(),
+		FleetEpochs:      r.epochs,
+		CoordSeconds:     coord.Seconds(),
+		Admissions:       r.admissions,
+		AdmitDropped:     r.admitDropped,
 	}
 	for _, ev := range r.events {
 		rep.LostFrames += ev.LostFrames
@@ -713,7 +796,7 @@ func (f *Fleet) buildReport(r *runCtx, workers int, wall time.Duration) Report {
 	misses := 0.0
 	for _, b := range r.boards {
 		br := BoardReport{
-			Board: b.id, Report: b.sess.Finish(),
+			Board: b.id, Group: b.group, Report: b.sess.Finish(),
 			Globals:    b.globals,
 			MigratedIn: b.in, MigratedOut: b.out,
 			JoinEpoch: b.joinEpoch, LeaveEpoch: b.leaveEpoch,

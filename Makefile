@@ -5,15 +5,19 @@
 #   make vet     static analysis
 #   make test    full unit + property suite (tier-1 gate)
 #   make race    race-detector pass over the concurrent packages
-#   make bench   every benchmark in every package, one iteration each,
-#                with -benchmem allocation stats — the measurement run
-#                bench-json serializes for CI artifacts
+#   make bench   every benchmark in every package for BENCHTIME
+#                (default 100ms — a fixed duration, not 1x, so numbers
+#                are averages over many iterations instead of single
+#                cold-start samples), with -benchmem allocation stats —
+#                the measurement run bench-json serializes for CI
+#                artifacts
 #   make bench-smoke  one iteration of every benchmark in every
-#                package, no memstats: the cheap bit-rot gate make ci
-#                runs (bench measures, bench-smoke only proves the
-#                benchmarks still compile and execute)
-#   make bench-json   run the bench suite and write BENCH_serve.json
-#                (benchmark name → ns/op, B/op, allocs/op, plus every
+#                package, no memstats: the cheap bit-rot gate (bench
+#                measures, bench-smoke only proves the benchmarks
+#                still compile and execute)
+#   make bench-json   run the bench suite (BENCHTIME per benchmark)
+#                and write BENCH_serve.json (benchmark name → ns/op,
+#                B/op, allocs/op, per-benchmark gomaxprocs, plus every
 #                b.ReportMetric column: frames/s, steps/s,
 #                coord-share), stamped with the git commit SHA and Go
 #                version so uploaded artifacts form a comparable perf
@@ -37,16 +41,27 @@
 #                admission gate on), so the hierarchical-runtime CLI
 #                path — groups, admission, coordinator-overhead report
 #                — cannot rot while the package tests stay green
+#   make obs-smoke    one observed fleet run (-trace-out/-metrics-out/
+#                -epoch-csv) validated by cmd/tracecheck: the trace
+#                must parse as Chrome trace JSON, spans must nest and
+#                async frame intervals must balance, so the Perfetto
+#                export path cannot rot while the package tests stay
+#                green
 #   make ci      build + fmt + vet + staticcheck + test + race +
-#                chaos-smoke + fleet-smoke + bench-json
+#                chaos-smoke + fleet-smoke + obs-smoke + bench-json
 
 GO ?= go
 # Pinned staticcheck: 2024.1.1 supports the go 1.22/1.23 CI matrix.
 # Keep in sync with the install step in .github/workflows/ci.yml.
 STATICCHECK_VERSION ?= 2024.1.1
 GIT_SHA := $(shell git rev-parse HEAD 2>/dev/null || echo unknown)
+# Fixed measurement duration for bench/bench-json: 1x samples a single
+# cold iteration whose ns/op swings with scheduler noise; a fixed
+# -benchtime averages enough iterations for the manifest numbers to be
+# comparable across commits.
+BENCHTIME ?= 100ms
 
-.PHONY: build fmt vet test race bench bench-smoke bench-json serve-bench staticcheck chaos-smoke fleet-smoke ci
+.PHONY: build fmt vet test race bench bench-smoke bench-json serve-bench staticcheck chaos-smoke fleet-smoke obs-smoke ci
 
 build:
 	$(GO) build ./...
@@ -70,7 +85,7 @@ race:
 	$(GO) test -race -short ./internal/serve/... ./internal/shard/... ./internal/govern/... ./internal/stream/... ./internal/tensor/... ./internal/nn/...
 
 bench:
-	$(GO) test -run xxx -bench . -benchmem -benchtime 1x ./...
+	$(GO) test -run xxx -bench . -benchmem -benchtime $(BENCHTIME) ./...
 
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
@@ -78,7 +93,7 @@ bench-smoke:
 # Two steps so a benchmark failure fails the target instead of being
 # masked by the pipe (benchjson would happily serialize a partial run).
 bench-json:
-	$(GO) test -run xxx -bench . -benchmem -benchtime 1x ./... > bench.out
+	$(GO) test -run xxx -bench . -benchmem -benchtime $(BENCHTIME) ./... > bench.out
 	$(GO) run ./cmd/benchjson -o BENCH_serve.json -sha $(GIT_SHA) < bench.out
 	@rm -f bench.out
 
@@ -114,4 +129,15 @@ fleet-smoke:
 		-epoch-ms 250 -govern hysteresis -migrate -consolidate -groups 16 \
 		-shared-scenes -admit queue >/dev/null
 
-ci: build fmt vet staticcheck test race chaos-smoke fleet-smoke bench-json
+# The package tests pin trace determinism; this run proves the
+# -trace-out/-metrics-out/-epoch-csv flag path end to end — a governed
+# fleet with migration and a mid-run kill writes all three outputs and
+# tracecheck holds the trace to the Chrome trace-event invariants
+# Perfetto needs (parse, span nesting, async balance).
+obs-smoke:
+	$(GO) run ./cmd/ldserve -streams 8 -frames 24 -fps 8 -boards 4 -workers 1 -epochs 1 \
+		-epoch-ms 250 -govern predictive -migrate -chaos kill:hot@4 \
+		-trace-out obs-trace.json -metrics-out obs-metrics.txt -epoch-csv obs-epochs.csv >/dev/null
+	$(GO) run ./cmd/tracecheck obs-trace.json
+
+ci: build fmt vet staticcheck test race chaos-smoke fleet-smoke obs-smoke bench-json

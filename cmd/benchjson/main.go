@@ -30,6 +30,12 @@ import (
 type Result struct {
 	// Name is the benchmark name with its -cpu suffix (BenchmarkFoo-8).
 	Name string `json:"name"`
+	// GoMaxProcs is the GOMAXPROCS the benchmark itself ran at, parsed
+	// from the name's -cpu suffix (0 when the name carries none). The
+	// manifest-level GoMaxProcs is benchjson's own host value, which a
+	// -cpu list or a cross-machine pipe can disagree with — comparisons
+	// must key on the per-benchmark value.
+	GoMaxProcs int `json:"gomaxprocs,omitempty"`
 	// Iterations is the measured iteration count (b.N).
 	Iterations int64 `json:"iterations"`
 	// NsPerOp is the reported ns/op.
@@ -84,6 +90,11 @@ func parseLine(line string) (Result, bool) {
 		return Result{}, false
 	}
 	r := Result{Name: fields[0], Iterations: n}
+	if i := strings.LastIndexByte(r.Name, '-'); i > 0 {
+		if p, err := strconv.Atoi(r.Name[i+1:]); err == nil && p > 0 {
+			r.GoMaxProcs = p
+		}
+	}
 	seen := false
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)

@@ -10,6 +10,9 @@ func TestParseLine(t *testing.T) {
 	if !ok || r.Name != "BenchmarkServeMultiStream-8" || r.Iterations != 3 || r.NsPerOp != 412345678 {
 		t.Fatalf("plain line parsed as %+v, %v", r, ok)
 	}
+	if r.GoMaxProcs != 8 {
+		t.Fatalf("-cpu suffix not stamped: gomaxprocs %d, want 8", r.GoMaxProcs)
+	}
 	if r.BytesPerOp != nil || r.AllocsPerOp != nil {
 		t.Fatalf("plain line grew memstats: %+v", r)
 	}
@@ -25,6 +28,15 @@ func TestParseLine(t *testing.T) {
 	if !ok || r.Metrics["steps/s"] != 12.5 || r.Metrics["coord-share"] != 0.031 ||
 		r.BytesPerOp == nil || *r.BytesPerOp != 128 {
 		t.Fatalf("ReportMetric line parsed as %+v, %v", r, ok)
+	}
+	if r.GoMaxProcs != 8 {
+		t.Fatalf("sub-benchmark -cpu suffix not stamped: %+v", r)
+	}
+	// A name without a -cpu suffix (GOMAXPROCS=1 runs omit it) leaves
+	// the per-benchmark field zero rather than inventing a value.
+	r, ok = parseLine("BenchmarkSingle 10 1000 ns/op")
+	if !ok || r.GoMaxProcs != 0 {
+		t.Fatalf("suffix-less line parsed as %+v, %v", r, ok)
 	}
 	for _, line := range []string{
 		"ok  	ldbnadapt/internal/serve	8.731s",

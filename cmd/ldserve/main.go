@@ -94,6 +94,7 @@ import (
 	"ldbnadapt/internal/govern"
 	"ldbnadapt/internal/metrics"
 	"ldbnadapt/internal/nn"
+	"ldbnadapt/internal/obs"
 	"ldbnadapt/internal/orin"
 	"ldbnadapt/internal/serve"
 	"ldbnadapt/internal/shard"
@@ -145,6 +146,9 @@ func main() {
 	ckptEvery := flag.Int("ckpt-every", 0, "checkpoint every stream every N epochs (0 = only under -chaos, then every epoch)")
 	ckptDir := flag.String("ckpt-dir", "", "persist stream checkpoints under this directory (default: in-memory store)")
 	seed := flag.Uint64("seed", 1, "seed for fleet generation and pre-training")
+	traceOut := flag.String("trace-out", "", "write the run's event-time trace as Chrome trace-event JSON (load in Perfetto / chrome://tracing); byte-identical across same-seed reruns")
+	metricsOut := flag.String("metrics-out", "", "write a text dump of the fleet metrics registry (counters, gauges, histograms)")
+	epochCSV := flag.String("epoch-csv", "", "write the per-board epoch timeline as CSV")
 	flag.Parse()
 
 	variant, err := cli.ParseVariant(*model)
@@ -212,6 +216,14 @@ func main() {
 	forecaster, err := forecast.ByName(*forecastName)
 	if err != nil {
 		fail(err)
+	}
+	var tr *obs.Trace
+	if *traceOut != "" {
+		tr = obs.NewTrace()
+	}
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
 	}
 
 	cfg := cfgFor(variant, *lanes)
@@ -299,15 +311,30 @@ func main() {
 			Plan:            plan,
 			CheckpointEvery: *ckptEvery,
 			Checkpoints:     ckpts,
+			Trace:           tr,
+			Metrics:         reg,
 		})
 		if err != nil {
 			fail(err)
 		}
-		printFleetReport(f.Run(fleet), *governName, placement.Name())
+		rep := f.Run(fleet)
+		printFleetReport(rep, *governName, placement.Name())
+		writeObsOutputs(tr, reg, *traceOut, *metricsOut)
+		if *epochCSV != "" {
+			var rows []obs.EpochRow
+			for _, br := range rep.Boards {
+				rows = append(rows, epochRows(br.Board, br.Report.Epochs)...)
+			}
+			writeEpochCSV(*epochCSV, rows)
+		}
 		return
 	}
 
 	e := serve.New(m, scfg)
+	// A single-board run traces as board 0 (local stream ids are the
+	// fleet ids); nil trace/registry make this exactly the old path.
+	rec := tr.Recorder(0, nil)
+	bm := obs.NewBoardMetrics(reg)
 	var rep serve.Report
 	label := "batched engine"
 	if *governName != "" {
@@ -315,14 +342,18 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		rep = e.RunGoverned(fleet, *epochMs, ctl)
+		rep = e.RunObserved(fleet, *epochMs, ctl, rec, bm)
 		label = fmt.Sprintf("governed engine (%s)", ctl.Name())
 	} else {
-		rep = e.Run(fleet)
+		rep = e.RunObserved(fleet, 0, nil, rec, bm)
 	}
 	printReport(label, rep)
 	if *governName != "" {
 		printEpochTrace(rep)
+	}
+	writeObsOutputs(tr, reg, *traceOut, *metricsOut)
+	if *epochCSV != "" {
+		writeEpochCSV(*epochCSV, epochRows(0, rep.Epochs))
 	}
 
 	if *naive {
@@ -348,6 +379,79 @@ func main() {
 			fmt.Printf("\nbatched (maxbatch %d, adapt every %d) vs naive (unbatched, %s): %.2fx throughput\n",
 				*maxBatch, *adaptEvery, naiveDesc, rep.ThroughputFPS/nrep.ThroughputFPS)
 		}
+	}
+}
+
+// writeObsOutputs writes the trace and metrics files a run asked for;
+// nil trace/registry (flags unset) write nothing.
+func writeObsOutputs(tr *obs.Trace, reg *obs.Registry, traceOut, metricsOut string) {
+	if tr != nil && traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := tr.WriteChromeJSON(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+	if reg != nil && metricsOut != "" {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := reg.WriteText(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// epochRows flattens one board's governed epoch trace into exporter
+// rows.
+func epochRows(board int, eps []serve.EpochStats) []obs.EpochRow {
+	rows := make([]obs.EpochRow, 0, len(eps))
+	for _, es := range eps {
+		rows = append(rows, obs.EpochRow{
+			Board:      board,
+			Epoch:      es.Epoch,
+			StartMs:    es.StartMs,
+			EndMs:      es.EndMs,
+			Mode:       es.Controls.Mode.Name,
+			Policy:     es.Controls.Policy.String(),
+			AdaptEvery: es.Controls.AdaptEvery,
+			Arrived:    es.Arrived,
+			Forecast:   es.ForecastArrived,
+			Served:     es.Served,
+			Dropped:    es.FramesDropped,
+			Skipped:    es.AdaptsSkipped,
+			Queue:      es.QueueDepth,
+			HitRate:    es.DeadlineHitRate,
+			Util:       es.Utilization,
+			EnergyMJ:   es.EnergyMJ,
+		})
+	}
+	return rows
+}
+
+// writeEpochCSV writes the epoch timeline rows to path.
+func writeEpochCSV(path string, rows []obs.EpochRow) {
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	if err := obs.WriteEpochCSV(f, rows); err != nil {
+		f.Close()
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
 	}
 }
 

@@ -1,0 +1,136 @@
+// Command tracecheck validates a Chrome trace-event JSON file as
+// emitted by the observability layer (internal/obs): the file must
+// parse, every complete ("X") span must nest properly within its
+// (pid, tid) lane, and every async begin ("b") must be balanced by an
+// async end ("e") with the same (pid, cat, id). It is the CI gate
+// behind `make obs-smoke` — a trace that loads cleanly here loads in
+// Perfetto.
+//
+//	tracecheck trace.json
+//
+// On success it prints a one-line summary and exits 0; any violation
+// is reported and the exit status is nonzero.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// traceEvent is the subset of the Chrome trace-event schema the
+// checker cares about.
+type traceEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	Cat  string  `json:"cat"`
+	ID   string  `json:"id"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+}
+
+type traceFile struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fail("usage: tracecheck <trace.json>")
+	}
+	raw, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fail("%v", err)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		fail("%s does not parse as Chrome trace JSON: %v", os.Args[1], err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		fail("%s holds no trace events", os.Args[1])
+	}
+
+	counts := map[string]int{}
+	var spans []traceEvent
+	// pid/cat/id -> open async intervals.
+	type asyncKey struct {
+		pid     int
+		cat, id string
+	}
+	open := map[asyncKey]int{}
+	for _, ev := range tf.TraceEvents {
+		counts[ev.Ph]++
+		switch ev.Ph {
+		case "X":
+			if ev.Dur < 0 {
+				fail("span %q at ts=%v has negative duration %v", ev.Name, ev.Ts, ev.Dur)
+			}
+			spans = append(spans, ev)
+		case "b":
+			open[asyncKey{ev.Pid, ev.Cat, ev.ID}]++
+		case "e":
+			k := asyncKey{ev.Pid, ev.Cat, ev.ID}
+			if open[k] == 0 {
+				fail("async end for pid=%d cat=%q id=%s at ts=%v has no matching begin", ev.Pid, ev.Cat, ev.ID, ev.Ts)
+			}
+			open[k]--
+		case "i", "M":
+			// instants and metadata carry no pairing invariant
+		default:
+			fail("unexpected event phase %q (name %q)", ev.Ph, ev.Name)
+		}
+	}
+	for k, n := range open {
+		if n != 0 {
+			fail("pid=%d cat=%q id=%s left %d async intervals open", k.pid, k.cat, k.id, n)
+		}
+	}
+
+	// Complete spans must nest within each (pid, tid) lane: sorted by
+	// start (longer span first on ties), every span either follows the
+	// enclosing span's interior or begins after it ends. The epsilon
+	// absorbs the exporter's fixed 3-decimal-µs rounding.
+	const eps = 0.002
+	sort.SliceStable(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if a.Pid != b.Pid {
+			return a.Pid < b.Pid
+		}
+		if a.Tid != b.Tid {
+			return a.Tid < b.Tid
+		}
+		if a.Ts != b.Ts {
+			return a.Ts < b.Ts
+		}
+		return a.Dur > b.Dur
+	})
+	var stack []traceEvent
+	lanePid, laneTid := -1, -1
+	for _, ev := range spans {
+		if ev.Pid != lanePid || ev.Tid != laneTid {
+			stack = stack[:0]
+			lanePid, laneTid = ev.Pid, ev.Tid
+		}
+		for len(stack) > 0 && ev.Ts >= stack[len(stack)-1].Ts+stack[len(stack)-1].Dur-eps {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) > 0 {
+			top := stack[len(stack)-1]
+			if ev.Ts+ev.Dur > top.Ts+top.Dur+eps {
+				fail("span %q [%v, %v] on pid=%d tid=%d overlaps %q [%v, %v] without nesting",
+					ev.Name, ev.Ts, ev.Ts+ev.Dur, ev.Pid, ev.Tid, top.Name, top.Ts, top.Ts+top.Dur)
+			}
+		}
+		stack = append(stack, ev)
+	}
+
+	fmt.Printf("tracecheck: %s ok — %d events (%d spans, %d/%d async begin/end, %d instants, %d metadata)\n",
+		os.Args[1], len(tf.TraceEvents), counts["X"], counts["b"], counts["e"], counts["i"], counts["M"])
+}

@@ -25,6 +25,11 @@
 // All models are causal: they see only past epochs, never the replay's
 // future arrival stamps. A burst onset therefore still surprises them
 // by exactly one epoch — the residual gap a clairvoyant oracle keeps.
+//
+// Forecast publications are also observable: each epoch's prediction
+// is emitted as a "forecast" instant on the internal/obs event-time
+// trace, so a governor decision can be read side by side with the
+// forecast it acted on.
 package forecast
 
 import "fmt"

@@ -57,10 +57,16 @@ type Hysteresis struct {
 	// the utilization fit check cannot see.
 	retryAt []int
 	backoff []int
+	// why names the branch the last Decide took, for the trace's
+	// governor instants (serve.Explainer).
+	why string
 }
 
 // Name implements serve.Controller.
 func (h *Hysteresis) Name() string { return "hysteresis" }
+
+// Explain implements serve.Explainer: the branch the last Decide took.
+func (h *Hysteresis) Explain() string { return h.why }
 
 func (h *Hysteresis) target() float64 {
 	if h.TargetHitRate > 0 {
@@ -141,15 +147,21 @@ func (h *Hysteresis) Decide(prev serve.EpochStats, cur serve.Controls, _ func(se
 			// just needs the next rung.
 			if prev.QueueDepth > 0 && prev.Utilization >= 0.9 {
 				h.idx = len(h.ladder) - 1
+				h.why = "saturate-jump"
 			} else {
 				h.idx++
+				h.why = "climb"
 			}
 		} else if h.base.AdaptEvery > 0 && next.AdaptEvery < 4*h.base.AdaptEvery {
 			// Saturated at the top affordable rung: amortize adaptation
 			// harder before shedding work.
 			next.AdaptEvery *= 2
+			h.why = "stretch-cadence"
 		} else if r := policyRank(next.Policy); r < len(policyLadder)-1 {
 			next.Policy = policyLadder[r+1]
+			h.why = "escalate-policy"
+		} else {
+			h.why = "saturated-hold"
 		}
 		next.Mode = h.ladder[h.idx]
 		return next
@@ -157,20 +169,24 @@ func (h *Hysteresis) Decide(prev serve.EpochStats, cur serve.Controls, _ func(se
 	h.backoff[h.idx] = 0 // the rung holds this load; forget old failures
 	h.goodRun++
 	if h.goodRun < h.patience() {
+		h.why = "patience"
 		next.Mode = h.ladder[h.idx]
 		return next
 	}
 	h.goodRun = 0
+	h.why = "hold"
 	// De-escalate one move per boundary, retracing escalation in
 	// reverse: policy, cadence, then power.
 	switch {
 	case policyRank(next.Policy) > policyRank(h.base.Policy):
 		next.Policy = policyLadder[policyRank(next.Policy)-1]
+		h.why = "restore-policy"
 	case next.AdaptEvery != h.base.AdaptEvery:
 		next.AdaptEvery /= 2
 		if next.AdaptEvery < h.base.AdaptEvery {
 			next.AdaptEvery = h.base.AdaptEvery
 		}
+		h.why = "restore-cadence"
 	case h.idx > 0 && prev.Epoch >= h.retryAt[h.idx-1]:
 		// Descend only if the lower rung is out of failure backoff and
 		// the last epoch's load would fit it: scale observed utilization
@@ -179,6 +195,7 @@ func (h *Hysteresis) Decide(prev serve.EpochStats, cur serve.Controls, _ func(se
 		ratio := cur.Mode.EffGFLOPS / lower.EffGFLOPS
 		if prev.Utilization*ratio < h.downUtil() {
 			h.idx--
+			h.why = "descend"
 		}
 	}
 	next.Mode = h.ladder[h.idx]

@@ -27,10 +27,17 @@ type Oracle struct {
 
 	ladder []orin.PowerMode
 	base   serve.Controls
+	// why names the last sweep's outcome, for the trace's governor
+	// instants (serve.Explainer).
+	why string
 }
 
 // Name implements serve.Controller.
 func (o *Oracle) Name() string { return "oracle" }
+
+// Explain implements serve.Explainer: whether the last sweep found a
+// rung meeting the target or fell back to the best-serving one.
+func (o *Oracle) Explain() string { return o.why }
 
 func (o *Oracle) target() float64 {
 	if o.TargetHitRate > 0 {
@@ -75,7 +82,9 @@ func (o *Oracle) Decide(prev serve.EpochStats, cur serve.Controls, probe func(se
 		}
 	}
 	if best != nil {
+		o.why = "sweep-fit"
 		return best.c
 	}
+	o.why = "sweep-fallback"
 	return fallback.c
 }

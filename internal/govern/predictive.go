@@ -207,6 +207,7 @@ func (p *Predictive) Decide(prev serve.EpochStats, cur serve.Controls, probe fun
 		if idx > p.idx {
 			p.idx = idx
 			p.goodRun = 0 // a fresh rung must re-earn its descent patience
+			p.why = "pre-climb"
 			next.Mode = p.ladder[idx]
 			return next
 		}
@@ -227,6 +228,7 @@ func (p *Predictive) Decide(prev serve.EpochStats, cur serve.Controls, probe fun
 		}
 		for p.idx > 0 && usable(p.idx-1) && util(p.idx-1, descLoad) < p.downUtil() {
 			p.idx--
+			p.why = "forecast-descent"
 		}
 		next.Mode = p.ladder[p.idx]
 	}

@@ -1,6 +1,14 @@
 // Package metrics provides the small reporting substrate used by the
 // experiment harness: aligned text tables and latency/accuracy
-// aggregation helpers.
+// aggregation helpers. It formats *end-of-run summaries* for humans.
+//
+// It is distinct from internal/obs, the runtime observability layer:
+// obs records what happened *during* a run — frame-lifecycle trace
+// spans on the virtual clock, control-plane instants, and a registry
+// of counters/gauges/histograms — and exports it for machines
+// (Perfetto trace JSON, CSV timelines, text dumps). Rule of thumb:
+// a table a person reads at the end belongs here; an event or counter
+// a tool consumes belongs in obs.
 package metrics
 
 import (

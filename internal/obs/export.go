@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Chrome trace-event pid/tid layout. Perfetto groups tracks by
+// process: the fleet coordinator is one process, each board one, each
+// fleet stream one (frame lifecycle intervals live on stream tracks
+// so a migrated stream's frames stay on one timeline across boards).
+const (
+	fleetPid      = 1
+	boardPidBase  = 10     // board b -> pid boardPidBase+b
+	streamPidBase = 100000 // stream s -> pid streamPidBase+s
+	controlTid    = 0      // board control lane; worker w -> tid w+1
+)
+
+func (e *Event) pid() int {
+	if e.Kind == Begin || e.Kind == End {
+		return streamPidBase + e.Stream
+	}
+	if e.Board < 0 {
+		return fleetPid
+	}
+	return boardPidBase + e.Board
+}
+
+func (e *Event) tid() int {
+	if e.Worker < 0 {
+		return controlTid
+	}
+	return e.Worker + 1
+}
+
+// usec renders a virtual-clock millisecond stamp as the trace format's
+// microseconds with fixed sub-microsecond precision, so equal stamps
+// always serialize to equal bytes.
+func usec(ms float64) string {
+	return strconv.FormatFloat(ms*1000, 'f', 3, 64)
+}
+
+// WriteChromeJSON serializes the merged trace in Chrome trace-event
+// JSON ("JSON Array Format" wrapped in an object), loadable by
+// Perfetto and chrome://tracing. Spans become "X" complete events,
+// frame lifecycles "b"/"e" async-nestable pairs keyed by stream and
+// frame index, instants "i" thread-scoped marks; metadata events name
+// and order the tracks. The writer is hand-rolled and every float is
+// fixed-precision, so a seeded run's file is byte-identical across
+// reruns and between lockstep and concurrent fleet modes.
+func (t *Trace) WriteChromeJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	events := t.Events()
+
+	type lane struct{ pid, tid int }
+	procs := map[int]bool{}
+	lanes := map[lane]bool{}
+	for i := range events {
+		e := &events[i]
+		procs[e.pid()] = true
+		if e.Kind == Span {
+			lanes[lane{e.pid(), e.tid()}] = true
+		}
+	}
+
+	fmt.Fprint(bw, "{\"traceEvents\":[")
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		fmt.Fprintf(bw, format, args...)
+	}
+
+	// Metadata first: process names + sort order, then span lane names.
+	pids := make([]int, 0, len(procs))
+	for pid := range procs {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		var name string
+		switch {
+		case pid == fleetPid:
+			name = "fleet"
+		case pid >= streamPidBase:
+			name = fmt.Sprintf("stream %d", pid-streamPidBase)
+		default:
+			name = fmt.Sprintf("board %d", pid-boardPidBase)
+		}
+		emit(`{"name":"process_name","ph":"M","pid":%d,"args":{"name":%s}}`, pid, strconv.Quote(name))
+		emit(`{"name":"process_sort_index","ph":"M","pid":%d,"args":{"sort_index":%d}}`, pid, pid)
+	}
+	lns := make([]lane, 0, len(lanes))
+	for l := range lanes {
+		lns = append(lns, l)
+	}
+	sort.Slice(lns, func(i, j int) bool {
+		if lns[i].pid != lns[j].pid {
+			return lns[i].pid < lns[j].pid
+		}
+		return lns[i].tid < lns[j].tid
+	})
+	for _, l := range lns {
+		name := "control"
+		if l.tid != controlTid {
+			name = fmt.Sprintf("worker %d", l.tid-1)
+		}
+		emit(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%s}}`, l.pid, l.tid, strconv.Quote(name))
+	}
+
+	for i := range events {
+		e := &events[i]
+		args := ""
+		if e.Detail != "" {
+			args = fmt.Sprintf(`,"args":{"detail":%s}`, strconv.Quote(e.Detail))
+		}
+		switch e.Kind {
+		case Span:
+			emit(`{"name":%s,"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s%s}`,
+				strconv.Quote(e.Name), e.pid(), e.tid(), usec(e.TsMs), usec(e.DurMs), args)
+		case Begin:
+			emit(`{"name":%s,"cat":"frame","ph":"b","id":"%d","pid":%d,"tid":%d,"ts":%s%s}`,
+				strconv.Quote(e.Name), e.ID, e.pid(), controlTid, usec(e.TsMs), args)
+		case End:
+			emit(`{"name":%s,"cat":"frame","ph":"e","id":"%d","pid":%d,"tid":%d,"ts":%s%s}`,
+				strconv.Quote(e.Name), e.ID, e.pid(), controlTid, usec(e.TsMs), args)
+		case Instant:
+			emit(`{"name":%s,"ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s%s}`,
+				strconv.Quote(e.Name), e.pid(), controlTid, usec(e.TsMs), args)
+		}
+	}
+	fmt.Fprint(bw, "]}\n")
+	return bw.Flush()
+}
+
+// EpochRow is one line of the CSV epoch timeline. It mirrors the
+// fields of serve.EpochStats the timeline needs without importing
+// serve (obs sits below every layer); cmd/ldserve converts Report
+// epochs into rows.
+type EpochRow struct {
+	Board      int
+	Epoch      int
+	StartMs    float64
+	EndMs      float64
+	Mode       string
+	Policy     string
+	AdaptEvery int
+	Arrived    int
+	Forecast   float64
+	Served     int
+	Dropped    int
+	Skipped    int
+	Queue      int
+	HitRate    float64
+	Util       float64
+	EnergyMJ   float64
+}
+
+// WriteEpochCSV writes the epoch timeline with a fixed header and
+// fixed-precision floats (byte-stable for seeded runs).
+func WriteEpochCSV(w io.Writer, rows []EpochRow) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "board,epoch,start_ms,end_ms,mode,policy,adapt_every,arrived,forecast,served,dropped,skipped,queue,hit_rate,util,energy_mj")
+	for i := range rows {
+		r := &rows[i]
+		fmt.Fprintf(bw, "%d,%d,%.3f,%.3f,%s,%s,%d,%d,%.2f,%d,%d,%d,%d,%.4f,%.4f,%.3f\n",
+			r.Board, r.Epoch, r.StartMs, r.EndMs, csvField(r.Mode), csvField(r.Policy), r.AdaptEvery,
+			r.Arrived, r.Forecast, r.Served, r.Dropped, r.Skipped, r.Queue,
+			r.HitRate, r.Util, r.EnergyMJ)
+	}
+	return bw.Flush()
+}
+
+// csvField quotes a string field only when it needs it (commas or
+// quotes), keeping the common mode names readable.
+func csvField(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ',' || s[i] == '"' || s[i] == '\n' {
+			return strconv.Quote(s)
+		}
+	}
+	return s
+}
+
+// WriteText dumps every instrument sorted by name, one line per
+// scalar and one per cumulative histogram bucket:
+//
+//	fleet.migrations 12
+//	serve.queue_wait_ms count 4096
+//	serve.queue_wait_ms sum_ms 51234.875
+//	serve.queue_wait_ms le=0.5 120
+//	serve.queue_wait_ms le=+inf 4096
+//
+// Counters and histograms are deterministic for a seeded run; gauges
+// that mirror wall-clock measurements (fleet.wall_seconds,
+// fleet.coord_seconds) are not, which is why determinism is pinned on
+// the trace, not this dump.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	items := make(map[string]any, len(names))
+	for _, n := range names {
+		items[n] = r.items[n]
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	for _, name := range names {
+		switch it := items[name].(type) {
+		case *Counter:
+			fmt.Fprintf(bw, "%s %d\n", name, it.Value())
+		case *Gauge:
+			fmt.Fprintf(bw, "%s %s\n", name, strconv.FormatFloat(it.Value(), 'g', -1, 64))
+		case *Histogram:
+			fmt.Fprintf(bw, "%s count %d\n", name, it.Count())
+			fmt.Fprintf(bw, "%s sum_ms %.3f\n", name, it.Sum())
+			cum := int64(0)
+			for i := range it.counts {
+				cum += it.counts[i].Load()
+				le := "+inf"
+				if i < len(it.bounds) {
+					le = strconv.FormatFloat(it.bounds[i], 'g', -1, 64)
+				}
+				fmt.Fprintf(bw, "%s le=%s %d\n", name, le, cum)
+			}
+		}
+	}
+	return bw.Flush()
+}

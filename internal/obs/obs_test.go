@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestNilSafety pins the disabled-observability contract: a nil Trace
+// hands out nil Recorders, a nil Registry nil instruments, and every
+// method on them is a no-op — so emission sites need no enabled
+// branches and the hot path pays only pointer tests.
+func TestNilSafety(t *testing.T) {
+	var tr *Trace
+	rec := tr.Recorder(0, nil)
+	if rec != nil {
+		t.Fatal("nil trace handed out a live recorder")
+	}
+	rec.Span("batch", 0, 1, 2, "")
+	rec.Frame(0, 0, 1, 2, "")
+	rec.Instant("epoch", 1, "")
+	if got := rec.StreamID(3); got != -1 {
+		t.Fatalf("nil recorder mapped stream to %d", got)
+	}
+	if evs := tr.Events(); evs != nil {
+		t.Fatalf("nil trace produced %d events", len(evs))
+	}
+
+	var reg *Registry
+	reg.Counter("c").Add(1)
+	reg.Gauge("g").Set(1)
+	reg.Histogram("h", QueueWaitBuckets).Observe(1)
+	bm := NewBoardMetrics(reg)
+	bm.Served.Add(1)
+	bm.QueueWaitMs.Observe(2)
+	if bm.Served.Value() != 0 || bm.QueueWaitMs.Count() != 0 {
+		t.Fatal("nil registry instruments accumulated")
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry dump: err=%v len=%d", err, buf.Len())
+	}
+}
+
+// TestMergeOrder pins the deterministic merge: concatenation in
+// recorder-creation order, stable sort by timestamp — so an
+// equal-timestamp tie resolves fleet-recorder-first, then by emission
+// order within a recorder, independent of which goroutine emitted
+// when.
+func TestMergeOrder(t *testing.T) {
+	tr := NewTrace()
+	fleet := tr.Recorder(-1, nil)
+	b0 := tr.Recorder(0, func(local int) int { return 10 + local })
+	fleet.Instant("epoch", 100, "")
+	b0.Span("batch", 0, 100, 5, "") // same stamp as the fleet instant
+	b0.Frame(2, 7, 90, 104, "ok")
+
+	evs := tr.Events()
+	want := []struct {
+		kind  Kind
+		tsMs  float64
+		board int
+	}{
+		{Begin, 90, 0},
+		{Instant, 100, -1}, // fleet recorder created first wins the tie
+		{Span, 100, 0},
+		{End, 104, 0},
+	}
+	if len(evs) != len(want) {
+		t.Fatalf("merged %d events, want %d", len(evs), len(want))
+	}
+	for i, w := range want {
+		if evs[i].Kind != w.kind || evs[i].TsMs != w.tsMs || evs[i].Board != w.board {
+			t.Fatalf("event %d = %+v, want kind=%d ts=%g board=%d", i, evs[i], w.kind, w.tsMs, w.board)
+		}
+	}
+	if evs[0].Stream != 12 {
+		t.Fatalf("local stream 2 mapped to %d, want 12", evs[0].Stream)
+	}
+}
+
+// TestChromeJSONWellFormed round-trips the export through
+// encoding/json and checks the structural invariants cmd/tracecheck
+// enforces on real runs: the file parses, async begin/end pairs
+// balance per (pid, id), and rewriting produces identical bytes.
+func TestChromeJSONWellFormed(t *testing.T) {
+	tr := NewTrace()
+	fleet := tr.Recorder(-1, nil)
+	b0 := tr.Recorder(0, nil)
+	fleet.Instant("migrate", 50, "stream=1 from=0 to=1 reason=saturation")
+	b0.Span("epoch", -1, 0, 100, "epoch=0")
+	b0.Span("batch", 0, 10, 8, "n=2")
+	b0.Frame(1, 0, 5, 18, "queue_ms=5.000")
+	b0.Frame(1, 1, 12, 18, "queue_ms=6.000")
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			ID   string  `json:"id"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	open := map[string]int{}
+	spans, instants := 0, 0
+	for _, e := range doc.TraceEvents {
+		key := e.ID + "@" + string(rune(e.Pid))
+		switch e.Ph {
+		case "b":
+			open[key]++
+		case "e":
+			open[key]--
+			if open[key] < 0 {
+				t.Fatalf("async end before begin for id %s", e.ID)
+			}
+		case "X":
+			spans++
+		case "i":
+			instants++
+		}
+	}
+	for key, n := range open {
+		if n != 0 {
+			t.Fatalf("dangling async pair %s (%d opens)", key, n)
+		}
+	}
+	if spans != 2 || instants != 1 {
+		t.Fatalf("got %d spans, %d instants; want 2, 1", spans, instants)
+	}
+
+	var again bytes.Buffer
+	if err := tr.WriteChromeJSON(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("rewriting the same trace produced different bytes")
+	}
+}
+
+// TestRegistryDump pins the text dump format and the histogram's
+// order-independent integer-microsecond sum.
+func TestRegistryDump(t *testing.T) {
+	reg := NewRegistry()
+	bm := NewBoardMetrics(reg)
+	if bm2 := NewBoardMetrics(reg); bm2.Served != bm.Served {
+		t.Fatal("registry lookups are not idempotent")
+	}
+	bm.Served.Add(3)
+	bm.QueueWaitMs.Observe(0.25)
+	bm.QueueWaitMs.Observe(7.5)
+	bm.QueueWaitMs.Observe(10000) // beyond the last bound -> +inf bucket
+	reg.Gauge("fleet.wall_seconds").Set(1.5)
+
+	if got := bm.QueueWaitMs.Sum(); got != 10007.75 {
+		t.Fatalf("histogram sum %v, want 10007.75", got)
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"serve.frames_served 3\n",
+		"fleet.wall_seconds 1.5\n",
+		"serve.queue_wait_ms count 3\n",
+		"serve.queue_wait_ms sum_ms 10007.750\n",
+		"serve.queue_wait_ms le=0.5 1\n",
+		"serve.queue_wait_ms le=+inf 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+	if !sortedLinesByPrefix(out) {
+		t.Fatalf("dump not sorted by name:\n%s", out)
+	}
+}
+
+func sortedLinesByPrefix(s string) bool {
+	lines := strings.Split(strings.TrimSuffix(s, "\n"), "\n")
+	for i := 1; i < len(lines); i++ {
+		a := strings.SplitN(lines[i-1], " ", 2)[0]
+		b := strings.SplitN(lines[i], " ", 2)[0]
+		if b < a {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEpochCSV pins the timeline header and fixed-precision rows.
+func TestEpochCSV(t *testing.T) {
+	var buf bytes.Buffer
+	rows := []EpochRow{
+		{Board: 0, Epoch: 0, StartMs: 0, EndMs: 250, Mode: "MAXN (60W)", Policy: "drop-frames",
+			AdaptEvery: 1, Arrived: 12, Forecast: 11.5, Served: 10, Dropped: 2,
+			Queue: 1, HitRate: 0.8333, Util: 0.91, EnergyMJ: 1.25},
+	}
+	if err := WriteEpochCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want header + 1 row:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "board,epoch,start_ms,end_ms,mode,") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "0,0,0.000,250.000,MAXN (60W),drop-frames,1,12,11.50,10,2,0,1,0.8333,0.9100,1.250" {
+		t.Fatalf("row = %q", lines[1])
+	}
+}

@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic count. A nil *Counter
+// is a no-op, which is the disabled-observability fast path.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value reads the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-write-wins atomic float64. A nil *Gauge is a no-op.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value reads the gauge (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution. The sum accumulates as
+// integer microseconds so concurrent boards observing in any order
+// produce the identical total — float addition is order-dependent,
+// atomic integer addition is not, and the registry dump must match
+// between lockstep and concurrent fleet runs. A nil *Histogram is a
+// no-op.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last bucket is +inf
+	n      atomic.Int64
+	sumUs  atomic.Int64
+}
+
+// Observe records one sample (in the bounds' unit, milliseconds for
+// the standard instruments).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	h.sumUs.Add(int64(math.Round(v * 1000)))
+}
+
+// Count reads the total number of samples (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum reads the accumulated sample total, rounded per-sample to a
+// microsecond (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return float64(h.sumUs.Load()) / 1000
+}
+
+// Registry is a name-keyed instrument store. Lookups are idempotent —
+// the same name always returns the same instrument — so independent
+// layers can share fleet-wide counters by name. A nil *Registry hands
+// out nil instruments; metrics-off costs one pointer test per
+// emission site.
+type Registry struct {
+	mu    sync.Mutex
+	names []string
+	items map[string]any
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{items: make(map[string]any)}
+}
+
+func (r *Registry) lookup(name string, mk func() any) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if it, ok := r.items[name]; ok {
+		return it
+	}
+	it := mk()
+	r.items[name] = it
+	r.names = append(r.names, name)
+	return it
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use (nil on a nil registry).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	it := r.lookup(name, func() any { return new(Counter) })
+	c, ok := it.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("obs: %q already registered as %T, not a counter", name, it))
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use (nil on a nil registry).
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	it := r.lookup(name, func() any { return new(Gauge) })
+	g, ok := it.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("obs: %q already registered as %T, not a gauge", name, it))
+	}
+	return g
+}
+
+// Histogram returns the fixed-bucket histogram registered under name,
+// creating it with the given upper bounds on first use (nil on a nil
+// registry). Bounds must be ascending; later calls reuse the first
+// registration's bounds.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	it := r.lookup(name, func() any {
+		b := append([]float64(nil), bounds...)
+		return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+	})
+	h, ok := it.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("obs: %q already registered as %T, not a histogram", name, it))
+	}
+	return h
+}
+
+// QueueWaitBuckets are the standard queue-wait histogram bounds in
+// milliseconds, spanning sub-period waits up to multi-second backlog.
+var QueueWaitBuckets = []float64{0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000}
+
+// BoardMetrics bundles the serve-layer instruments one planner
+// updates. The zero value is fully no-op (all-nil instruments), which
+// is what probe clones and metrics-off runs carry.
+type BoardMetrics struct {
+	// QueueWaitMs distributes each served frame's queue wait.
+	QueueWaitMs *Histogram
+	// Served counts frames that completed a forward pass.
+	Served *Counter
+	// Dropped counts frames shed by the DropFrames overload policy.
+	Dropped *Counter
+	// Skipped counts adaptation steps suppressed by SkipAdapt.
+	Skipped *Counter
+	// AdaptSteps counts BN adaptation steps actually taken.
+	AdaptSteps *Counter
+}
+
+// NewBoardMetrics resolves the standard serve-layer instruments from
+// the registry. The names are fleet-shared on purpose: every board
+// adds into the same atomic counters, so the dump aggregates the
+// fleet without a reduction pass. A nil registry yields the no-op
+// bundle.
+func NewBoardMetrics(r *Registry) BoardMetrics {
+	return BoardMetrics{
+		QueueWaitMs: r.Histogram("serve.queue_wait_ms", QueueWaitBuckets),
+		Served:      r.Counter("serve.frames_served"),
+		Dropped:     r.Counter("serve.frames_dropped"),
+		Skipped:     r.Counter("serve.adapts_skipped"),
+		AdaptSteps:  r.Counter("serve.adapt_steps"),
+	}
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"math"
 
+	"ldbnadapt/internal/obs"
 	"ldbnadapt/internal/orin"
 	"ldbnadapt/internal/stream"
 )
@@ -175,27 +176,7 @@ func (e *Engine) Run(sources []*stream.Source) Report {
 //
 // RunGoverned is a Session driven to completion; external steppers
 // (internal/shard's fleet coordinator) use the Session API directly.
+// It is RunObserved with observability off.
 func (e *Engine) RunGoverned(sources []*stream.Source, epochMs float64, ctl Controller) Report {
-	if len(sources) == 0 {
-		return Report{}
-	}
-	if epochMs <= 0 || ctl == nil {
-		epochMs = math.Inf(1)
-	}
-	s := e.NewSession(sources)
-	if ctl != nil {
-		s.SetControls(ctl.Start(e.cfg))
-	}
-	for {
-		es := s.RunEpoch(s.Now() + epochMs)
-		if s.Done() {
-			break
-		}
-		if ctl != nil {
-			s.SetControls(ctl.Decide(es, s.Controls(), func(c Controls) EpochStats {
-				return s.Probe(c, epochMs)
-			}))
-		}
-	}
-	return s.Finish()
+	return e.RunObserved(sources, epochMs, ctl, nil, obs.BoardMetrics{})
 }

@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"ldbnadapt/internal/obs"
+	"ldbnadapt/internal/stream"
+)
+
+// TestTraceFullyShedStream is the dangling-open regression for the
+// frame-lifecycle trace: a stream whose every frame goes stale behind
+// a hogged worker (the TestSchedFullyShedStreamReports scenario) must
+// close every one of its lifecycle intervals with a "shed" end — the
+// trace may never hold an open interval once the run finishes, no
+// matter how a stream dies.
+func TestTraceFullyShedStream(t *testing.T) {
+	m := testModel(47)
+	fleet := SyntheticFleetSchedules(m.Cfg, []StreamSchedule{
+		{Phases: []stream.RatePhase{{Frames: 40, FPS: 200}}},
+		{Start: 50 * time.Millisecond, Phases: []stream.RatePhase{{Frames: 6, FPS: 100}}},
+	}, 31)
+	tr := obs.NewTrace()
+	rec := tr.Recorder(0, nil)
+	rep := New(m, overloadConfig(stream.DropFrames)).RunObserved(fleet, 0, nil, rec, obs.BoardMetrics{})
+	if rep.Streams[1].Frames != 0 || rep.Streams[1].FramesDropped != 6 {
+		t.Fatalf("scenario drifted: shed stream served %d, dropped %d", rep.Streams[1].Frames, rep.Streams[1].FramesDropped)
+	}
+
+	opens := map[int]map[int]int{} // stream -> frame id -> open count
+	shedEnds := 0
+	for _, ev := range tr.Events() {
+		switch ev.Kind {
+		case obs.Begin:
+			if opens[ev.Stream] == nil {
+				opens[ev.Stream] = map[int]int{}
+			}
+			opens[ev.Stream][ev.ID]++
+		case obs.End:
+			if opens[ev.Stream] == nil || opens[ev.Stream][ev.ID] == 0 {
+				t.Fatalf("stream %d frame %d ended before it began", ev.Stream, ev.ID)
+			}
+			opens[ev.Stream][ev.ID]--
+			if ev.Stream == 1 {
+				if ev.Detail != "shed" {
+					t.Fatalf("fully-shed stream's frame %d ended with %q, want \"shed\"", ev.ID, ev.Detail)
+				}
+				shedEnds++
+			}
+		}
+	}
+	for si, frames := range opens {
+		for id, n := range frames {
+			if n != 0 {
+				t.Fatalf("stream %d frame %d left %d dangling opens", si, id, n)
+			}
+		}
+	}
+	if shedEnds != 6 {
+		t.Fatalf("shed stream closed %d intervals, want all 6", shedEnds)
+	}
+}
+
+// TestTraceGovernedDeterministic pins single-board trace reproducibility
+// and the governor instants: two RunObserved passes over the same
+// seeded overload fleet write byte-identical Chrome JSON, and the trace
+// carries govern instants with the deciding telemetry and the
+// controller's Explain reason.
+func TestTraceGovernedDeterministic(t *testing.T) {
+	run := func() []byte {
+		m := testModel(59)
+		fleet := SyntheticFleet(m.Cfg, 3, 24, 30, 59)
+		tr := obs.NewTrace()
+		rec := tr.Recorder(0, nil)
+		New(m, overloadConfig(stream.DropNone)).RunObserved(fleet, 100, escalatingCtl{}, rec, obs.BoardMetrics{})
+		var buf bytes.Buffer
+		if err := tr.WriteChromeJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a := run()
+	out := string(a)
+	if !strings.Contains(out, `"govern"`) || !strings.Contains(out, "why=test-escalate") {
+		t.Fatalf("trace has no govern instant with the Explain reason:\n%.2000s", out)
+	}
+	for _, want := range []string{`"epoch"`, `"batch"`, `"forecast"`, `"frame"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace missing %s events", want)
+		}
+	}
+	if b := run(); !bytes.Equal(a, b) {
+		t.Fatal("seeded rerun produced a different trace byte stream")
+	}
+}
+
+// escalatingCtl is a toy governor that stretches the adaptation
+// cadence once, so the trace records exactly one controls change; it
+// implements Explainer to pin the why= plumbing.
+type escalatingCtl struct{}
+
+func (escalatingCtl) Name() string { return "test-escalating" }
+func (escalatingCtl) Start(cfg Config) Controls {
+	return Controls{Mode: cfg.Mode, Policy: cfg.Policy, AdaptEvery: cfg.AdaptEvery}
+}
+func (escalatingCtl) Decide(_ EpochStats, cur Controls, _ func(Controls) EpochStats) Controls {
+	next := cur
+	if next.AdaptEvery < 8 {
+		next.AdaptEvery *= 2
+	}
+	return next
+}
+func (escalatingCtl) Explain() string { return "test-escalate" }

@@ -1,9 +1,11 @@
 package serve
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
+	"ldbnadapt/internal/obs"
 	"ldbnadapt/internal/stream"
 )
 
@@ -155,6 +157,14 @@ type planner struct {
 	// Dynamic controls: the actuator state for subsequent planning.
 	ctrl Controls
 	tbl  *modeTable
+
+	// rec receives the planner's trace events (frame lifecycles, batch
+	// and adapt spans) and bm its serve-layer metrics. Both default to
+	// no-op — nil recorder, all-nil instruments — so the hot loop pays
+	// only pointer tests when observability is off; clone nils them so
+	// what-if probes never emit.
+	rec *obs.Recorder
+	bm  obs.BoardMetrics
 }
 
 // newPlanner flattens the fleet into one arrival-ordered event list.
@@ -265,6 +275,8 @@ func (p *planner) clone() *planner {
 		}
 		q.window[i] = cw
 	}
+	q.rec = nil
+	q.bm = obs.BoardMetrics{}
 	return &q
 }
 
@@ -344,6 +356,10 @@ func (p *planner) runUntil(endMs float64, es *EpochStats) {
 			if p.ctrl.Policy == stream.DropFrames && dispatch-a.arrMs > p.shedMs[a.stream] {
 				p.sc.streams[a.stream].dropped++
 				p.shed++
+				p.bm.Dropped.Add(1)
+				if p.rec != nil {
+					p.rec.Frame(a.stream, a.frame.Index, a.arrMs, dispatch, "shed")
+				}
 				if es != nil {
 					es.FramesDropped++
 				}
@@ -362,6 +378,7 @@ func (p *planner) runUntil(endMs float64, es *EpochStats) {
 			f.queueMs = dispatch - float64(f.frame.Arrival)/1e6
 			f.latencyMs = f.queueMs + p.tbl.batchEst[n].PerFrameMs
 			f.energyMJ = watts * p.tbl.batchEst[n].PerFrameMs
+			p.bm.QueueWaitMs.Observe(f.queueMs)
 			if p.ctrl.AdaptEvery <= 0 {
 				continue
 			}
@@ -375,11 +392,19 @@ func (p *planner) runUntil(endMs float64, es *EpochStats) {
 			if p.ctrl.Policy == stream.SkipAdapt && f.queueMs > p.shedMs[si] {
 				f.action = adaptSkip
 				p.sc.streams[si].skipped++
+				p.bm.Skipped.Add(1)
 				if es != nil {
 					es.AdaptsSkipped++
 				}
 			} else {
 				f.action = adaptStep
+				if p.rec != nil {
+					// Adapt steps run serially after the batched forward in
+					// the busy model; the span start replays that layout.
+					start := dispatch + p.tbl.batchEst[n].BatchMs + float64(steps)*p.tbl.adaptPerStepMs
+					p.rec.Span("adapt", wi, start, p.tbl.adaptPerStepMs,
+						fmt.Sprintf("stream=%d window=%d", p.rec.StreamID(si), len(p.window[si])))
+				}
 				steps++
 				share := p.tbl.adaptPerStepMs / float64(len(p.window[si]))
 				for _, wf := range p.window[si] {
@@ -392,6 +417,27 @@ func (p *planner) runUntil(endMs float64, es *EpochStats) {
 			p.window[si] = p.window[si][:0]
 		}
 		busy := p.tbl.batchEst[n].BatchMs + float64(steps)*p.tbl.adaptPerStepMs
+		p.bm.Served.Add(int64(n))
+		p.bm.AdaptSteps.Add(int64(steps))
+		if p.rec != nil {
+			p.rec.Span("batch", wi, dispatch, busy,
+				fmt.Sprintf("n=%d steps=%d watts=%d", n, steps, p.ctrl.Mode.Watts))
+			for i := range batch {
+				f := &batch[i]
+				act := "none"
+				switch f.action {
+				case adaptStep:
+					act = "step"
+				case adaptSkip:
+					act = "skip"
+				}
+				// Begin backdated to arrival, End at forward completion —
+				// the pair is emitted together once the outcome is known,
+				// so no trace ever holds a dangling open.
+				p.rec.Frame(f.stream, f.frame.Index, dispatch-f.queueMs, dispatch+p.tbl.batchEst[n].PerFrameMs,
+					fmt.Sprintf("queue_ms=%.3f fwd_ms=%.3f n=%d adapt=%s", f.queueMs, p.tbl.batchEst[n].PerFrameMs, n, act))
+			}
+		}
 		p.workers[wi] = dispatch + busy
 		if p.workers[wi] > p.sc.makespanMs {
 			p.sc.makespanMs = p.workers[wi]

@@ -1,11 +1,13 @@
 package serve
 
 import (
+	"fmt"
 	"math"
 	"sync"
 	"time"
 
 	"ldbnadapt/internal/forecast"
+	"ldbnadapt/internal/obs"
 	"ldbnadapt/internal/stream"
 )
 
@@ -61,6 +63,21 @@ type Session struct {
 	start      time.Time
 	finished   bool
 	rep        Report
+
+	// rec receives the session's control-lane trace events (epoch
+	// spans, forecast instants); nil when tracing is off. The planner
+	// carries its own copy for the dispatch-level events.
+	rec *obs.Recorder
+}
+
+// Observe attaches a trace recorder and serve-layer metrics to the
+// session (both may be nil/zero for no-op). Call before the first
+// RunEpoch; the same goroutine-confinement contract as the other
+// session methods applies.
+func (s *Session) Observe(rec *obs.Recorder, bm obs.BoardMetrics) {
+	s.rec = rec
+	s.p.rec = rec
+	s.p.bm = bm
 }
 
 // NewSession opens the engine over a fleet without running it. An
@@ -171,6 +188,13 @@ func (s *Session) RunEpoch(endMs float64) EpochStats {
 	es.EndMs = s.epochStart + span
 	if span > 0 {
 		s.epochs = append(s.epochs, es)
+		if s.rec != nil {
+			s.rec.Span("epoch", -1, es.StartMs, span,
+				fmt.Sprintf("epoch=%d mode=%s policy=%s adapt=%d arrived=%d served=%d dropped=%d queue=%d hit=%.3f util=%.3f",
+					es.Epoch, es.Controls.Mode.Name, es.Controls.Policy, es.Controls.AdaptEvery,
+					es.Arrived, es.Served, es.FramesDropped, es.QueueDepth, es.DeadlineHitRate, es.Utilization))
+			s.rec.Instant("forecast", es.EndMs, fmt.Sprintf("epoch=%d next=%.2f", es.Epoch, es.ForecastArrived))
+		}
 	}
 	s.epochStart = endMs
 	return es

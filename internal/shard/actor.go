@@ -3,6 +3,7 @@ package shard
 import (
 	"bytes"
 
+	"ldbnadapt/internal/obs"
 	"ldbnadapt/internal/serve"
 )
 
@@ -47,7 +48,11 @@ type directive interface {
 type boardActor struct {
 	sess *serve.Session
 	ctl  serve.Controller
-	bus  chan directive
+	// rec is the board's trace recorder (nil when tracing is off);
+	// governor-decision instants are emitted here, on the actor's own
+	// goroutine, like every other event of the board's recorder.
+	rec *obs.Recorder
+	bus chan directive
 	// Persistent reply channels (capacity 1): the coordinator keeps at
 	// most one directive outstanding per board, so replies never block
 	// the actor and no channel is allocated per message.
@@ -65,10 +70,11 @@ type boardActor struct {
 
 // newBoardActor starts the owning goroutine for a session whose setup
 // (initial controls) is complete.
-func newBoardActor(sess *serve.Session, ctl serve.Controller) *boardActor {
+func newBoardActor(sess *serve.Session, ctl serve.Controller, rec *obs.Recorder) *boardActor {
 	a := &boardActor{
 		sess:   sess,
 		ctl:    ctl,
+		rec:    rec,
 		bus:    make(chan directive),
 		stepc:  make(chan serve.EpochStats, 1),
 		ackc:   make(chan struct{}, 1),
@@ -120,9 +126,11 @@ type decideCtl struct {
 }
 
 func (d decideCtl) apply(a *boardActor) {
-	next := a.ctl.Decide(d.stats, a.sess.Controls(), func(c serve.Controls) serve.EpochStats {
+	cur := a.sess.Controls()
+	next := a.ctl.Decide(d.stats, cur, func(c serve.Controls) serve.EpochStats {
 		return a.sess.Probe(c, d.epochMs)
 	})
+	serve.GovernEvent(a.rec, a.ctl, d.stats, cur, next)
 	a.sess.SetControls(next)
 	d.reply <- struct{}{}
 }

@@ -1,6 +1,9 @@
 package shard
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
 
 // Admission control. The legacy contract attaches every stream to a
 // board unconditionally at placement time, which at fleet scale means
@@ -129,6 +132,10 @@ func (r *runCtx) admitPass(epoch int, end float64) {
 			Epoch: epoch, Stream: p.gid, Board: dst.id,
 			Waited: epoch - p.since, DroppedFrames: dropped,
 		})
+		f.rec.Instant("admit", f.nowMs,
+			fmt.Sprintf("stream=%d board=%d waited=%d dropped=%d", p.gid, dst.id, epoch-p.since, dropped))
+		f.met.admitted.Add(1)
+		f.met.admitDroppedFrames.Add(int64(dropped))
 		// Hold the consolidation clock so the admitted stream is not
 		// immediately re-packed while its telemetry is still settling.
 		r.lastCon[p.gid] = epoch
@@ -146,6 +153,10 @@ func (r *runCtx) admitReject(epoch int, p pendingStream) {
 		Epoch: epoch, Stream: p.gid, Board: -1,
 		Waited: epoch - p.since, DroppedFrames: len(r.sources[p.gid].Frames), Rejected: true,
 	})
+	r.f.rec.Instant("admit-shed", r.f.nowMs,
+		fmt.Sprintf("stream=%d waited=%d dropped=%d", p.gid, epoch-p.since, len(r.sources[p.gid].Frames)))
+	r.f.met.admitRejected.Add(1)
+	r.f.met.admitDroppedFrames.Add(int64(len(r.sources[p.gid].Frames)))
 }
 
 // admitTarget scores the gate hierarchically: placement groups in

@@ -238,6 +238,7 @@ func (r *runCtx) applyEvents(epoch int, end float64) {
 			if b := r.resolve(ev.Board); b != nil {
 				b.leaving = true
 				r.pendingDrains = append(r.pendingDrains, b)
+				r.f.rec.Instant("drain", r.f.nowMs, fmt.Sprintf("board=%d epoch=%d", b.id, epoch))
 			}
 		case Join:
 			id := len(r.boards)
@@ -249,6 +250,7 @@ func (r *runCtx) applyEvents(epoch int, end float64) {
 			b.awaitStep()
 			r.boards = append(r.boards, b)
 			r.events = append(r.events, EventRecord{Epoch: epoch, Kind: Join, Board: id})
+			r.f.rec.Instant("join", r.f.nowMs, fmt.Sprintf("board=%d group=%d epoch=%d", id, b.group, epoch))
 		}
 	}
 }
@@ -271,6 +273,9 @@ func (r *runCtx) kill(b *board, epoch int) {
 		}
 	}
 	r.pendingKills = append(r.pendingKills, pk)
+	r.f.rec.Instant("kill", r.f.nowMs,
+		fmt.Sprintf("board=%d epoch=%d lost=%d orphans=%d", b.id, epoch, pk.lost, len(pk.orphans)))
+	r.f.met.lostFrames.Add(int64(pk.lost))
 }
 
 // futureSource clips a stream's original source to the frames the
@@ -392,6 +397,12 @@ func (r *runCtx) recoverOrphans(epoch int, end float64) {
 			r.migrations = append(r.migrations, Migration{
 				Epoch: epoch, Stream: o.gid, From: pk.b.id, To: dst.id, Reason: Failover,
 			})
+			// Failover re-homes bypass Fleet.move (the dead board's actor is
+			// gone; the handoff is rebuilt from the checkpoint), so the
+			// migrate instant is emitted here.
+			f.rec.Instant("migrate", f.nowMs,
+				fmt.Sprintf("stream=%d from=%d to=%d reason=%s", o.gid, pk.b.id, dst.id, Failover))
+			f.met.migrations.Add(1)
 			// Hold the consolidation clock so the recovered stream is not
 			// immediately re-packed while its telemetry is still settling.
 			r.lastCon[o.gid] = epoch
@@ -504,6 +515,7 @@ func (r *runCtx) checkpointPass(epoch int) {
 			r.ckpts++
 		}
 	}
+	c0, e0 := r.ckpts, r.ckptErrs
 	var jobs []job
 	for _, b := range r.boards {
 		if !b.alive {
@@ -529,5 +541,11 @@ func (r *runCtx) checkpointPass(epoch int) {
 	}
 	for _, j := range jobs {
 		write(j, j.b.awaitCheckpoint())
+	}
+	if wrote, failed := r.ckpts-c0, r.ckptErrs-e0; wrote > 0 || failed > 0 {
+		r.f.rec.Instant("checkpoint", r.f.nowMs,
+			fmt.Sprintf("epoch=%d written=%d errors=%d", epoch, wrote, failed))
+		r.f.met.checkpoints.Add(int64(wrote))
+		r.f.met.checkpointErrors.Add(int64(failed))
 	}
 }

@@ -1,10 +1,12 @@
 package shard
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
 	"time"
 
+	"ldbnadapt/internal/obs"
 	"ldbnadapt/internal/orin"
 	"ldbnadapt/internal/serve"
 	"ldbnadapt/internal/stream"
@@ -106,21 +108,37 @@ func TestConcurrentMatchesLockstep(t *testing.T) {
 				// acceptance pins make test still runs.
 				t.Skip("equivalence pins run without -short")
 			}
-			run := func(lockstep bool) Report {
+			run := func(lockstep bool) (Report, []byte) {
 				m, fleet, cfg := sc.build()
 				cfg.Lockstep = lockstep
+				cfg.Trace = obs.NewTrace()
 				f, err := New(m, cfg)
 				if err != nil {
 					t.Fatal(err)
 				}
 				rep := f.Run(fleet)
 				normalizeReport(&rep)
-				return rep
+				var trace bytes.Buffer
+				if err := cfg.Trace.WriteChromeJSON(&trace); err != nil {
+					t.Fatal(err)
+				}
+				return rep, trace.Bytes()
 			}
-			ref := run(true)
-			got := run(false)
+			ref, refTrace := run(true)
+			got, gotTrace := run(false)
 			if !reflect.DeepEqual(ref, got) {
 				t.Fatalf("concurrent runtime diverged from lockstep reference:\nlockstep:   %+v\nconcurrent: %+v", ref, got)
+			}
+			// The merged trace is pinned byte-identical too: every span and
+			// instant is stamped on the virtual clock and the barrier merge
+			// is order-deterministic, so concurrency must not reorder a
+			// single byte of the export.
+			if !bytes.Equal(refTrace, gotTrace) {
+				t.Fatalf("concurrent trace diverged from lockstep (lockstep %d bytes, concurrent %d bytes)",
+					len(refTrace), len(gotTrace))
+			}
+			if len(refTrace) <= len("{\"traceEvents\":[]}\n") {
+				t.Fatal("trace is empty — the run emitted nothing")
 			}
 		})
 	}
@@ -131,23 +149,40 @@ func TestConcurrentMatchesLockstep(t *testing.T) {
 // scenario produce identical reports, so host goroutine scheduling
 // never leaks into fleet decisions.
 func TestConcurrentRerunDeterministic(t *testing.T) {
-	run := func() Report {
+	run := func() (Report, []byte) {
 		m, fleet, cfg := scaleScenario(97)
+		cfg.Trace = obs.NewTrace()
 		f, err := New(m, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
 		rep := f.Run(fleet)
 		normalizeReport(&rep)
-		return rep
+		var trace bytes.Buffer
+		if err := cfg.Trace.WriteChromeJSON(&trace); err != nil {
+			t.Fatal(err)
+		}
+		return rep, trace.Bytes()
 	}
-	a := run()
+	a, aTrace := run()
+	// The scale scenario's membership churn must surface in the trace
+	// as control-plane instants (with this seed the killed board homes
+	// no recoverable stream, so failover re-homes are exercised by the
+	// chaos smoke instead).
+	for _, want := range []string{`"kill"`, `"join"`, `"migrate"`, `"checkpoint"`, `"admit"`, `"govern"`} {
+		if !bytes.Contains(aTrace, []byte(want)) {
+			t.Fatalf("trace is missing %s instants", want)
+		}
+	}
 	if testing.Short() {
 		t.Skip("determinism rerun runs without -short")
 	}
-	b := run()
+	b, bTrace := run()
 	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("concurrent rerun diverged:\nfirst:  %+v\nsecond: %+v", a, b)
+	}
+	if !bytes.Equal(aTrace, bTrace) {
+		t.Fatal("concurrent rerun produced a different trace byte stream")
 	}
 }
 

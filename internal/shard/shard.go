@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"ldbnadapt/internal/govern"
+	"ldbnadapt/internal/obs"
 	"ldbnadapt/internal/orin"
 	"ldbnadapt/internal/serve"
 	"ldbnadapt/internal/stream"
@@ -102,6 +103,17 @@ type Config struct {
 	// Plan injects membership events — board kills, graceful drains and
 	// cold joins — at epoch boundaries: the seeded chaos hook.
 	Plan *FailurePlan
+	// Trace collects the run's deterministic event-time trace
+	// (internal/obs): frame lifecycles and batch/adapt/epoch spans per
+	// board, plus the coordinator's control-plane instants (epochs,
+	// migrations, kills/drains/joins, admissions, checkpoints). Nil
+	// disables tracing; the hot path then pays pointer tests only.
+	// The merged trace is identical in Lockstep and concurrent mode.
+	Trace *obs.Trace
+	// Metrics is the fleet metrics registry (internal/obs): shared
+	// serve-layer counters/histograms plus fleet counters and per-board
+	// forecast-utilization gauges. Nil disables metrics.
+	Metrics *obs.Registry
 }
 
 // withDefaults fills unset fields.
@@ -316,6 +328,14 @@ type board struct {
 	// joinEpoch and leaveEpoch bound the incarnation's lifetime in
 	// fleet epochs (leaveEpoch -1 while in the fleet).
 	joinEpoch, leaveEpoch int
+	// rec is the board's trace recorder (nil when tracing is off). It
+	// is single-writer: after openBoard hands the session to the actor,
+	// only the actor's goroutine emits into it, and the coordinator
+	// reads it only after the actors stop.
+	rec *obs.Recorder
+	// futil publishes the board's forecast utilization each boundary
+	// (nil when metrics are off).
+	futil *obs.Gauge
 }
 
 // Fleet coordinates N governed boards serving one stream fleet.
@@ -333,6 +353,38 @@ type Fleet struct {
 	frameMs float64
 	workers int
 	refEff  float64
+	// rec is the coordinator's trace recorder (control-plane instants;
+	// nil when tracing is off), met the fleet-level instrument bundle,
+	// and nowMs the current boundary's fleet clock — run-scoped like
+	// frameMs/workers, written only by the coordinator.
+	rec   *obs.Recorder
+	met   fleetMetrics
+	nowMs float64
+}
+
+// fleetMetrics bundles the coordinator's instruments. The zero value
+// (all-nil, from a nil registry) is fully no-op.
+type fleetMetrics struct {
+	migrations, lostFrames        *obs.Counter
+	admitted, admitRejected       *obs.Counter
+	admitDroppedFrames            *obs.Counter
+	checkpoints, checkpointErrors *obs.Counter
+	epochs, coordSeconds, wallSec *obs.Gauge
+}
+
+func newFleetMetrics(reg *obs.Registry) fleetMetrics {
+	return fleetMetrics{
+		migrations:         reg.Counter("fleet.migrations"),
+		lostFrames:         reg.Counter("fleet.lost_frames"),
+		admitted:           reg.Counter("fleet.admitted"),
+		admitRejected:      reg.Counter("fleet.admit_rejected"),
+		admitDroppedFrames: reg.Counter("fleet.admit_dropped_frames"),
+		checkpoints:        reg.Counter("fleet.checkpoints"),
+		checkpointErrors:   reg.Counter("fleet.checkpoint_errors"),
+		epochs:             reg.Gauge("fleet.epochs"),
+		coordSeconds:       reg.Gauge("fleet.coord_seconds"),
+		wallSec:            reg.Gauge("fleet.wall_seconds"),
+	}
 }
 
 // New validates the configuration and builds a coordinator. Boards are
@@ -394,7 +446,20 @@ func (f *Fleet) openBoard(eng *serve.Engine, id, joinEpoch int, mine []*stream.S
 	} else {
 		b.satW = eng.Config().Mode.Watts
 	}
-	b.act = newBoardActor(b.sess, b.ctl)
+	// Observability wiring must precede the actor handoff: the actor's
+	// goroutine is the recorder's single writer once it owns the
+	// session. The stream mapping closes over b.globals, which the
+	// coordinator only mutates at barriers while the actor is
+	// quiescent — the same happens-before contract the session has.
+	b.rec = f.cfg.Trace.Recorder(id, func(li int) int {
+		if li >= 0 && li < len(b.globals) {
+			return b.globals[li]
+		}
+		return -1
+	})
+	b.sess.Observe(b.rec, obs.NewBoardMetrics(f.cfg.Metrics))
+	b.futil = f.cfg.Metrics.Gauge(fmt.Sprintf("board%03d.forecast_util", id))
+	b.act = newBoardActor(b.sess, b.ctl, b.rec)
 	return b
 }
 
@@ -430,6 +495,12 @@ func (f *Fleet) Run(sources []*stream.Source) Report {
 	// and per-board mutable state lives in each board's Session. Its
 	// per-frame cost also prices the placement forecast.
 	eng := serve.New(f.model, cfg.Board)
+	// The coordinator's recorder must exist before any board's: recorder
+	// creation order is the trace merge's tie-break order, and fleet
+	// instants win equal-timestamp ties against board events.
+	f.rec = cfg.Trace.Recorder(-1, nil)
+	f.met = newFleetMetrics(cfg.Metrics)
+	f.nowMs = 0
 	f.frameMs = eng.FrameLatencyMs(1)
 	f.workers = eng.Config().Workers
 	f.refEff = eng.Config().Mode.EffGFLOPS
@@ -513,6 +584,13 @@ func (f *Fleet) Run(sources []*stream.Source) Report {
 		end := now + cfg.EpochMs
 		f.stepBarrier(stepped, end)
 		r.epochs++
+		f.nowMs = end
+		f.rec.Instant("epoch", end, fmt.Sprintf("epoch=%d boards=%d", epoch, len(stepped)))
+		if cfg.Metrics != nil {
+			for _, b := range stepped {
+				b.futil.Set(f.forecastUtil(b))
+			}
+		}
 		t0 := time.Now()
 		for _, b := range stepped {
 			for li, gid := range b.globals {
@@ -685,6 +763,9 @@ func (f *Fleet) move(src, dst *board, gid int, home []int, epoch int,
 	home[gid] = dst.id
 	src.out++
 	dst.in++
+	f.rec.Instant("migrate", f.nowMs,
+		fmt.Sprintf("stream=%d from=%d to=%d reason=%s", gid, src.id, dst.id, reason))
+	f.met.migrations.Add(1)
 	return append(migrations, Migration{
 		Epoch: epoch, Stream: gid, From: src.id, To: dst.id, Reason: reason,
 	}), true
@@ -845,5 +926,10 @@ func (f *Fleet) buildReport(r *runCtx, workers int, wall, coord time.Duration) R
 		rep.HitRate = 1 - misses/float64(rep.Frames)
 		rep.JPerFrame = rep.EnergyMJ / 1e3 / float64(rep.Frames)
 	}
+	// Wall-clock gauges are the one non-deterministic corner of the
+	// registry; trace bytes stay pinned, the dump does not claim to be.
+	f.met.epochs.Set(float64(rep.FleetEpochs))
+	f.met.coordSeconds.Set(rep.CoordSeconds)
+	f.met.wallSec.Set(rep.WallSeconds)
 	return rep
 }

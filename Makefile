@@ -47,8 +47,14 @@
 #                async frame intervals must balance, so the Perfetto
 #                export path cannot rot while the package tests stay
 #                green
+#   make alloc-gate   run the steady-state serving benchmark with
+#                -benchmem at a fixed iteration count and hold its
+#                allocs/op against the committed ALLOC_BUDGET via
+#                cmd/allocgate — the CI tripwire for regressions that
+#                re-introduce per-frame allocations into the serve loop
 #   make ci      build + fmt + vet + staticcheck + test + race +
-#                chaos-smoke + fleet-smoke + obs-smoke + bench-json
+#                chaos-smoke + fleet-smoke + obs-smoke + alloc-gate +
+#                bench-json
 
 GO ?= go
 # Pinned staticcheck: 2024.1.1 supports the go 1.22/1.23 CI matrix.
@@ -61,7 +67,7 @@ GIT_SHA := $(shell git rev-parse HEAD 2>/dev/null || echo unknown)
 # comparable across commits.
 BENCHTIME ?= 100ms
 
-.PHONY: build fmt vet test race bench bench-smoke bench-json serve-bench staticcheck chaos-smoke fleet-smoke obs-smoke ci
+.PHONY: build fmt vet test race bench bench-smoke bench-json serve-bench staticcheck chaos-smoke fleet-smoke obs-smoke alloc-gate ci
 
 build:
 	$(GO) build ./...
@@ -140,4 +146,14 @@ obs-smoke:
 		-trace-out obs-trace.json -metrics-out obs-metrics.txt -epoch-csv obs-epochs.csv >/dev/null
 	$(GO) run ./cmd/tracecheck obs-trace.json
 
-ci: build fmt vet staticcheck test race chaos-smoke fleet-smoke obs-smoke bench-json
+# Fixed -benchtime 30x (not a duration): the budget is calibrated in
+# epochs, and a fixed epoch count keeps the amortized arena/warmup
+# share of allocs/op comparable across runners. Two steps so a
+# benchmark failure fails the target instead of being masked by the
+# pipe.
+alloc-gate:
+	$(GO) test -run xxx -bench BenchmarkServeSteadyState -benchmem -benchtime 30x . > alloc-gate.out
+	$(GO) run ./cmd/allocgate -budget ALLOC_BUDGET < alloc-gate.out
+	@rm -f alloc-gate.out
+
+ci: build fmt vet staticcheck test race chaos-smoke fleet-smoke obs-smoke alloc-gate bench-json

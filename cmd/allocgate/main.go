@@ -1,0 +1,145 @@
+// Command allocgate holds `go test -bench -benchmem` output against a
+// committed allocation budget, so a regression that re-introduces
+// per-frame or per-batch garbage into the steady-state serve loop
+// fails CI instead of quietly eroding the allocation-free contract
+// (internal/nn/README.md):
+//
+//	go test -run xxx -bench ServeSteadyState -benchmem -benchtime 30x . | allocgate -budget ALLOC_BUDGET
+//
+// The budget file is plain text, one `<benchmark-name> <max-allocs/op>`
+// pair per line (# comments and blank lines ignored). Names match
+// against the reported benchmark name with its -cpu suffix stripped,
+// so one budget line covers every GOMAXPROCS variant. Every budgeted
+// benchmark must appear on stdin — a gate that silently skips a
+// missing benchmark is not a gate — and every appearance must carry an
+// allocs/op column (the caller forgot -benchmem otherwise). Budgets
+// are ceilings, not targets: they carry headroom above the measured
+// steady state so epoch-count amortization and runner jitter do not
+// flake, while an extra allocation per served frame (tens per epoch)
+// still trips them.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// readBudget parses the budget file into name → max allocs/op.
+func readBudget(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	budget := make(map[string]float64)
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want `<benchmark> <max-allocs/op>`, got %q", path, line, text)
+		}
+		max, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || max < 0 {
+			return nil, fmt.Errorf("%s:%d: bad allocation budget %q", path, line, fields[1])
+		}
+		budget[fields[0]] = max
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(budget) == 0 {
+		return nil, fmt.Errorf("%s: no budget entries", path)
+	}
+	return budget, nil
+}
+
+// baseName strips the -cpu suffix go test appends to benchmark names
+// (BenchmarkFoo-8 → BenchmarkFoo).
+func baseName(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// allocsPerOp extracts the allocs/op column from one benchmark line
+// (ok=false when the line has none — not a result line, or -benchmem
+// was forgotten).
+func allocsPerOp(fields []string) (float64, bool) {
+	for i := 2; i+1 < len(fields); i += 2 {
+		if fields[i+1] == "allocs/op" {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			return v, err == nil
+		}
+	}
+	return 0, false
+}
+
+func main() {
+	budgetPath := flag.String("budget", "ALLOC_BUDGET", "allocation budget file (`<benchmark> <max-allocs/op>` per line)")
+	flag.Parse()
+
+	budget, err := readBudget(*budgetPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "allocgate:", err)
+		os.Exit(1)
+	}
+
+	seen := make(map[string]bool)
+	failed := false
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			continue // not a result line (e.g. a benchmark name header)
+		}
+		name := baseName(fields[0])
+		max, budgeted := budget[name]
+		if !budgeted {
+			continue
+		}
+		seen[name] = true
+		allocs, ok := allocsPerOp(fields)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "allocgate: %s reports no allocs/op — run the benchmark with -benchmem\n", fields[0])
+			failed = true
+			continue
+		}
+		if allocs > max {
+			fmt.Fprintf(os.Stderr, "allocgate: FAIL %s: %.1f allocs/op exceeds budget %.1f\n", fields[0], allocs, max)
+			failed = true
+		} else {
+			fmt.Fprintf(os.Stderr, "allocgate: ok   %s: %.1f allocs/op within budget %.1f\n", fields[0], allocs, max)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "allocgate:", err)
+		os.Exit(1)
+	}
+	for name := range budget {
+		if !seen[name] {
+			fmt.Fprintf(os.Stderr, "allocgate: budgeted benchmark %s missing from input\n", name)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

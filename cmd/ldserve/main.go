@@ -37,6 +37,14 @@
 // forecast: naive|ewma|holt) whose next-epoch predictions ride in the
 // telemetry; the predictive governor pre-climbs the ladder on them.
 //
+// -quantized starts every board on the int8 inference rung: batched
+// forwards run symmetric per-channel int8 (internal/nn InferInt8 mode)
+// and are priced by the Orin's int8 tensor-core rate, trading a
+// bounded accuracy cost for roughly 2.4× cheaper forwards. The
+// closed-loop governors also climb to this rung on their own — after
+// stretching the adaptation cadence, before shedding work — so the
+// flag mainly pins the rung for static runs and A/B comparisons.
+//
 // -boards shards the fleet across N boards (internal/shard), each a
 // full engine with its own governor: -placement picks the initial
 // stream→board assignment (round-robin, least-loaded LPT, or bin-pack
@@ -142,6 +150,7 @@ func main() {
 	sharedScenes := flag.Bool("shared-scenes", false, "render one scene set shared by every stream with phase-shifted arrivals — O(frames) setup for fleet-scale runs instead of O(streams x frames)")
 	lockstep := flag.Bool("lockstep", false, "step boards serially through the coordinator instead of concurrently (the equivalence-pin reference execution, not a production mode)")
 	forecastName := flag.String("forecast", "holt", "per-stream arrival-rate forecaster: naive|ewma|holt")
+	quantized := flag.Bool("quantized", false, "start every board on the int8 inference rung (symmetric per-channel weights, per-sample activation scales); closed-loop governors also reach this rung on their own under saturation")
 	chaos := flag.String("chaos", "", "seeded membership plan, e.g. kill:hot@8,join@10,drain:0@12 (-boards >1)")
 	ckptEvery := flag.Int("ckpt-every", 0, "checkpoint every stream every N epochs (0 = only under -chaos, then every epoch)")
 	ckptDir := flag.String("ckpt-dir", "", "persist stream checkpoints under this directory (default: in-memory store)")
@@ -285,6 +294,7 @@ func main() {
 		Policy:     policy,
 		Backlog:    *backlog,
 		Forecast:   forecaster,
+		Quantized:  *quantized,
 	}
 
 	if *boards > 1 {
@@ -426,6 +436,7 @@ func epochRows(board int, eps []serve.EpochStats) []obs.EpochRow {
 			Mode:       es.Controls.Mode.Name,
 			Policy:     es.Controls.Policy.String(),
 			AdaptEvery: es.Controls.AdaptEvery,
+			Quantized:  es.Controls.Quantized,
 			Arrived:    es.Arrived,
 			Forecast:   es.ForecastArrived,
 			Served:     es.Served,
@@ -564,10 +575,14 @@ func printReport(label string, rep serve.Report) {
 // control epoch.
 func printEpochTrace(rep serve.Report) {
 	fmt.Println("\nepoch trace:")
-	tb := metrics.NewTable("epoch", "mode", "policy", "adapt", "arrived", "forecast", "served", "backlog",
+	tb := metrics.NewTable("epoch", "mode", "policy", "adapt", "prec", "arrived", "forecast", "served", "backlog",
 		"hit rate", "util", "energy J")
 	for _, es := range rep.Epochs {
-		tb.AddRow(es.Epoch, es.Controls.Mode.Name, es.Controls.Policy.String(), es.Controls.AdaptEvery,
+		prec := "fp32"
+		if es.Controls.Quantized {
+			prec = "int8"
+		}
+		tb.AddRow(es.Epoch, es.Controls.Mode.Name, es.Controls.Policy.String(), es.Controls.AdaptEvery, prec,
 			es.Arrived, fmt.Sprintf("%.1f", es.ForecastArrived), es.Served, es.QueueDepth,
 			metrics.FormatPct(es.DeadlineHitRate),
 			fmt.Sprintf("%.2f", es.Utilization), fmt.Sprintf("%.1f", es.EnergyMJ/1e3))

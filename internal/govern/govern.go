@@ -124,7 +124,7 @@ func (s Static) Start(cfg serve.Config) serve.Controls {
 		}
 		mode = ladder[len(ladder)-1]
 	}
-	return serve.Controls{Mode: mode, Policy: cfg.Policy, AdaptEvery: cfg.AdaptEvery}
+	return serve.Controls{Mode: mode, Policy: cfg.Policy, AdaptEvery: cfg.AdaptEvery, Quantized: cfg.Quantized}
 }
 
 // Decide implements serve.Controller: static controls never move.

@@ -214,8 +214,10 @@ func TestHysteresisClimbsAndRecovers(t *testing.T) {
 }
 
 // TestHysteresisSaturationEscalation: pinned at the top rung, sustained
-// saturation must stretch the adaptation cadence before escalating the
-// overload policy — accuracy is spent before frames.
+// saturation must stretch the adaptation cadence, then drop to the
+// int8 inference rung, and only then escalate the overload policy —
+// accuracy is spent before frames, and bounded quantization error
+// before whole adaptation steps.
 func TestHysteresisSaturationEscalation(t *testing.T) {
 	h := &Hysteresis{BudgetW: 30}
 	cur := h.Start(serve.Config{Mode: orin.Mode60W, Policy: stream.DropNone, AdaptEvery: 2})
@@ -233,8 +235,15 @@ func TestHysteresisSaturationEscalation(t *testing.T) {
 		t.Fatalf("cadence must stretch to its 4× cap, got %d", cur.AdaptEvery)
 	}
 	cur = h.Decide(bad, cur, nil)
+	if !cur.Quantized {
+		t.Fatal("cadence capped: the int8 rung must engage before any shedding")
+	}
+	if cur.Policy != stream.DropNone {
+		t.Fatalf("quantization must precede policy escalation, got %v", cur.Policy)
+	}
+	cur = h.Decide(bad, cur, nil)
 	if cur.Policy != stream.SkipAdapt {
-		t.Fatalf("cadence capped: policy must escalate to skip-adapt, got %v", cur.Policy)
+		t.Fatalf("int8 engaged: policy must escalate to skip-adapt, got %v", cur.Policy)
 	}
 	cur = h.Decide(bad, cur, nil)
 	if cur.Policy != stream.DropFrames {
@@ -242,6 +251,26 @@ func TestHysteresisSaturationEscalation(t *testing.T) {
 	}
 	if cur.Mode.Watts > 30 {
 		t.Fatalf("escalation must never break the budget, got %s", cur.Mode.Name)
+	}
+	// Recovery retraces in reverse: policy first, precision after.
+	good := serve.EpochStats{Epoch: 10, Served: 10, DeadlineHitRate: 1, QueueDepth: 0, Utilization: 0.05}
+	for i := 0; i < 2*h.patience(); i++ {
+		good.Epoch++
+		cur = h.Decide(good, cur, nil)
+	}
+	if cur.Policy != stream.DropNone {
+		t.Fatalf("recovery must restore the policy ladder first, got %v", cur.Policy)
+	}
+	if !cur.Quantized {
+		t.Fatal("precision must restore after policy, not before")
+	}
+	good.Epoch++
+	for i := 0; i < h.patience(); i++ {
+		good.Epoch++
+		cur = h.Decide(good, cur, nil)
+	}
+	if cur.Quantized {
+		t.Fatal("healthy epochs past patience must restore float32 precision")
 	}
 }
 

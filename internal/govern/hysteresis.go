@@ -16,9 +16,12 @@ import (
 // rung, so a bursty fleet does not flap between modes at every lull. When the top
 // affordable rung is still unhealthy, it spends accuracy before
 // frames: first stretch the adaptation cadence (fewer LD-BN-ADAPT
-// steps to amortize), then escalate the overload policy
+// steps to amortize), then drop the forwards to the int8 inference
+// rung (Controls.Quantized — cheaper batches at a bounded accuracy
+// cost), and only then escalate the overload policy
 // (DropNone → SkipAdapt → DropFrames). Recovery retraces the same
-// moves in reverse — policy first, cadence next, power last.
+// moves in reverse — policy first, precision next, cadence after,
+// power last.
 //
 // By construction the governor never selects a mode above BudgetW.
 type Hysteresis struct {
@@ -109,7 +112,7 @@ func (h *Hysteresis) Start(cfg serve.Config) serve.Controls {
 	h.goodRun = 0
 	h.retryAt = make([]int, len(ladder))
 	h.backoff = make([]int, len(ladder))
-	h.base = serve.Controls{Mode: ladder[0], Policy: cfg.Policy, AdaptEvery: cfg.AdaptEvery}
+	h.base = serve.Controls{Mode: ladder[0], Policy: cfg.Policy, AdaptEvery: cfg.AdaptEvery, Quantized: cfg.Quantized}
 	return h.base
 }
 
@@ -157,6 +160,12 @@ func (h *Hysteresis) Decide(prev serve.EpochStats, cur serve.Controls, _ func(se
 			// harder before shedding work.
 			next.AdaptEvery *= 2
 			h.why = "stretch-cadence"
+		} else if !next.Quantized {
+			// Cadence fully stretched and still saturated: buy throughput
+			// with precision — the int8 forwards cost a bounded accuracy
+			// error, shedding costs whole frames.
+			next.Quantized = true
+			h.why = "quantize-int8"
 		} else if r := policyRank(next.Policy); r < len(policyLadder)-1 {
 			next.Policy = policyLadder[r+1]
 			h.why = "escalate-policy"
@@ -176,11 +185,14 @@ func (h *Hysteresis) Decide(prev serve.EpochStats, cur serve.Controls, _ func(se
 	h.goodRun = 0
 	h.why = "hold"
 	// De-escalate one move per boundary, retracing escalation in
-	// reverse: policy, cadence, then power.
+	// reverse: policy, precision, cadence, then power.
 	switch {
 	case policyRank(next.Policy) > policyRank(h.base.Policy):
 		next.Policy = policyLadder[policyRank(next.Policy)-1]
 		h.why = "restore-policy"
+	case next.Quantized && !h.base.Quantized:
+		next.Quantized = false
+		h.why = "restore-precision"
 	case next.AdaptEvery != h.base.AdaptEvery:
 		next.AdaptEvery /= 2
 		if next.AdaptEvery < h.base.AdaptEvery {

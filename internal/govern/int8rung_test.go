@@ -1,0 +1,86 @@
+package govern
+
+import (
+	"testing"
+
+	"ldbnadapt/internal/orin"
+	"ldbnadapt/internal/serve"
+)
+
+// TestGovernedInt8RungRescuesLatencyFloor is the seeded acceptance pin
+// for the int8 inference rung as a governed actuator, end to end
+// through the serving engine: a 15 W power budget pins the ladder to
+// its lowest rung, whose float32 latency floor misses the 18 FPS
+// deadline even unloaded — the static 15 W deployment hits zero
+// deadlines on the bursty reference fleet. A closed-loop governor has
+// no watts to climb to; the only escalations left are cadence stretch
+// and precision. Both rule-based governors must reach the int8 rung,
+// serve real frames through the quantized forward path (the engine's
+// workers actually run ForwardInferInt8 for epochs planned under
+// Controls.Quantized), and convert a hopeless scenario into real
+// service.
+//
+// The Predictive-vs-Hysteresis comparison doubles as the degradation
+// contract at full-system scale: on a one-rung ladder there is nothing
+// to pre-climb or forecast-descend (the descent gate also refuses to
+// move while the precision rung is engaged), so the predictive run
+// must reproduce the hysteresis run number for number.
+func TestGovernedInt8RungRescuesLatencyFloor(t *testing.T) {
+	m, fleet, scfg := burstyScenario(77)
+	run := func(ctl serve.Controller) serve.Report {
+		c := scfg
+		c.Mode = orin.Mode15W
+		return serve.New(m, c).RunGoverned(fleet, epochMs, ctl)
+	}
+	quant := func(r serve.Report) (epochs, served int) {
+		for _, es := range r.Epochs {
+			if es.Controls.Quantized {
+				epochs++
+				served += es.Served
+			}
+		}
+		return
+	}
+
+	sta := run(Static{})
+	if hit := 1 - sta.MissRate; hit > 0.05 {
+		t.Fatalf("scenario broken: static 15 W hits %.3f — the latency floor no longer bites, so this pin proves nothing", hit)
+	}
+
+	hys := run(&Hysteresis{BudgetW: 15})
+	he, hs := quant(hys)
+	if he == 0 || hs == 0 {
+		t.Fatalf("hysteresis never served on the int8 rung (%d quantized epochs, %d frames)", he, hs)
+	}
+	// The pinned scenario measures hit 0.324 with 57 frames served
+	// quantized; the thresholds leave slack for Orin recalibration
+	// without letting the rung degrade to a decorative flag.
+	if hs < 20 {
+		t.Fatalf("int8 rung barely exercised: %d frames served quantized, want >= 20", hs)
+	}
+	if hit := 1 - hys.MissRate; hit < 0.15 {
+		t.Fatalf("governed int8 rung hit %.3f — did not rescue the 15 W latency floor (static: %.3f)",
+			hit, 1-sta.MissRate)
+	}
+
+	pred := run(&Predictive{Hysteresis: Hysteresis{BudgetW: 15}})
+	pe, ps := quant(pred)
+	if pe == 0 || ps == 0 {
+		t.Fatalf("predictive never served on the int8 rung (%d quantized epochs, %d frames)", pe, ps)
+	}
+	if pred.MissRate != hys.MissRate || pred.Frames != hys.Frames || pred.EnergyMJ != hys.EnergyMJ ||
+		pe != he || ps != hs {
+		t.Fatalf("predictive diverged from hysteresis on a one-rung ladder: hit %.6f/%d frames/%.3f mJ/%d+%d quant vs %.6f/%d/%.3f/%d+%d",
+			1-pred.MissRate, pred.Frames, pred.EnergyMJ, pe, ps,
+			1-hys.MissRate, hys.Frames, hys.EnergyMJ, he, hs)
+	}
+
+	// Seeded determinism: the quantized epochs' virtual accounting must
+	// reproduce exactly, including which epochs ran int8.
+	again := run(&Hysteresis{BudgetW: 15})
+	ae, as := quant(again)
+	if again.MissRate != hys.MissRate || again.Frames != hys.Frames || ae != he || as != hs {
+		t.Fatalf("governed int8 run not deterministic: %.6f/%d/%d+%d vs %.6f/%d/%d+%d",
+			again.MissRate, again.Frames, ae, as, hys.MissRate, hys.Frames, he, hs)
+	}
+}

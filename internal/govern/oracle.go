@@ -15,9 +15,15 @@ import (
 // rate, then lower energy). Rule-based governors like Hysteresis are
 // measured by how close they get to this without seeing the future.
 //
-// The sweep is exhaustive over power modes; policy and adaptation
-// cadence stay at the engine's configured values so the bound
-// isolates what mode selection alone can achieve.
+// The sweep is exhaustive over power modes × numeric precision
+// (float32 and the int8 inference rung); policy and adaptation cadence
+// stay at the engine's configured values so the bound isolates what
+// mode and precision selection alone can achieve. Because the int8
+// rung's accuracy cost is invisible to the epoch telemetry (probes
+// price latency and energy, not lane error), a fitting float32
+// candidate always wins over a fitting int8 one — the oracle spends
+// precision only when no float rung can meet the target, mirroring
+// the escalation order of the rule-based governors.
 type Oracle struct {
 	// BudgetW caps the ladder (0 = unconstrained).
 	BudgetW int
@@ -55,7 +61,7 @@ func (o *Oracle) Start(cfg serve.Config) serve.Controls {
 		panic(err.Error()) // ByName validates; direct construction must too
 	}
 	o.ladder = ladder
-	o.base = serve.Controls{Mode: ladder[len(ladder)-1], Policy: cfg.Policy, AdaptEvery: cfg.AdaptEvery}
+	o.base = serve.Controls{Mode: ladder[len(ladder)-1], Policy: cfg.Policy, AdaptEvery: cfg.AdaptEvery, Quantized: cfg.Quantized}
 	return o.base
 }
 
@@ -65,25 +71,41 @@ func (o *Oracle) Decide(prev serve.EpochStats, cur serve.Controls, probe func(se
 		c  serve.Controls
 		es serve.EpochStats
 	}
-	var best, fallback *outcome
+	var bestFloat, bestInt8, fallback *outcome
+	quants := []bool{false, true}
+	if o.base.Quantized {
+		// The engine is deployed on the int8 rung; there is no float32
+		// baseline to prefer.
+		quants = []bool{true}
+	}
 	for _, mode := range o.ladder {
-		cand := serve.Controls{Mode: mode, Policy: o.base.Policy, AdaptEvery: o.base.AdaptEvery}
-		es := probe(cand)
-		oc := &outcome{c: cand, es: es}
-		if es.DeadlineHitRate >= o.target() && es.QueueDepth <= prev.QueueDepth {
-			if best == nil || es.EnergyMJ < best.es.EnergyMJ {
-				best = oc
+		for _, quant := range quants {
+			cand := serve.Controls{Mode: mode, Policy: o.base.Policy, AdaptEvery: o.base.AdaptEvery, Quantized: quant}
+			es := probe(cand)
+			oc := &outcome{c: cand, es: es}
+			if es.DeadlineHitRate >= o.target() && es.QueueDepth <= prev.QueueDepth {
+				best := &bestFloat
+				if quant {
+					best = &bestInt8
+				}
+				if *best == nil || es.EnergyMJ < (*best).es.EnergyMJ {
+					*best = oc
+				}
+			}
+			if fallback == nil ||
+				es.DeadlineHitRate > fallback.es.DeadlineHitRate ||
+				(es.DeadlineHitRate == fallback.es.DeadlineHitRate && es.EnergyMJ < fallback.es.EnergyMJ) {
+				fallback = oc
 			}
 		}
-		if fallback == nil ||
-			es.DeadlineHitRate > fallback.es.DeadlineHitRate ||
-			(es.DeadlineHitRate == fallback.es.DeadlineHitRate && es.EnergyMJ < fallback.es.EnergyMJ) {
-			fallback = oc
-		}
 	}
-	if best != nil {
+	if bestFloat != nil {
 		o.why = "sweep-fit"
-		return best.c
+		return bestFloat.c
+	}
+	if bestInt8 != nil {
+		o.why = "sweep-fit-int8"
+		return bestInt8.c
 	}
 	o.why = "sweep-fallback"
 	return fallback.c

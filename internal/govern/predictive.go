@@ -218,7 +218,8 @@ func (p *Predictive) Decide(prev serve.EpochStats, cur serve.Controls, probe fun
 	// base — power is the last thing Hysteresis restores, and the
 	// forecast keeps that order.
 	if healthy && p.goodRun == 0 &&
-		next.Policy == cur.Policy && next.AdaptEvery == cur.AdaptEvery {
+		next.Policy == cur.Policy && next.AdaptEvery == cur.AdaptEvery &&
+		next.Quantized == cur.Quantized {
 		// Descents are floored by the decayed peak, not just the
 		// forecast: the lull says 30 W is plenty, but the last burst is
 		// the load the next unforecastable onset will bring.

@@ -10,6 +10,8 @@ import (
 type ReLU struct {
 	name     string
 	lastMask []bool
+	adaptOut Scratch // Adapt-mode forward output
+	dxOut    Scratch // backward gradient output
 }
 
 // NewReLU constructs a ReLU layer.
@@ -25,7 +27,7 @@ func (r *ReLU) Params() []*Param { return nil }
 // In Infer mode it clamps in place (the input is an upstream layer's
 // scratch buffer that is not read again) and keeps no mask.
 func (r *ReLU) Forward(x *tensor.Tensor, mode Mode) *tensor.Tensor {
-	if mode == Infer {
+	if mode.IsInfer() {
 		r.lastMask = nil // Backward after an Infer forward must panic
 		for i, v := range x.Data {
 			if v <= 0 {
@@ -34,7 +36,13 @@ func (r *ReLU) Forward(x *tensor.Tensor, mode Mode) *tensor.Tensor {
 		}
 		return x
 	}
-	out := tensor.New(x.Shape()...)
+	var out *tensor.Tensor
+	if mode == Adapt {
+		out = r.adaptOut.For(x.Shape()...)
+		out.Zero()
+	} else {
+		out = tensor.New(x.Shape()...)
+	}
 	if cap(r.lastMask) < x.Size() {
 		r.lastMask = make([]bool, x.Size())
 	}
@@ -58,10 +66,12 @@ func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if grad.Size() != len(r.lastMask) {
 		panic(fmt.Sprintf("nn: %s: grad size %d, want %d", r.name, grad.Size(), len(r.lastMask)))
 	}
-	out := tensor.New(grad.Shape()...)
+	out := r.dxOut.For(grad.Shape()...)
 	for i, v := range grad.Data {
 		if r.lastMask[i] {
 			out.Data[i] = v
+		} else {
+			out.Data[i] = 0
 		}
 	}
 	return out
@@ -71,6 +81,8 @@ func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 type Flatten struct {
 	name      string
 	lastShape []int
+	hotView   View // cached forward header (Infer/InferInt8/Adapt)
+	gradView  View // cached backward header
 }
 
 // NewFlatten constructs a Flatten layer.
@@ -82,19 +94,25 @@ func (f *Flatten) Name() string { return f.name }
 // Params returns nil.
 func (f *Flatten) Params() []*Param { return nil }
 
-// Forward flattens all but the leading (batch) dimension.
-func (f *Flatten) Forward(x *tensor.Tensor, _ Mode) *tensor.Tensor {
+// Forward flattens all but the leading (batch) dimension. On the hot
+// paths (Infer/InferInt8/Adapt) the returned header is a cached view
+// re-pointed at x's storage; Train and Eval allocate a fresh header.
+func (f *Flatten) Forward(x *tensor.Tensor, mode Mode) *tensor.Tensor {
 	if x.NDim() < 2 {
 		panic(fmt.Sprintf("nn: %s: input %v, want rank ≥ 2", f.name, x.Shape()))
 	}
-	f.lastShape = append([]int(nil), x.Shape()...)
+	f.lastShape = append(f.lastShape[:0], x.Shape()...)
+	if mode.IsInfer() || mode == Adapt {
+		return f.hotView.Of(x.Data, x.Dim(0), x.Size()/x.Dim(0))
+	}
 	return x.Reshape(x.Dim(0), x.Size()/x.Dim(0))
 }
 
-// Backward restores the cached input shape.
+// Backward restores the cached input shape (as a cached view over the
+// incoming gradient's storage).
 func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if f.lastShape == nil {
 		panic(fmt.Sprintf("nn: %s: Backward before Forward", f.name))
 	}
-	return grad.Reshape(f.lastShape...)
+	return f.gradView.Of(grad.Data, f.lastShape...)
 }

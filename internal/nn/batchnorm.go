@@ -41,13 +41,22 @@ type BatchNorm2D struct {
 	lastXHat     *tensor.Tensor
 	lastInvStd   []float32
 	lastMode     Mode
-	lastShape    []int
+	lastShape    [4]int
 	lastAdaptMom float32
 
 	// Infer-mode state: reusable output buffer and optional per-sample
 	// statistics sources (multi-stream batched serving).
-	scratchOut []float32
-	sampleSrc  []*BNSource
+	inferOut  Scratch
+	sampleSrc []*BNSource
+
+	// Adapt-mode scratch (see scratch.go): output, x̂ cache and the
+	// per-channel statistics buffers, reused across adaptation steps.
+	adaptOut  Scratch
+	adaptXHat Scratch
+	meanBuf   []float32
+	varBuf    []float32
+	invStdBuf []float32
+	dxOut     Scratch // backward input gradient (all modes)
 }
 
 // BNSource supplies the complete normalization state of one stream for
@@ -96,18 +105,24 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, mode Mode) *tensor.Tensor {
 	if x.NDim() != 4 || x.Dim(1) != b.C {
 		panic(fmt.Sprintf("nn: %s: input %v, want [n,%d,h,w]", b.name, x.Shape(), b.C))
 	}
-	if b.sampleSrc != nil && mode != Infer {
+	if b.sampleSrc != nil && !mode.IsInfer() {
 		panic(fmt.Sprintf("nn: %s: sample sources installed but mode is %v", b.name, mode))
 	}
 	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
 	hw := h * w
 	cnt := n * hw
-	if mode == Infer {
+	if mode.IsInfer() {
 		return b.forwardInfer(x, n, h, w)
 	}
-	out := tensor.New(n, b.C, h, w)
+	hot := mode == Adapt
+	var out *tensor.Tensor
+	if hot {
+		out = b.adaptOut.For(n, b.C, h, w)
+	} else {
+		out = tensor.New(n, b.C, h, w)
+	}
 	b.lastMode = mode
-	b.lastShape = []int{n, b.C, h, w}
+	b.lastShape = [4]int{n, b.C, h, w}
 
 	var mean, varc []float32
 	switch mode {
@@ -115,8 +130,10 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, mode Mode) *tensor.Tensor {
 		mean = b.RunningMean.Data
 		varc = b.RunningVar.Data
 	case Train, Adapt:
-		mean = make([]float32, b.C)
-		varc = make([]float32, b.C)
+		b.meanBuf = growF32(b.meanBuf, b.C)
+		b.varBuf = growF32(b.varBuf, b.C)
+		mean = b.meanBuf
+		varc = b.varBuf
 		for c := 0; c < b.C; c++ {
 			s := 0.0
 			for ni := 0; ni < n; ni++ {
@@ -160,11 +177,19 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, mode Mode) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: %s: unknown mode %v", b.name, mode))
 	}
 
-	invStd := make([]float32, b.C)
+	var invStd []float32
+	var xhat *tensor.Tensor
+	if hot {
+		b.invStdBuf = growF32(b.invStdBuf, b.C)
+		invStd = b.invStdBuf
+		xhat = b.adaptXHat.For(n, b.C, h, w)
+	} else {
+		invStd = make([]float32, b.C)
+		xhat = tensor.New(n, b.C, h, w)
+	}
 	for c := 0; c < b.C; c++ {
 		invStd[c] = float32(1.0 / math.Sqrt(float64(varc[c])+float64(b.Eps)))
 	}
-	xhat := tensor.New(n, b.C, h, w)
 	for ni := 0; ni < n; ni++ {
 		for c := 0; c < b.C; c++ {
 			base := (ni*b.C + c) * hw
@@ -194,7 +219,7 @@ func (b *BatchNorm2D) forwardInfer(x *tensor.Tensor, n, h, w int) *tensor.Tensor
 		panic(fmt.Sprintf("nn: %s: %d sample sources for batch of %d", b.name, len(b.sampleSrc), n))
 	}
 	hw := h * w
-	out := scratchFor(&b.scratchOut, n, b.C, h, w)
+	out := b.inferOut.For(n, b.C, h, w)
 	b.lastXHat = nil // Backward after an Infer forward must panic
 	for ni := 0; ni < n; ni++ {
 		mean, varc := b.RunningMean.Data, b.RunningVar.Data
@@ -237,7 +262,7 @@ func (b *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if grad.Size() != n*b.C*hw {
 		panic(fmt.Sprintf("nn: %s: grad %v, want %v", b.name, grad.Shape(), b.lastShape))
 	}
-	dx := tensor.New(n, b.C, h, w)
+	dx := b.dxOut.For(n, b.C, h, w)
 	for c := 0; c < b.C; c++ {
 		// First pass: per-channel reductions Σ dY and Σ dY·x̂.
 		sumDY, sumDYX := float32(0), float32(0)

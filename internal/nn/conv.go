@@ -16,13 +16,36 @@ type Conv2D struct {
 	Weight       *Param // [outC, inC, kh, kw]
 	Bias         *Param // [outC] or nil
 	lastCols     []*tensor.Tensor
-	lastIn       []int // cached input shape [n,c,h,w]
-	lastOutShape []int
+	lastIn       [4]int // cached input shape [n,c,h,w]
+	lastOutShape [4]int
 
-	// Infer-mode scratch: im2col lowering and output buffers reused
-	// across calls (no backward caches are kept on this path).
-	scratchCols []float32
-	scratchOut  []float32
+	// Scratch buffers and cached headers (see scratch.go for the
+	// ownership contract). Infer and Adapt keep separate output
+	// scratches because the two paths usually run at different batch
+	// sizes; sharing one would re-shape the header every call.
+	inferOut  Scratch
+	inferCols Scratch
+	adaptOut  Scratch
+	adaptCols []float32 // one [n, K, hw] slab backing lastCols in Adapt mode
+	colViews  []View    // per-sample [K, hw] headers over adaptCols
+	xiView    View      // per-sample input view
+	oiView    View      // per-sample output view
+	wmView    View      // weight matrix view [outC, K]
+	giView    View      // per-sample gradient view (backward)
+	dwView    View      // weight-grad matrix view (backward)
+	dcols     Scratch   // backward column gradient
+	dxOut     Scratch   // backward input gradient
+	dxiView   View      // per-sample view of dxOut
+
+	// Int8 weight cache for InferInt8: per-output-channel symmetric
+	// quantization of Weight, built lazily on first use. Serving
+	// freezes conv weights, so the cache stays valid; callers that
+	// mutate Weight.Value must call InvalidateInt8.
+	wq      []int8
+	wScales []float32
+	wqOK    bool
+	xq      []int8 // quantized input sample
+	colsQ   []int8 // quantized im2col lowering
 }
 
 // NewConv2D constructs a convolution layer with Kaiming-initialized
@@ -54,56 +77,131 @@ func (c *Conv2D) Params() []*Param {
 	return []*Param{c.Weight}
 }
 
+// kDim is the lowered weight-matrix inner dimension inC·kh·kw.
+func (c *Conv2D) kDim() int { return c.InC * c.Geom.KH * c.Geom.KW }
+
+// addBiasRows adds the per-channel bias to an [outC, hw] output block.
+func (c *Conv2D) addBiasRows(oi *tensor.Tensor, hw int) {
+	for oc := 0; oc < c.OutC; oc++ {
+		b := c.Bias.Value.Data[oc]
+		row := oi.Data[oc*hw : (oc+1)*hw]
+		for i := range row {
+			row[i] += b
+		}
+	}
+}
+
 // Forward computes the convolution sample by sample: per sample the
 // im2col matrix has shape [inC*kh*kw, oh*ow] and the product
 // W[outC, inC*kh*kw]·cols lands directly in the output layout.
-// In Infer mode the im2col and output buffers are layer-owned scratch
-// reused across calls, and no backward caches are kept.
+// Infer/InferInt8 and Adapt mode use layer-owned scratch for the
+// im2col lowering and the output (Adapt additionally keeps the
+// lowering as the backward cache); Train and Eval allocate fresh
+// tensors so their outputs are safe to retain across calls.
 func (c *Conv2D) Forward(x *tensor.Tensor, mode Mode) *tensor.Tensor {
 	if x.NDim() != 4 || x.Dim(1) != c.InC {
 		panic(fmt.Sprintf("nn: %s: input %v, want [n,%d,h,w]", c.name, x.Shape(), c.InC))
 	}
 	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
 	oh, ow := c.Geom.OutSize(h, w)
-	infer := mode == Infer
+	infer := mode.IsInfer()
+	hot := mode == Adapt
+	K := c.kDim()
+	hw := oh * ow
 	var out *tensor.Tensor
-	if infer {
-		out = scratchFor(&c.scratchOut, n, c.OutC, oh, ow)
+	switch {
+	case infer:
+		out = c.inferOut.For(n, c.OutC, oh, ow)
 		c.lastCols = nil // Backward after an Infer forward must panic
-	} else {
+	case hot:
+		out = c.adaptOut.For(n, c.OutC, oh, ow)
+		c.adaptCols = growF32(c.adaptCols, n*K*hw)
+		if cap(c.colViews) < n {
+			c.colViews = make([]View, n)
+		}
+		c.colViews = c.colViews[:n]
+		if cap(c.lastCols) < n {
+			c.lastCols = make([]*tensor.Tensor, n)
+		}
+		c.lastCols = c.lastCols[:n]
+		c.lastIn = [4]int{n, c.InC, h, w}
+		c.lastOutShape = [4]int{n, c.OutC, oh, ow}
+	default:
 		out = tensor.New(n, c.OutC, oh, ow)
 		c.lastCols = make([]*tensor.Tensor, n)
-		c.lastIn = []int{n, c.InC, h, w}
-		c.lastOutShape = []int{n, c.OutC, oh, ow}
+		c.lastIn = [4]int{n, c.InC, h, w}
+		c.lastOutShape = [4]int{n, c.OutC, oh, ow}
 	}
-	wm := c.Weight.Value.Reshape(c.OutC, c.InC*c.Geom.KH*c.Geom.KW)
-	hw := oh * ow
+	if mode == InferInt8 {
+		return c.forwardInt8(x, out, n, h, w, oh, ow)
+	}
+	wm := c.wmView.Of(c.Weight.Value.Data, c.OutC, K)
 	for ni := 0; ni < n; ni++ {
-		xi := tensor.FromSlice(x.Data[ni*c.InC*h*w:(ni+1)*c.InC*h*w], 1, c.InC, h, w)
+		xi := c.xiView.Of(x.Data[ni*c.InC*h*w:(ni+1)*c.InC*h*w], 1, c.InC, h, w)
 		var cols *tensor.Tensor
-		if infer {
-			cols = scratchFor(&c.scratchCols, c.InC*c.Geom.KH*c.Geom.KW, hw)
+		switch {
+		case infer:
+			cols = c.inferCols.For(K, hw)
 			tensor.Im2ColInto(cols, xi, c.Geom)
-		} else {
+		case hot:
+			cols = c.colViews[ni].Of(c.adaptCols[ni*K*hw:(ni+1)*K*hw], K, hw)
+			tensor.Im2ColInto(cols, xi, c.Geom)
+			c.lastCols[ni] = cols
+		default:
 			cols = tensor.Im2Col(xi, c.Geom)
 			c.lastCols[ni] = cols
 		}
-		oi := tensor.FromSlice(out.Data[ni*c.OutC*hw:(ni+1)*c.OutC*hw], c.OutC, hw)
+		oi := c.oiView.Of(out.Data[ni*c.OutC*hw:(ni+1)*c.OutC*hw], c.OutC, hw)
 		tensor.MatMulInto(oi, wm, cols)
 		if c.Bias != nil {
-			for oc := 0; oc < c.OutC; oc++ {
-				b := c.Bias.Value.Data[oc]
-				row := oi.Data[oc*hw : (oc+1)*hw]
-				for i := range row {
-					row[i] += b
-				}
-			}
+			c.addBiasRows(oi, hw)
 		}
 	}
 	return out
 }
 
-// Backward accumulates dW (and db) and returns dX.
+// forwardInt8 is the quantized serving kernel: the weight matrix is
+// quantized once per output channel, each input sample gets one
+// dynamic scale, and the product accumulates in int32 (see
+// internal/tensor/int8.go for the error model). Bias addition and
+// everything downstream stay in float32.
+func (c *Conv2D) forwardInt8(x, out *tensor.Tensor, n, h, w, oh, ow int) *tensor.Tensor {
+	c.ensureInt8()
+	K := c.kDim()
+	hw := oh * ow
+	chw := c.InC * h * w
+	c.xq = growI8(c.xq, chw)
+	c.colsQ = growI8(c.colsQ, K*hw)
+	for ni := 0; ni < n; ni++ {
+		xScale := tensor.QuantizeInt8(c.xq, x.Data[ni*chw:(ni+1)*chw])
+		tensor.Im2ColInt8Into(c.colsQ, c.xq, c.InC, h, w, c.Geom)
+		oi := c.oiView.Of(out.Data[ni*c.OutC*hw:(ni+1)*c.OutC*hw], c.OutC, hw)
+		tensor.Int8MatMulInto(oi, c.wq, c.wScales, c.colsQ, xScale, c.OutC, K, hw)
+		if c.Bias != nil {
+			c.addBiasRows(oi, hw)
+		}
+	}
+	return out
+}
+
+// ensureInt8 builds the per-output-channel int8 weight cache.
+func (c *Conv2D) ensureInt8() {
+	if c.wqOK {
+		return
+	}
+	K := c.kDim()
+	c.wq = growI8(c.wq, c.OutC*K)
+	c.wScales = growF32(c.wScales, c.OutC)
+	tensor.QuantizeInt8PerRow(c.wq, c.wScales, c.Weight.Value.Data, c.OutC, K)
+	c.wqOK = true
+}
+
+// InvalidateInt8 drops the cached int8 weights so the next InferInt8
+// forward re-quantizes Weight.Value. Call after mutating the weights.
+func (c *Conv2D) InvalidateInt8() { c.wqOK = false }
+
+// Backward accumulates dW (and db) and returns dX. The returned
+// gradient lives in layer-owned scratch, valid until the next Backward.
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if c.lastCols == nil {
 		panic(fmt.Sprintf("nn: %s: Backward before Forward", c.name))
@@ -114,13 +212,14 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if grad.Size() != n*c.OutC*hw {
 		panic(fmt.Sprintf("nn: %s: grad %v, want %v", c.name, grad.Shape(), c.lastOutShape))
 	}
-	dW := c.Weight.Grad.Reshape(c.OutC, inC*c.Geom.KH*c.Geom.KW)
-	wm := c.Weight.Value.Reshape(c.OutC, inC*c.Geom.KH*c.Geom.KW)
-	dx := tensor.New(n, inC, h, w)
+	K := c.kDim()
+	dW := c.dwView.Of(c.Weight.Grad.Data, c.OutC, K)
+	wm := c.wmView.Of(c.Weight.Value.Data, c.OutC, K)
+	dx := c.dxOut.For(n, inC, h, w)
 	for ni := 0; ni < n; ni++ {
-		gi := tensor.FromSlice(grad.Data[ni*c.OutC*hw:(ni+1)*c.OutC*hw], c.OutC, hw)
+		gi := c.giView.Of(grad.Data[ni*c.OutC*hw:(ni+1)*c.OutC*hw], c.OutC, hw)
 		// dW += gi · colsᵀ
-		tensor.AddInPlace(dW, tensor.MatMulTB(gi, c.lastCols[ni]))
+		tensor.MatMulTBAcc(dW, gi, c.lastCols[ni])
 		if c.Bias != nil {
 			for oc := 0; oc < c.OutC; oc++ {
 				s := float32(0)
@@ -131,9 +230,10 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 		// dcols = Wᵀ · gi ; dx_i = col2im(dcols)
-		dcols := tensor.MatMulTA(wm, gi)
-		dxi := tensor.Col2Im(dcols, 1, inC, h, w, c.Geom)
-		copy(dx.Data[ni*inC*h*w:(ni+1)*inC*h*w], dxi.Data)
+		dcols := c.dcols.For(K, hw)
+		tensor.MatMulTAInto(dcols, wm, gi)
+		dxi := c.dxiView.Of(dx.Data[ni*inC*h*w:(ni+1)*inC*h*w], 1, inC, h, w)
+		tensor.Col2ImInto(dxi, dcols, c.Geom)
 	}
 	return dx
 }

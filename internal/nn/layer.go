@@ -41,7 +41,21 @@ const (
 	// per-sample statistics sources in this mode (multi-stream batched
 	// serving, see SetSampleSources).
 	Infer
+	// InferInt8 is Infer with the Conv2D and Linear products computed in
+	// symmetric int8 (per-output-channel weight scales, one dynamic
+	// activation scale per sample; see internal/tensor/int8.go). All
+	// other layers — BatchNorm, ReLU, pooling — run in float32, so the
+	// output differs from Infer only by the quantization error of the
+	// conv/linear kernels. Scratch and cache semantics are identical to
+	// Infer. Because activation scales are per sample, a batched
+	// InferInt8 forward remains bitwise identical to the sequential one.
+	InferInt8
 )
+
+// IsInfer reports whether m is one of the serving fast-path modes
+// (Infer or InferInt8): no backward caches, scratch-backed outputs,
+// per-sample BN sources honoured.
+func (m Mode) IsInfer() bool { return m == Infer || m == InferInt8 }
 
 // String returns the mode name.
 func (m Mode) String() string {
@@ -54,6 +68,8 @@ func (m Mode) String() string {
 		return "adapt"
 	case Infer:
 		return "infer"
+	case InferInt8:
+		return "infer-int8"
 	}
 	return fmt.Sprintf("Mode(%d)", int(m))
 }

@@ -14,7 +14,20 @@ type Linear struct {
 	Bias    *Param // [out]
 	lastX   *tensor.Tensor
 
-	scratchOut []float32 // Infer-mode output buffer
+	// Scratch (see scratch.go): separate infer and adapt output
+	// buffers because the two paths run at different batch sizes.
+	inferOut Scratch
+	adaptOut Scratch
+	dwTmp    Scratch // backward weight-grad staging
+	dxOut    Scratch // backward input gradient
+
+	// Int8 weight cache for InferInt8 (per-output-feature scales),
+	// built lazily; see Conv2D for the invalidation contract.
+	wq      []int8
+	wScales []float32
+	wqOK    bool
+	xq      []int8
+	xScales []float32
 }
 
 // NewLinear constructs a Kaiming-initialized fully-connected layer.
@@ -36,22 +49,38 @@ func (l *Linear) Name() string { return l.name }
 // Params returns weight and bias.
 func (l *Linear) Params() []*Param { return []*Param{l.Weight, l.Bias} }
 
-// Forward computes x·Wᵀ + b. In Infer mode the output lands in a
-// reusable scratch buffer and no backward cache is kept.
+// Forward computes x·Wᵀ + b. Infer/InferInt8 and Adapt mode write into
+// layer-owned scratch (no backward cache on the infer paths); Train
+// and Eval allocate fresh outputs that are safe to retain.
 func (l *Linear) Forward(x *tensor.Tensor, mode Mode) *tensor.Tensor {
 	if x.NDim() != 2 || x.Dim(1) != l.In {
 		panic(fmt.Sprintf("nn: %s: input %v, want [n,%d]", l.name, x.Shape(), l.In))
 	}
+	n := x.Dim(0)
 	var out *tensor.Tensor
-	if mode == Infer {
+	switch {
+	case mode.IsInfer():
 		l.lastX = nil // Backward after an Infer forward must panic
-		out = scratchFor(&l.scratchOut, x.Dim(0), l.Out)
+		out = l.inferOut.For(n, l.Out)
+		if mode == InferInt8 {
+			l.ensureInt8()
+			l.xq = growI8(l.xq, n*l.In)
+			l.xScales = growF32(l.xScales, n)
+			for i := 0; i < n; i++ {
+				l.xScales[i] = tensor.QuantizeInt8(l.xq[i*l.In:(i+1)*l.In], x.Data[i*l.In:(i+1)*l.In])
+			}
+			tensor.Int8MatMulTBInto(out, l.xq, l.xScales, l.wq, l.wScales, n, l.In, l.Out)
+		} else {
+			tensor.MatMulTBInto(out, x, l.Weight.Value)
+		}
+	case mode == Adapt:
+		l.lastX = x
+		out = l.adaptOut.For(n, l.Out)
 		tensor.MatMulTBInto(out, x, l.Weight.Value)
-	} else {
+	default:
 		l.lastX = x
 		out = tensor.MatMulTB(x, l.Weight.Value) // [n, out]
 	}
-	n := x.Dim(0)
 	for i := 0; i < n; i++ {
 		row := out.Data[i*l.Out : (i+1)*l.Out]
 		for j := range row {
@@ -61,7 +90,23 @@ func (l *Linear) Forward(x *tensor.Tensor, mode Mode) *tensor.Tensor {
 	return out
 }
 
-// Backward accumulates dW = dYᵀ·X and db = Σ dY, returning dX = dY·W.
+// ensureInt8 builds the per-output-feature int8 weight cache.
+func (l *Linear) ensureInt8() {
+	if l.wqOK {
+		return
+	}
+	l.wq = growI8(l.wq, l.Out*l.In)
+	l.wScales = growF32(l.wScales, l.Out)
+	tensor.QuantizeInt8PerRow(l.wq, l.wScales, l.Weight.Value.Data, l.Out, l.In)
+	l.wqOK = true
+}
+
+// InvalidateInt8 drops the cached int8 weights so the next InferInt8
+// forward re-quantizes Weight.Value. Call after mutating the weights.
+func (l *Linear) InvalidateInt8() { l.wqOK = false }
+
+// Backward accumulates dW = dYᵀ·X and db = Σ dY, returning dX = dY·W
+// in layer-owned scratch (valid until the next Backward).
 func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if l.lastX == nil {
 		panic(fmt.Sprintf("nn: %s: Backward before Forward", l.name))
@@ -70,14 +115,18 @@ func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if grad.NDim() != 2 || grad.Dim(0) != n || grad.Dim(1) != l.Out {
 		panic(fmt.Sprintf("nn: %s: grad %v, want [%d,%d]", l.name, grad.Shape(), n, l.Out))
 	}
-	tensor.AddInPlace(l.Weight.Grad, tensor.MatMulTA(grad, l.lastX))
+	dw := l.dwTmp.For(l.Out, l.In)
+	tensor.MatMulTAInto(dw, grad, l.lastX)
+	tensor.AddInPlace(l.Weight.Grad, dw)
 	for i := 0; i < n; i++ {
 		row := grad.Data[i*l.Out : (i+1)*l.Out]
 		for j, v := range row {
 			l.Bias.Grad.Data[j] += v
 		}
 	}
-	return tensor.MatMul(grad, l.Weight.Value)
+	dx := l.dxOut.For(n, l.In)
+	tensor.MatMulInto(dx, grad, l.Weight.Value)
+	return dx
 }
 
 // FLOPs returns the multiply-accumulate count of one forward pass for a

@@ -62,10 +62,10 @@ func EntropyLoss(logits *tensor.Tensor) (float64, *tensor.Tensor) {
 	grad := tensor.New(rows, classes)
 	total := 0.0
 	inv := 1.0 / float64(rows)
+	logp := make([]float64, classes) // reused across rows (fully overwritten each row)
 	for i := 0; i < rows; i++ {
 		p := probs.Data[i*classes : (i+1)*classes]
 		h := 0.0
-		logp := make([]float64, classes)
 		for j, pv := range p {
 			lp := math.Log(math.Max(float64(pv), 1e-12))
 			logp[j] = lp

@@ -12,10 +12,12 @@ type MaxPool2D struct {
 	name     string
 	Geom     tensor.ConvGeom
 	lastIdx  []int32 // flat source index per output element (-1 for all-padding windows)
-	lastIn   []int
+	lastIn   [4]int
 	lastOutN int
 
-	scratchOut []float32 // Infer-mode output buffer
+	inferOut Scratch // Infer-mode output buffer
+	adaptOut Scratch // Adapt-mode output buffer
+	dxOut    Scratch // backward gradient output
 }
 
 // NewMaxPool2D constructs a max-pool layer with the given geometry.
@@ -38,15 +40,20 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, mode Mode) *tensor.Tensor {
 	}
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	oh, ow := p.Geom.OutSize(h, w)
-	record := mode != Infer
+	record := !mode.IsInfer()
 	var out *tensor.Tensor
 	if record {
-		out = tensor.New(n, c, oh, ow)
-		p.lastIdx = make([]int32, n*c*oh*ow)
-		p.lastIn = []int{n, c, h, w}
+		if mode == Adapt {
+			out = p.adaptOut.For(n, c, oh, ow)
+			p.lastIdx = growI32(p.lastIdx, n*c*oh*ow)
+		} else {
+			out = tensor.New(n, c, oh, ow)
+			p.lastIdx = make([]int32, n*c*oh*ow)
+		}
+		p.lastIn = [4]int{n, c, h, w}
 		p.lastOutN = n * c * oh * ow
 	} else {
-		out = scratchFor(&p.scratchOut, n, c, oh, ow)
+		out = p.inferOut.For(n, c, oh, ow)
 		p.lastIdx = nil // Backward after an Infer forward must panic
 	}
 	oi := 0
@@ -97,7 +104,8 @@ func (p *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if grad.Size() != p.lastOutN {
 		panic(fmt.Sprintf("nn: %s: grad size %d, want %d", p.name, grad.Size(), p.lastOutN))
 	}
-	dx := tensor.New(p.lastIn...)
+	dx := p.dxOut.For(p.lastIn[0], p.lastIn[1], p.lastIn[2], p.lastIn[3])
+	dx.Zero()
 	for i, v := range grad.Data {
 		if idx := p.lastIdx[i]; idx >= 0 {
 			dx.Data[idx] += v

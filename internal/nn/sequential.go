@@ -36,6 +36,22 @@ func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	return grad
 }
 
+// Int8Invalidator is implemented by layers (and composite layers) that
+// cache quantized weights for InferInt8 forwards.
+type Int8Invalidator interface {
+	InvalidateInt8()
+}
+
+// InvalidateInt8 drops every cached int8 weight table in the chain so
+// the next InferInt8 forward re-quantizes from the current weights.
+func (s *Sequential) InvalidateInt8() {
+	for _, l := range s.Layers {
+		if inv, ok := l.(Int8Invalidator); ok {
+			inv.InvalidateInt8()
+		}
+	}
+}
+
 // Params concatenates all layer parameters in order.
 func (s *Sequential) Params() []*Param {
 	var out []*Param

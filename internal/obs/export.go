@@ -150,6 +150,7 @@ type EpochRow struct {
 	Mode       string
 	Policy     string
 	AdaptEvery int
+	Quantized  bool
 	Arrived    int
 	Forecast   float64
 	Served     int
@@ -165,12 +166,12 @@ type EpochRow struct {
 // fixed-precision floats (byte-stable for seeded runs).
 func WriteEpochCSV(w io.Writer, rows []EpochRow) error {
 	bw := bufio.NewWriter(w)
-	fmt.Fprintln(bw, "board,epoch,start_ms,end_ms,mode,policy,adapt_every,arrived,forecast,served,dropped,skipped,queue,hit_rate,util,energy_mj")
+	fmt.Fprintln(bw, "board,epoch,start_ms,end_ms,mode,policy,adapt_every,quantized,arrived,forecast,served,dropped,skipped,queue,hit_rate,util,energy_mj")
 	for i := range rows {
 		r := &rows[i]
-		fmt.Fprintf(bw, "%d,%d,%.3f,%.3f,%s,%s,%d,%d,%.2f,%d,%d,%d,%d,%.4f,%.4f,%.3f\n",
+		fmt.Fprintf(bw, "%d,%d,%.3f,%.3f,%s,%s,%d,%t,%d,%.2f,%d,%d,%d,%d,%.4f,%.4f,%.3f\n",
 			r.Board, r.Epoch, r.StartMs, r.EndMs, csvField(r.Mode), csvField(r.Policy), r.AdaptEvery,
-			r.Arrived, r.Forecast, r.Served, r.Dropped, r.Skipped, r.Queue,
+			r.Quantized, r.Arrived, r.Forecast, r.Served, r.Dropped, r.Skipped, r.Queue,
 			r.HitRate, r.Util, r.EnergyMJ)
 	}
 	return bw.Flush()

@@ -217,7 +217,7 @@ func TestEpochCSV(t *testing.T) {
 	if !strings.HasPrefix(lines[0], "board,epoch,start_ms,end_ms,mode,") {
 		t.Fatalf("header = %q", lines[0])
 	}
-	if lines[1] != "0,0,0.000,250.000,MAXN (60W),drop-frames,1,12,11.50,10,2,0,1,0.8333,0.9100,1.250" {
+	if lines[1] != "0,0,0.000,250.000,MAXN (60W),drop-frames,1,false,12,11.50,10,2,0,1,0.8333,0.9100,1.250" {
 		t.Fatalf("row = %q", lines[1])
 	}
 }

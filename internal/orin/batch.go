@@ -61,3 +61,39 @@ func EstimateInferenceBatch(name string, cost resnet.ModelCost, mode PowerMode, 
 	e.EnergyMJ = float64(mode.Watts) * e.PerFrameMs
 	return e
 }
+
+// EstimateInferenceBatchInt8 prices the same batched forward with the
+// conv/FC products in symmetric int8 (nn.InferInt8): operations run at
+// the mode's Int8GOPS rate and both activation and weight traffic drop
+// to a quarter (1 byte vs 4 per element; the per-channel scale vectors
+// are noise at this granularity). BatchNorm, ReLU and pooling remain
+// float32 but are already memory-bound inside the per-layer roofline,
+// so they inherit the reduced activation traffic. The fixed
+// per-invocation overhead is unchanged — capture, resize and transfer
+// do not quantize. This is the price the governor compares against the
+// float path when deciding whether to climb to the int8 rung.
+func EstimateInferenceBatchInt8(name string, cost resnet.ModelCost, mode PowerMode, bs int) BatchEstimate {
+	if bs < 1 {
+		panic(fmt.Sprintf("orin: batch size %d", bs))
+	}
+	totalUs := 0.0
+	for _, l := range cost.Layers {
+		computeUs := float64(bs) * float64(l.FLOPs) / mode.Int8GOPS / 1e3
+		bytes := (float64(bs)*float64(2*l.ActBytes) + float64(l.WeightBytes)) / 4
+		memUs := bytes / mode.MemBWGBs / 1e3
+		if memUs > computeUs {
+			totalUs += memUs
+		} else {
+			totalUs += computeUs
+		}
+	}
+	e := BatchEstimate{
+		ModelName: name,
+		Mode:      mode,
+		BatchSize: bs,
+		BatchMs:   mode.OverheadMs + totalUs/1e3,
+	}
+	e.PerFrameMs = e.BatchMs / float64(bs)
+	e.EnergyMJ = float64(mode.Watts) * e.PerFrameMs
+	return e
+}

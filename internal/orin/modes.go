@@ -34,6 +34,13 @@ type PowerMode struct {
 	// EffGFLOPS is the sustained effective FP32 throughput (GFLOP/s)
 	// for convolutional workloads under this mode's GPU clocks.
 	EffGFLOPS float64
+	// Int8GOPS is the sustained effective INT8 throughput (GOP/s) for
+	// the same workloads when the conv/FC products run through the
+	// symmetric int8 path. Ampere-class tensor cores sustain roughly
+	// 3–3.5× their FP32 conv rate on int8 GEMMs once dequantize and
+	// per-channel scaling are folded in; like EffGFLOPS these are
+	// calibrated sustained rates, not datasheet peaks.
+	Int8GOPS float64
 	// MemBWGBs is the effective DRAM bandwidth (GB/s) under this
 	// mode's EMC clocks.
 	MemBWGBs float64
@@ -46,13 +53,13 @@ type PowerMode struct {
 // The four power modes the paper sweeps in Fig. 3.
 var (
 	// Mode15W is the lowest-power operating point.
-	Mode15W = PowerMode{Name: "15W", Watts: 15, IdleWatts: 5, EffGFLOPS: 500, MemBWGBs: 50, OverheadMs: 6.0}
+	Mode15W = PowerMode{Name: "15W", Watts: 15, IdleWatts: 5, EffGFLOPS: 500, Int8GOPS: 1600, MemBWGBs: 50, OverheadMs: 6.0}
 	// Mode30W is the mid operating point.
-	Mode30W = PowerMode{Name: "30W", Watts: 30, IdleWatts: 9, EffGFLOPS: 1100, MemBWGBs: 110, OverheadMs: 3.5}
+	Mode30W = PowerMode{Name: "30W", Watts: 30, IdleWatts: 9, EffGFLOPS: 1100, Int8GOPS: 3600, MemBWGBs: 110, OverheadMs: 3.5}
 	// Mode50W is the high operating point.
-	Mode50W = PowerMode{Name: "50W", Watts: 50, IdleWatts: 14, EffGFLOPS: 1800, MemBWGBs: 190, OverheadMs: 2.5}
+	Mode50W = PowerMode{Name: "50W", Watts: 50, IdleWatts: 14, EffGFLOPS: 1800, Int8GOPS: 6000, MemBWGBs: 190, OverheadMs: 2.5}
 	// Mode60W is MAXN (the paper's "60W" mode).
-	Mode60W = PowerMode{Name: "MAXN (60W)", Watts: 60, IdleWatts: 18, EffGFLOPS: 3000, MemBWGBs: 250, OverheadMs: 2.0}
+	Mode60W = PowerMode{Name: "MAXN (60W)", Watts: 60, IdleWatts: 18, EffGFLOPS: 3000, Int8GOPS: 10000, MemBWGBs: 250, OverheadMs: 2.0}
 )
 
 // Modes lists the power modes in ascending power order.

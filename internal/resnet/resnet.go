@@ -76,7 +76,9 @@ type BasicBlock struct {
 	dsConv *nn.Conv2D
 	dsBN   *nn.BatchNorm2D
 
-	lastMask []bool // final ReLU mask
+	lastMask []bool     // final ReLU mask
+	adaptOut nn.Scratch // Adapt-mode residual-add output
+	dMask    nn.Scratch // backward masked-gradient staging
 }
 
 // NewBasicBlock constructs a residual block mapping inC→outC with the
@@ -137,7 +139,7 @@ func (b *BasicBlock) Forward(x *tensor.Tensor, mode nn.Mode) *tensor.Tensor {
 		short = b.dsConv.Forward(x, mode)
 		short = b.dsBN.Forward(short, mode)
 	}
-	if mode == nn.Infer {
+	if mode.IsInfer() {
 		// Serving fast path: the residual add and final ReLU run in
 		// place on bn2's scratch output; no mask is cached.
 		b.lastMask = nil
@@ -149,20 +151,36 @@ func (b *BasicBlock) Forward(x *tensor.Tensor, mode nn.Mode) *tensor.Tensor {
 		}
 		return main
 	}
-	out := tensor.Add(main, short)
+	var out *tensor.Tensor
+	if mode == nn.Adapt {
+		out = b.adaptOut.For(main.Shape()...)
+	} else {
+		out = tensor.New(main.Shape()...)
+	}
 	if cap(b.lastMask) < out.Size() {
 		b.lastMask = make([]bool, out.Size())
 	}
 	b.lastMask = b.lastMask[:out.Size()]
-	for i, v := range out.Data {
+	for i := range out.Data {
+		v := main.Data[i] + short.Data[i]
 		if v > 0 {
+			out.Data[i] = v
 			b.lastMask[i] = true
 		} else {
-			b.lastMask[i] = false
 			out.Data[i] = 0
+			b.lastMask[i] = false
 		}
 	}
 	return out
+}
+
+// InvalidateInt8 drops the block's cached int8 weights (both branches).
+func (b *BasicBlock) InvalidateInt8() {
+	b.conv1.InvalidateInt8()
+	b.conv2.InvalidateInt8()
+	if b.dsConv != nil {
+		b.dsConv.InvalidateInt8()
+	}
 }
 
 // Backward propagates through both branches and sums the input grads.
@@ -170,10 +188,12 @@ func (b *BasicBlock) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if b.lastMask == nil {
 		panic(fmt.Sprintf("resnet: %s: Backward before Forward", b.name))
 	}
-	d := tensor.New(grad.Shape()...)
+	d := b.dMask.For(grad.Shape()...)
 	for i, v := range grad.Data {
 		if b.lastMask[i] {
 			d.Data[i] = v
+		} else {
+			d.Data[i] = 0
 		}
 	}
 	// Main branch.
@@ -239,6 +259,9 @@ func (r *ResNet) Forward(x *tensor.Tensor, mode nn.Mode) *tensor.Tensor {
 
 // Backward propagates through the backbone.
 func (r *ResNet) Backward(grad *tensor.Tensor) *tensor.Tensor { return r.net.Backward(grad) }
+
+// InvalidateInt8 drops every cached int8 weight table in the backbone.
+func (r *ResNet) InvalidateInt8() { r.net.InvalidateInt8() }
 
 // Params returns all backbone parameters.
 func (r *ResNet) Params() []*nn.Param { return r.net.Params() }

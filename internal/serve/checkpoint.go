@@ -31,6 +31,11 @@ type Checkpoint struct {
 	// FPS is the stream's nominal camera rate, kept so a recovered
 	// stream can be re-admitted with its original pacing metadata.
 	FPS float64
+	// Quantized records whether the board was serving on the int8
+	// inference rung (Controls.Quantized) when the snapshot was taken —
+	// the placement signal a failover coordinator reads, mirroring
+	// Handoff.Quantized.
+	Quantized bool
 
 	state      *streamState
 	sinceAdapt int
@@ -67,6 +72,7 @@ func (c *Checkpoint) Steps() int { return c.state.steps }
 func (s *Session) Checkpoint(id int) *Checkpoint {
 	c := &Checkpoint{
 		FPS:        s.sources[id].FPS,
+		Quantized:  s.p.ctrl.Quantized,
 		state:      s.states[id].snapshot(),
 		sinceAdapt: s.p.sinceAdapt[id],
 	}
@@ -83,6 +89,7 @@ func (s *Session) Checkpoint(id int) *Checkpoint {
 func (e *Engine) RestoreHandoff(c *Checkpoint, src *stream.Source) *Handoff {
 	h := &Handoff{
 		Source:     src,
+		Quantized:  c.Quantized,
 		state:      c.state.snapshot(),
 		sinceAdapt: c.sinceAdapt,
 	}
@@ -111,8 +118,10 @@ func (h *Handoff) Forecast() float64 {
 	return h.fc.Forecast()
 }
 
-// checkpointVersion guards the meta layout below.
-const checkpointVersion = 1
+// checkpointVersion guards the meta layout below. Version 2 appended
+// the Quantized lane; older checkpoints are rejected rather than
+// guessed at (failover falls back to cold state on any decode error).
+const checkpointVersion = 2
 
 // EncodeCheckpoint writes c to w as an nn parameter bundle (the
 // "LDP1" format of nn.SaveParams) holding only named extras: a packed
@@ -128,6 +137,7 @@ func EncodeCheckpoint(w io.Writer, c *Checkpoint) error {
 			float64(c.Stream), float64(c.Epoch), c.FPS,
 			float64(c.sinceAdapt), float64(st.steps), float64(st.opt.step),
 			float64(len(st.bn)), float64(len(st.pending)),
+			b2f(c.Quantized),
 		}),
 	}
 	for i, b := range st.bn {
@@ -171,8 +181,8 @@ func (e *Engine) DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: checkpoint meta: %w", err)
 	}
-	if len(meta) != 9 {
-		return nil, fmt.Errorf("serve: checkpoint meta has %d fields, want 9", len(meta))
+	if len(meta) != 10 {
+		return nil, fmt.Errorf("serve: checkpoint meta has %d fields, want 10", len(meta))
 	}
 	if v := int(meta[0]); v != checkpointVersion {
 		return nil, fmt.Errorf("serve: checkpoint version %d, want %d", v, checkpointVersion)
@@ -181,6 +191,7 @@ func (e *Engine) DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
 		Stream:     int(meta[1]),
 		Epoch:      int(meta[2]),
 		FPS:        meta[3],
+		Quantized:  meta[9] != 0,
 		sinceAdapt: int(meta[4]),
 	}
 	nBN, nPending := int(meta[7]), int(meta[8])
@@ -266,6 +277,14 @@ func (e *Engine) DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
 		}
 	}
 	return c, nil
+}
+
+// b2f encodes a bool as a meta lane.
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // packF64 stores float64 values bit-exactly in a float32 tensor, two

@@ -49,6 +49,10 @@ type Config struct {
 	Mode orin.PowerMode
 	// DeadlineMs is the per-frame budget (default the 30 FPS budget).
 	DeadlineMs float64
+	// Quantized starts the engine on the int8 inference rung: batched
+	// forwards run through nn.InferInt8 and price by the mode's int8
+	// table. A Controller may re-actuate quantization per epoch.
+	Quantized bool
 	// Policy selects what the scheduler sheds when a stream falls
 	// behind its camera (default stream.DropNone: nothing — the queue
 	// grows without bound under overload). A Controller may re-actuate
@@ -207,10 +211,18 @@ type Report struct {
 }
 
 // modeTable is the Orin pricing of the engine's batching geometry
-// under one power mode.
+// under one power mode and numeric path (float32 or int8 forwards).
 type modeTable struct {
 	batchEst       []orin.BatchEstimate // index 1..MaxBatch
 	adaptPerStepMs float64
+}
+
+// tableKey addresses a pricing table: power mode wattage × whether the
+// batched forward runs the int8 path. Adaptation steps stay float32 in
+// both variants.
+type tableKey struct {
+	watts int
+	quant bool
 }
 
 // Engine serves a fleet of camera streams with one shared-weight model.
@@ -220,9 +232,9 @@ type Engine struct {
 
 	windowMs float64
 	// tables prices every orin.Modes entry (plus the configured mode)
-	// so per-epoch mode actuation is a table lookup; def is the
-	// configured mode's table.
-	tables map[int]*modeTable
+	// in both numeric paths, so per-epoch mode/quantization actuation
+	// is a table lookup; def is the configured mode's table.
+	tables map[tableKey]*modeTable
 	def    *modeTable
 }
 
@@ -237,35 +249,43 @@ func New(m *ufld.Model, cfg Config) *Engine {
 		cfg:      cfg,
 		model:    m,
 		windowMs: float64(cfg.Window) / float64(time.Millisecond),
-		tables:   make(map[int]*modeTable, len(orin.Modes)+1),
+		tables:   make(map[tableKey]*modeTable, 2*(len(orin.Modes)+1)),
 	}
 	name := cfg.Variant.String()
-	build := func(mode orin.PowerMode) *modeTable {
+	build := func(mode orin.PowerMode, quant bool) *modeTable {
 		t := &modeTable{
 			batchEst:       make([]orin.BatchEstimate, cfg.MaxBatch+1),
 			adaptPerStepMs: orin.EstimateAdaptStep(cost, mode),
 		}
 		for k := 1; k <= cfg.MaxBatch; k++ {
-			t.batchEst[k] = orin.EstimateInferenceBatch(name, cost, mode, k)
+			if quant {
+				t.batchEst[k] = orin.EstimateInferenceBatchInt8(name, cost, mode, k)
+			} else {
+				t.batchEst[k] = orin.EstimateInferenceBatch(name, cost, mode, k)
+			}
 		}
 		return t
 	}
-	for _, mode := range orin.Modes {
-		e.tables[mode.Watts] = build(mode)
+	for _, quant := range []bool{false, true} {
+		for _, mode := range orin.Modes {
+			e.tables[tableKey{mode.Watts, quant}] = build(mode, quant)
+		}
+		// Built last so a custom configured mode that shares a wattage
+		// with a stock orin.Modes entry prices itself, not the stock
+		// point.
+		e.tables[tableKey{cfg.Mode.Watts, quant}] = build(cfg.Mode, quant)
 	}
-	// Built last so a custom configured mode that shares a wattage with
-	// a stock orin.Modes entry prices itself, not the stock point.
-	e.tables[cfg.Mode.Watts] = build(cfg.Mode)
-	e.def = e.tables[cfg.Mode.Watts]
+	e.def = e.tables[tableKey{cfg.Mode.Watts, cfg.Quantized}]
 	return e
 }
 
 // Config returns the engine configuration after defaulting.
 func (e *Engine) Config() Config { return e.cfg }
 
-// tableFor resolves a power mode's pricing table.
-func (e *Engine) tableFor(mode orin.PowerMode) *modeTable {
-	t, ok := e.tables[mode.Watts]
+// tableFor resolves the pricing table for a power mode and numeric
+// path.
+func (e *Engine) tableFor(mode orin.PowerMode, quant bool) *modeTable {
+	t, ok := e.tables[tableKey{mode.Watts, quant}]
 	if !ok {
 		panic(fmt.Sprintf("serve: no pricing table for mode %q — controllers must choose from orin.Modes", mode.Name))
 	}
@@ -424,6 +444,11 @@ type worker struct {
 	adaptBuf []float32       // [AdaptBatch, 3, H, W] adaptation buffer
 	srcs     [][]nn.BNSource // per BN layer: per-sample state copies
 	srcPtrs  [][]*nn.BNSource
+
+	// inView and adaptView are cached headers over the assembly
+	// buffers, so the steady-state serve loop builds its batch tensors
+	// without per-dispatch allocation.
+	inView, adaptView nn.View
 }
 
 // newWorker builds a worker around a fresh shared-weight replica.
@@ -489,12 +514,18 @@ func (wk *worker) serve(pb plannedBatch, states []*streamState, records chan<- e
 		st.mu.Unlock()
 	}
 
-	// Batched inference with per-sample BN conditioning.
-	x := tensor.FromSlice(wk.inBuf[:n*chw], n, 3, mcfg.InputH, mcfg.InputW)
+	// Batched inference with per-sample BN conditioning, on the numeric
+	// path the scheduler planned the batch for.
+	x := wk.inView.Of(wk.inBuf[:n*chw], n, 3, mcfg.InputH, mcfg.InputW)
 	for j, b := range wk.bns {
 		b.SetSampleSources(wk.srcPtrs[j][:n])
 	}
-	logits := wk.model.ForwardInfer(x)
+	var logits *tensor.Tensor
+	if pb.quantized {
+		logits = wk.model.ForwardInferInt8(x)
+	} else {
+		logits = wk.model.ForwardInfer(x)
+	}
 	preds := ufld.Decode(mcfg, logits, n)
 	for _, b := range wk.bns {
 		b.SetSampleSources(nil)
@@ -545,7 +576,7 @@ func (wk *worker) adaptLocked(st *streamState) {
 	for i, s := range tail {
 		copy(wk.adaptBuf[i*chw:(i+1)*chw], s.Image.Data)
 	}
-	xa := tensor.FromSlice(wk.adaptBuf[:nb*chw], nb, 3, mcfg.InputH, mcfg.InputW)
+	xa := wk.adaptView.Of(wk.adaptBuf[:nb*chw], nb, 3, mcfg.InputH, mcfg.InputW)
 
 	st.swapInto(wk.bns)
 	nn.ZeroGrads(wk.model.Params())

@@ -24,6 +24,12 @@ type Controls struct {
 	// AdaptEvery is the adaptation cadence (one LD-BN-ADAPT step per
 	// stream every AdaptEvery served frames); 0 disables adaptation.
 	AdaptEvery int
+	// Quantized runs subsequent batched forwards through the symmetric
+	// int8 path (nn.InferInt8) instead of float32 — the governed
+	// accuracy/latency rung. Dispatches are priced by the mode's int8
+	// table (orin.EstimateInferenceBatchInt8); adaptation steps always
+	// run and price in float32 regardless.
+	Quantized bool
 }
 
 // EpochStats is the windowed telemetry of one control epoch — what the

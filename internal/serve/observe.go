@@ -30,8 +30,9 @@ func GovernEvent(rec *obs.Recorder, ctl Controller, prev EpochStats, cur, next C
 	if rec == nil || next == cur {
 		return
 	}
-	detail := fmt.Sprintf("mode=%s->%s policy=%s->%s adapt=%d->%d hit=%.3f queue=%d util=%.3f",
+	detail := fmt.Sprintf("mode=%s->%s policy=%s->%s adapt=%d->%d quant=%t->%t hit=%.3f queue=%d util=%.3f",
 		cur.Mode.Name, next.Mode.Name, cur.Policy, next.Policy, cur.AdaptEvery, next.AdaptEvery,
+		cur.Quantized, next.Quantized,
 		prev.DeadlineHitRate, prev.QueueDepth, prev.Utilization)
 	if ex, ok := ctl.(Explainer); ok {
 		if why := ex.Explain(); why != "" {

@@ -56,10 +56,13 @@ type plannedFrame struct {
 }
 
 // plannedBatch is one coalesced dispatch: which frames, when (virtual
-// time), and on which virtual worker.
+// time), on which virtual worker, and on which numeric path (the
+// Quantized control at planning time, honored by the executing
+// worker).
 type plannedBatch struct {
 	dispatchMs float64
 	worker     int
+	quantized  bool
 	frames     []plannedFrame
 }
 
@@ -158,6 +161,14 @@ type planner struct {
 	ctrl Controls
 	tbl  *modeTable
 
+	// arena is the current plannedFrame slab: per-dispatch batches are
+	// carved from it so a steady-state epoch loop allocates one chunk
+	// per ~arenaChunk frames instead of one slice per dispatch. Chunks
+	// are never recycled within a run (committed batches and open
+	// adaptation windows hold pointers into them); clone severs the
+	// slab so probe batches land in probe-owned chunks.
+	arena []plannedFrame
+
 	// rec receives the planner's trace events (frame lifecycles, batch
 	// and adapt spans) and bm its serve-layer metrics. Both default to
 	// no-op — nil recorder, all-nil instruments — so the hot loop pays
@@ -243,8 +254,36 @@ func (p *planner) setControls(c Controls) {
 	if c.AdaptEvery < 0 {
 		c.AdaptEvery = 0
 	}
-	p.tbl = p.e.tableFor(c.Mode)
+	p.tbl = p.e.tableFor(c.Mode, c.Quantized)
 	p.ctrl = c
+}
+
+// arenaChunk is the plannedFrame slab granularity: one allocation
+// amortizes over this many planned frames at steady state.
+const arenaChunk = 256
+
+// takeBatch returns an empty batch slice carved from the arena with
+// room for a full MaxBatch, starting a fresh chunk when the current
+// one cannot hold one. The caller appends up to MaxBatch frames and
+// commits the result with commitBatch; pointers into the slab stay
+// valid for the run because chunks never grow or get recycled.
+func (p *planner) takeBatch() []plannedFrame {
+	if cap(p.arena)-len(p.arena) < p.e.cfg.MaxBatch {
+		n := arenaChunk
+		if n < p.e.cfg.MaxBatch {
+			n = p.e.cfg.MaxBatch
+		}
+		p.arena = make([]plannedFrame, 0, n)
+	}
+	return p.arena[len(p.arena):len(p.arena)]
+}
+
+// commitBatch marks the batch's frames as used slab space and returns
+// the batch with its capacity clamped, so later chunk carving can
+// never alias a committed dispatch.
+func (p *planner) commitBatch(batch []plannedFrame) []plannedFrame {
+	p.arena = p.arena[:len(p.arena)+len(batch)]
+	return batch[:len(batch):len(batch)]
 }
 
 // remaining reports whether any frame is still waiting to be planned.
@@ -277,6 +316,9 @@ func (p *planner) clone() *planner {
 	}
 	q.rec = nil
 	q.bm = obs.BoardMetrics{}
+	// Sever the slab: probe dispatches must carve probe-owned chunks,
+	// never write into slots the real planner will hand out later.
+	q.arena = nil
 	return &q
 }
 
@@ -345,7 +387,7 @@ func (p *planner) runUntil(endMs float64, es *EpochStats) {
 			p.next++
 		}
 		// Form the batch, shedding stale frames under DropFrames.
-		batch := make([]plannedFrame, 0, cfg.MaxBatch)
+		batch := p.takeBatch()
 		for p.head < len(p.pending) && len(batch) < cfg.MaxBatch {
 			a := p.pending[p.head]
 			if a.arrMs > dispatch {
@@ -370,6 +412,7 @@ func (p *planner) runUntil(endMs float64, es *EpochStats) {
 		if len(batch) == 0 {
 			continue // everything stale was shed; replan from the survivors
 		}
+		batch = p.commitBatch(batch)
 		n := len(batch)
 		watts := float64(p.ctrl.Mode.Watts)
 		steps := 0
@@ -420,8 +463,12 @@ func (p *planner) runUntil(endMs float64, es *EpochStats) {
 		p.bm.Served.Add(int64(n))
 		p.bm.AdaptSteps.Add(int64(steps))
 		if p.rec != nil {
+			prec := "fp32"
+			if p.ctrl.Quantized {
+				prec = "int8"
+			}
 			p.rec.Span("batch", wi, dispatch, busy,
-				fmt.Sprintf("n=%d steps=%d watts=%d", n, steps, p.ctrl.Mode.Watts))
+				fmt.Sprintf("n=%d steps=%d watts=%d prec=%s", n, steps, p.ctrl.Mode.Watts, prec))
 			for i := range batch {
 				f := &batch[i]
 				act := "none"
@@ -445,7 +492,8 @@ func (p *planner) runUntil(endMs float64, es *EpochStats) {
 		p.sc.busyMs += busy
 		p.sc.busyEnergyMJ += watts * busy
 		p.served += n
-		p.sc.batches = append(p.sc.batches, plannedBatch{dispatchMs: dispatch, worker: wi, frames: batch})
+		p.sc.batches = append(p.sc.batches, plannedBatch{
+			dispatchMs: dispatch, worker: wi, quantized: p.ctrl.Quantized, frames: batch})
 		if es != nil {
 			es.Served += n
 			es.AdaptSteps += steps
@@ -476,7 +524,7 @@ func (p *planner) runUntil(endMs float64, es *EpochStats) {
 // configuration — the one-shot schedule RunGoverned generalizes.
 func (e *Engine) plan(sources []*stream.Source) *schedule {
 	p := e.newPlanner(sources)
-	p.setControls(Controls{Mode: e.cfg.Mode, Policy: e.cfg.Policy, AdaptEvery: e.cfg.AdaptEvery})
+	p.setControls(Controls{Mode: e.cfg.Mode, Policy: e.cfg.Policy, AdaptEvery: e.cfg.AdaptEvery, Quantized: e.cfg.Quantized})
 	p.runUntil(math.Inf(1), nil)
 	return p.sc
 }

@@ -102,7 +102,7 @@ func (e *Engine) NewSession(sources []*stream.Source) *Session {
 	for i := range s.fc {
 		s.fc[i] = e.cfg.Forecast()
 	}
-	s.p.setControls(Controls{Mode: e.cfg.Mode, Policy: e.cfg.Policy, AdaptEvery: e.cfg.AdaptEvery})
+	s.p.setControls(Controls{Mode: e.cfg.Mode, Policy: e.cfg.Policy, AdaptEvery: e.cfg.AdaptEvery, Quantized: e.cfg.Quantized})
 	for w := 0; w < e.cfg.Workers; w++ {
 		s.workers.Add(1)
 		go func() {
@@ -222,6 +222,13 @@ type Handoff struct {
 	// Source carries the stream's frames from the detach boundary on,
 	// with their original arrival stamps and indices.
 	Source *stream.Source
+	// Quantized records the numeric path (Controls.Quantized) in force
+	// on the source board at the boundary: whether the stream was being
+	// served on the int8 rung. Quantization is a board-level control,
+	// so the destination is not forced onto the rung — the flag is the
+	// placement signal a coordinator reads when deciding where a
+	// latency-sensitive stream should land.
+	Quantized bool
 	// state is the stream's BN statistics and γ/β, optimizer moments,
 	// warmup counter and pending adaptation-window samples, snapshotted
 	// at the boundary.
@@ -272,6 +279,7 @@ func (s *Session) DetachStream(id int) *Handoff {
 	p.all = kept
 	h := &Handoff{
 		Source:     &stream.Source{FPS: s.sources[id].FPS, Frames: frames},
+		Quantized:  p.ctrl.Quantized,
 		state:      s.states[id].snapshot(),
 		sinceAdapt: p.sinceAdapt[id],
 		fc:         s.fc[id],

@@ -153,10 +153,12 @@ func TestMigrationRescuesSaturatedBoard(t *testing.T) {
 		t.Fatalf("migration did not improve service: goodput %.3f vs %.3f without",
 			goodput(mig), goodput(still))
 	}
-	// The pinned scenario measures goodput 0.896 vs 0.756; 0.1 leaves
-	// slack for Orin recalibration without letting migration regress to
-	// a no-op.
-	if goodput(mig) < goodput(still)+0.1 {
+	// The pinned scenario measures goodput 0.896 vs 0.829: the int8
+	// inference rung lets even the no-migrate run partially rescue its
+	// saturated board, so the migration margin is slimmer than it was
+	// when shedding was the only relief. 0.05 leaves slack for Orin
+	// recalibration without letting migration regress to a no-op.
+	if goodput(mig) < goodput(still)+0.05 {
 		t.Fatalf("migration gain collapsed: goodput %.3f vs %.3f without",
 			goodput(mig), goodput(still))
 	}

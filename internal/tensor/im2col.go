@@ -88,13 +88,26 @@ func Im2ColInto(out, x *Tensor, g ConvGeom) {
 // windows overlap. It is the gradient of Im2Col and is used by the
 // convolution backward pass.
 func Col2Im(cols *Tensor, n, c, h, w int, g ConvGeom) *Tensor {
+	out := New(n, c, h, w)
+	Col2ImInto(out, cols, g)
+	return out
+}
+
+// Col2ImInto is Col2Im scattering into a preallocated [n,c,h,w] tensor.
+// The destination is zeroed first and the scatter order matches Col2Im,
+// so a scratch-backed call is bitwise equal to the allocating one.
+func Col2ImInto(out, cols *Tensor, g ConvGeom) {
+	if out.NDim() != 4 {
+		panic(fmt.Sprintf("tensor: Col2ImInto needs [n,c,h,w] dst, got %v", out.shape))
+	}
+	n, c, h, w := out.shape[0], out.shape[1], out.shape[2], out.shape[3]
 	oh, ow := g.OutSize(h, w)
 	rows := c * g.KH * g.KW
 	nc := n * oh * ow
 	if cols.NDim() != 2 || cols.shape[0] != rows || cols.shape[1] != nc {
-		panic(fmt.Sprintf("tensor: Col2Im got %v, want [%d,%d]", cols.shape, rows, nc))
+		panic(fmt.Sprintf("tensor: Col2ImInto got %v, want [%d,%d]", cols.shape, rows, nc))
 	}
-	out := New(n, c, h, w)
+	out.Zero()
 	for ci := 0; ci < c; ci++ {
 		for ky := 0; ky < g.KH; ky++ {
 			for kx := 0; kx < g.KW; kx++ {
@@ -122,5 +135,4 @@ func Col2Im(cols *Tensor, n, c, h, w int, g ConvGeom) *Tensor {
 			}
 		}
 	}
-	return out
 }

@@ -108,8 +108,22 @@ func MatMulTA(a, b *Tensor) *Tensor {
 	if b.shape[0] != k {
 		panic(fmt.Sprintf("tensor: MatMulTA inner-dimension mismatch %v × %v", a.shape, b.shape))
 	}
+	out := New(m, b.shape[1])
+	MatMulTAInto(out, a, b)
+	return out
+}
+
+// MatMulTAInto computes out = aᵀ·b reusing out's storage ([k,m]ᵀ·[k,n]
+// → [m,n]). The accumulation order is identical to MatMulTA, so a
+// scratch-backed call is bitwise equal to the allocating one. out must
+// not alias a or b.
+func MatMulTAInto(out, a, b *Tensor) {
+	k, m := a.shape[0], a.shape[1]
 	n := b.shape[1]
-	out := New(m, n)
+	if b.shape[0] != k || out.shape[0] != m || out.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTAInto shape mismatch %v = %vᵀ × %v", out.shape, a.shape, b.shape))
+	}
+	out.Zero()
 	for p := 0; p < k; p++ {
 		ap := a.Data[p*m : (p+1)*m]
 		bp := b.Data[p*n : (p+1)*n]
@@ -120,7 +134,6 @@ func MatMulTA(a, b *Tensor) *Tensor {
 			axpyRow(out.Data[i*n:(i+1)*n], bp, av)
 		}
 	}
-	return out
 }
 
 // MatMulTB computes a·bᵀ for a:[m,k], b:[n,k] → [m,n] without
@@ -160,6 +173,34 @@ func MatMulTBInto(out, a, b *Tensor) {
 				s += ai[p] * bj[p]
 			}
 			oi[j] = s
+		}
+	}
+}
+
+// MatMulTBAcc computes out += a·bᵀ. The per-element dot product is the
+// same kernel as MatMulTBInto, so `MatMulTBAcc(g, a, b)` is bitwise
+// equal to `AddInPlace(g, MatMulTB(a, b))` without the intermediate
+// allocation — exactly what gradient accumulation needs.
+func MatMulTBAcc(out, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[0]
+	if b.shape[1] != k || out.shape[0] != m || out.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTBAcc shape mismatch %v += %v × %vᵀ", out.shape, a.shape, b.shape))
+	}
+	for i := 0; i < m; i++ {
+		ai := a.Data[i*k : (i+1)*k]
+		oi := out.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := b.Data[j*k : (j+1)*k]
+			s := float32(0)
+			p := 0
+			for ; p+4 <= k; p += 4 {
+				s += ai[p]*bj[p] + ai[p+1]*bj[p+1] + ai[p+2]*bj[p+2] + ai[p+3]*bj[p+3]
+			}
+			for ; p < k; p++ {
+				s += ai[p] * bj[p]
+			}
+			oi[j] += s
 		}
 	}
 }

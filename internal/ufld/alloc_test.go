@@ -1,0 +1,31 @@
+package ufld
+
+import (
+	"testing"
+
+	"ldbnadapt/internal/resnet"
+	"ldbnadapt/internal/tensor"
+)
+
+// TestInferForwardAllocationFree pins the serving fast path's
+// allocation contract: after one warmup call has grown every
+// layer-owned scratch buffer (and, on the int8 rung, quantized the
+// weights), repeated Infer-mode forwards of the same shape perform
+// zero heap allocations. This is what lets a worker replica serve
+// frames for hours without GC pressure; the contract is documented in
+// internal/nn/README.md and enforced fleet-wide by `make alloc-gate`.
+func TestInferForwardAllocationFree(t *testing.T) {
+	cfg := Tiny(resnet.R18, 2)
+	m := MustNewModel(cfg, tensor.NewRNG(3))
+	x := tensor.New(2, 3, cfg.InputH, cfg.InputW)
+	tensor.NewRNG(4).FillNormal(x, 0, 1)
+
+	m.ForwardInfer(x) // warmup: grow scratch outside the measurement
+	if n := testing.AllocsPerRun(20, func() { m.ForwardInfer(x) }); n != 0 {
+		t.Fatalf("ForwardInfer allocates %.1f objects per call at steady state, want 0", n)
+	}
+	m.ForwardInferInt8(x) // warmup: lazy weight quantization + int8 scratch
+	if n := testing.AllocsPerRun(20, func() { m.ForwardInferInt8(x) }); n != 0 {
+		t.Fatalf("ForwardInferInt8 allocates %.1f objects per call at steady state, want 0", n)
+	}
+}

@@ -22,6 +22,15 @@ type Model struct {
 	neckBN   *nn.BatchNorm2D
 	fc1, fc2 *nn.Linear
 	lastN    int
+
+	// Cached reshape headers for the hot paths (see nn.View): the
+	// logits-rows views returned by Infer/InferInt8 and Adapt forwards
+	// (separate, because a serving replica alternates the two at
+	// different batch sizes) and the gradient view consumed by
+	// Backward.
+	inferRows nn.View
+	adaptRows nn.View
+	gradView  nn.View
 }
 
 // NewModel builds a UFLD detector with weights drawn from rng.
@@ -71,6 +80,14 @@ func (m *Model) Forward(x *tensor.Tensor, mode nn.Mode) *tensor.Tensor {
 	n := x.Dim(0)
 	m.lastN = n
 	out := m.net.Forward(x, mode) // [n, groups*classes]
+	// Hot paths reuse a cached header; Train/Eval outputs stay freshly
+	// allocated so callers may retain them across calls.
+	if mode.IsInfer() {
+		return m.inferRows.Of(out.Data, n*m.Cfg.Groups(), m.Cfg.Classes())
+	}
+	if mode == nn.Adapt {
+		return m.adaptRows.Of(out.Data, n*m.Cfg.Groups(), m.Cfg.Classes())
+	}
 	return out.Reshape(n*m.Cfg.Groups(), m.Cfg.Classes())
 }
 
@@ -83,18 +100,30 @@ func (m *Model) Forward(x *tensor.Tensor, mode nn.Mode) *tensor.Tensor {
 // nn.BatchNorm2D.SetSampleSources this is the batched multi-stream
 // entry point used by internal/serve.
 func (m *Model) ForwardInfer(x *tensor.Tensor) *tensor.Tensor {
-	if x.NDim() != 4 || x.Dim(2) != m.Cfg.InputH || x.Dim(3) != m.Cfg.InputW {
-		panic(fmt.Sprintf("ufld: input %v, want [n,3,%d,%d]", x.Shape(), m.Cfg.InputH, m.Cfg.InputW))
-	}
-	n := x.Dim(0)
-	out := m.net.Forward(x, nn.Infer) // [n, groups*classes]
-	return out.Reshape(n*m.Cfg.Groups(), m.Cfg.Classes())
+	return m.Forward(x, nn.Infer)
 }
+
+// ForwardInferInt8 is ForwardInfer with the Conv2D/Linear products in
+// symmetric int8 (per-output-channel weight scales, one dynamic scale
+// per sample): the governed accuracy/latency rung. BatchNorm, ReLU and
+// pooling stay in float32 and per-sample BN sources are honoured, so
+// this path drops into the batched serving loop unchanged. The first
+// call quantizes the (frozen) weights once; call InvalidateInt8 after
+// mutating weights. Output differs from ForwardInfer only by the
+// quantization error bound documented in internal/tensor/README.md;
+// batched and sequential InferInt8 forwards remain bitwise identical.
+func (m *Model) ForwardInferInt8(x *tensor.Tensor) *tensor.Tensor {
+	return m.Forward(x, nn.InferInt8)
+}
+
+// InvalidateInt8 drops every cached int8 weight table so the next
+// ForwardInferInt8 re-quantizes from the current weights.
+func (m *Model) InvalidateInt8() { m.net.InvalidateInt8() }
 
 // Backward propagates a gradient with the same row layout Forward
 // returns, and returns the input gradient.
 func (m *Model) Backward(gradRows *tensor.Tensor) *tensor.Tensor {
-	g := gradRows.Reshape(m.lastN, m.Cfg.Groups()*m.Cfg.Classes())
+	g := m.gradView.Of(gradRows.Data, m.lastN, m.Cfg.Groups()*m.Cfg.Classes())
 	return m.net.Backward(g)
 }
 

@@ -47,11 +47,13 @@
 #                async frame intervals must balance, so the Perfetto
 #                export path cannot rot while the package tests stay
 #                green
-#   make alloc-gate   run the steady-state serving benchmark with
-#                -benchmem at a fixed iteration count and hold its
-#                allocs/op against the committed ALLOC_BUDGET via
-#                cmd/allocgate — the CI tripwire for regressions that
-#                re-introduce per-frame allocations into the serve loop
+#   make alloc-gate   run the steady-state serving benchmark (and the
+#                infer forward at -cpu 4, exercising the parallel
+#                kernel pool) with -benchmem at fixed iteration counts
+#                and hold their allocs/op against the committed
+#                ALLOC_BUDGET via cmd/allocgate — the CI tripwire for
+#                regressions that re-introduce per-frame allocations
+#                into the serve loop or the pooled kernel dispatch
 #   make ci      build + fmt + vet + staticcheck + test + race +
 #                chaos-smoke + fleet-smoke + obs-smoke + alloc-gate +
 #                bench-json
@@ -88,7 +90,7 @@ test:
 # whole fleets and probe no extra concurrency) — make test still runs
 # them race-free.
 race:
-	$(GO) test -race -short ./internal/serve/... ./internal/shard/... ./internal/govern/... ./internal/stream/... ./internal/tensor/... ./internal/nn/...
+	$(GO) test -race -short ./internal/par/... ./internal/serve/... ./internal/shard/... ./internal/govern/... ./internal/stream/... ./internal/tensor/... ./internal/nn/...
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem -benchtime $(BENCHTIME) ./...
@@ -96,10 +98,19 @@ bench:
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
-# Two steps so a benchmark failure fails the target instead of being
-# masked by the pipe (benchjson would happily serialize a partial run).
+# Separate test and serialize steps so a benchmark failure fails the
+# target instead of being masked by the pipe (benchjson would happily
+# serialize a partial run). Three measurement runs feed one manifest:
+# the root serving/figure suite at the host's default GOMAXPROCS (the
+# historical rows), the tensor/nn kernel benchmarks swept at -cpu 1,4
+# (the worker-pool speedup-curve rows — names gain a -4 suffix and a
+# per-benchmark gomaxprocs field in the manifest), and the end-to-end
+# infer/adapt benchmarks again at -cpu 4 so the model-level speedup is
+# archived next to the kernel-level one.
 bench-json:
-	$(GO) test -run xxx -bench . -benchmem -benchtime $(BENCHTIME) ./... > bench.out
+	$(GO) test -run xxx -bench . -benchmem -benchtime $(BENCHTIME) . > bench.out
+	$(GO) test -run xxx -bench Kernel -benchmem -benchtime $(BENCHTIME) -cpu 1,4 ./internal/tensor/ ./internal/nn/ >> bench.out
+	$(GO) test -run xxx -bench 'Fig2Inference|Fig2AdaptStepBS4' -benchmem -benchtime $(BENCHTIME) -cpu 4 . >> bench.out
 	$(GO) run ./cmd/benchjson -o BENCH_serve.json -sha $(GIT_SHA) < bench.out
 	@rm -f bench.out
 
@@ -151,8 +162,14 @@ obs-smoke:
 # share of allocs/op comparable across runners. Two steps so a
 # benchmark failure fails the target instead of being masked by the
 # pipe.
+# Two gated benchmarks: the serve control loop at the host's default
+# GOMAXPROCS, and the infer forward at -cpu 4 so the worker-pool
+# dispatch path itself is held to zero steady-state allocations
+# (allocgate strips the -cpu name suffix, so one budget line covers
+# every GOMAXPROCS variant).
 alloc-gate:
 	$(GO) test -run xxx -bench BenchmarkServeSteadyState -benchmem -benchtime 30x . > alloc-gate.out
+	$(GO) test -run xxx -bench 'BenchmarkFig2Inference$$' -benchmem -benchtime 50x -cpu 4 . >> alloc-gate.out
 	$(GO) run ./cmd/allocgate -budget ALLOC_BUDGET < alloc-gate.out
 	@rm -f alloc-gate.out
 

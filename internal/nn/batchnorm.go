@@ -4,8 +4,15 @@ import (
 	"fmt"
 	"math"
 
+	"ldbnadapt/internal/par"
 	"ldbnadapt/internal/tensor"
 )
+
+// bnParMin gates the BN parallel paths, in tensor elements. BN is a
+// pure memory-bound pass (one multiply-add per element), so the
+// break-even is the same order as the lowering kernels', not the
+// GEMMs'. A var so the bitwise suite can force banding on tiny shapes.
+var bnParMin = 1 << 17
 
 // BatchNorm2D normalizes each channel of an NCHW tensor. It is the
 // centrepiece of LD-BN-ADAPT: the paper's adaptation recomputes the
@@ -20,6 +27,12 @@ import (
 //   - Adapt: normalize by batch stats (the paper's step (i)) and
 //     refresh running stats with AdaptMomentum so later Eval passes
 //     operate in the target domain.
+//
+// Parallel decomposition: the statistics and backward passes band over
+// channels (each channel's float64/float32 reduction runs in the exact
+// serial order), the normalize and infer passes band over samples.
+// Both partitions are pure output-ownership splits, so results are
+// bitwise identical at any worker count.
 type BatchNorm2D struct {
 	name string
 	C    int
@@ -57,6 +70,14 @@ type BatchNorm2D struct {
 	varBuf    []float32
 	invStdBuf []float32
 	dxOut     Scratch // backward input gradient (all modes)
+
+	// Layer-embedded parallel bodies (zero-alloc dispatch; see
+	// internal/par). Their slice fields are set before each For and
+	// nilled after, so no tensor data is retained between calls.
+	statsBody bnStatsBody
+	normBody  bnNormBody
+	inferBody bnInferBody
+	bwdBody   bnBwdBody
 }
 
 // BNSource supplies the complete normalization state of one stream for
@@ -100,6 +121,71 @@ func (b *BatchNorm2D) Params() []*Param { return []*Param{b.Gamma, b.Beta} }
 // another stream's state.
 func (b *BatchNorm2D) SetSampleSources(src []*BNSource) { b.sampleSrc = src }
 
+// bnStatsBody computes per-channel batch statistics and the running
+// EMA update for channels [clo,chi). Each channel's two float64
+// reductions walk samples in order — exactly the serial loop — and a
+// channel's running stats are touched by exactly one band.
+type bnStatsBody struct {
+	b     *BatchNorm2D
+	x     []float32
+	n, hw int
+	mom   float32
+}
+
+func (t *bnStatsBody) Chunk(_, clo, chi int) {
+	b := t.b
+	cnt := t.n * t.hw
+	for c := clo; c < chi; c++ {
+		s := 0.0
+		for ni := 0; ni < t.n; ni++ {
+			base := (ni*b.C + c) * t.hw
+			for _, v := range t.x[base : base+t.hw] {
+				s += float64(v)
+			}
+		}
+		m := s / float64(cnt)
+		v := 0.0
+		for ni := 0; ni < t.n; ni++ {
+			base := (ni*b.C + c) * t.hw
+			for _, xv := range t.x[base : base+t.hw] {
+				d := float64(xv) - m
+				v += d * d
+			}
+		}
+		b.meanBuf[c] = float32(m)
+		b.varBuf[c] = float32(v / float64(cnt))
+		b.RunningMean.Data[c] = (1-t.mom)*b.RunningMean.Data[c] + t.mom*b.meanBuf[c]
+		b.RunningVar.Data[c] = (1-t.mom)*b.RunningVar.Data[c] + t.mom*b.varBuf[c]
+	}
+}
+
+// bnNormBody writes x̂ and the affine output for samples [nlo,nhi).
+type bnNormBody struct {
+	b            *BatchNorm2D
+	x, xhat, out []float32
+	mean, invStd []float32
+	hw           int
+}
+
+func (t *bnNormBody) Chunk(_, nlo, nhi int) {
+	b := t.b
+	for ni := nlo; ni < nhi; ni++ {
+		for c := 0; c < b.C; c++ {
+			base := (ni*b.C + c) * t.hw
+			m, is := t.mean[c], t.invStd[c]
+			g, bt := b.Gamma.Value.Data[c], b.Beta.Value.Data[c]
+			xs := t.x[base : base+t.hw]
+			hs := t.xhat[base : base+t.hw]
+			os := t.out[base : base+t.hw]
+			for i, v := range xs {
+				xh := (v - m) * is
+				hs[i] = xh
+				os[i] = g*xh + bt
+			}
+		}
+	}
+}
+
 // Forward normalizes x according to the mode.
 func (b *BatchNorm2D) Forward(x *tensor.Tensor, mode Mode) *tensor.Tensor {
 	if x.NDim() != 4 || x.Dim(1) != b.C {
@@ -110,7 +196,7 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, mode Mode) *tensor.Tensor {
 	}
 	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
 	hw := h * w
-	cnt := n * hw
+	elems := n * b.C * hw
 	if mode.IsInfer() {
 		return b.forwardInfer(x, n, h, w)
 	}
@@ -134,34 +220,18 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, mode Mode) *tensor.Tensor {
 		b.varBuf = growF32(b.varBuf, b.C)
 		mean = b.meanBuf
 		varc = b.varBuf
-		for c := 0; c < b.C; c++ {
-			s := 0.0
-			for ni := 0; ni < n; ni++ {
-				base := (ni*b.C + c) * hw
-				for _, v := range x.Data[base : base+hw] {
-					s += float64(v)
-				}
-			}
-			m := s / float64(cnt)
-			v := 0.0
-			for ni := 0; ni < n; ni++ {
-				base := (ni*b.C + c) * hw
-				for _, xv := range x.Data[base : base+hw] {
-					d := float64(xv) - m
-					v += d * d
-				}
-			}
-			mean[c] = float32(m)
-			varc[c] = float32(v / float64(cnt))
-		}
 		mom := b.Momentum
 		if mode == Adapt {
 			mom = b.AdaptMomentum
 		}
-		for c := 0; c < b.C; c++ {
-			b.RunningMean.Data[c] = (1-mom)*b.RunningMean.Data[c] + mom*mean[c]
-			b.RunningVar.Data[c] = (1-mom)*b.RunningVar.Data[c] + mom*varc[c]
+		st := &b.statsBody
+		*st = bnStatsBody{b: b, x: x.Data, n: n, hw: hw, mom: mom}
+		if b.C >= 2 && elems >= bnParMin {
+			par.For(b.C, 1, st)
+		} else {
+			st.Chunk(0, 0, b.C)
 		}
+		st.x = nil
 		if mode == Adapt {
 			// LD-BN-ADAPT normalizes with the just-refreshed running
 			// statistics: an exponential moving average over the
@@ -190,24 +260,49 @@ func (b *BatchNorm2D) Forward(x *tensor.Tensor, mode Mode) *tensor.Tensor {
 	for c := 0; c < b.C; c++ {
 		invStd[c] = float32(1.0 / math.Sqrt(float64(varc[c])+float64(b.Eps)))
 	}
-	for ni := 0; ni < n; ni++ {
+	nb := &b.normBody
+	*nb = bnNormBody{b: b, x: x.Data, xhat: xhat.Data, out: out.Data, mean: mean, invStd: invStd, hw: hw}
+	if n >= 2 && elems >= bnParMin {
+		par.For(n, 1, nb)
+	} else {
+		nb.Chunk(0, 0, n)
+	}
+	nb.x, nb.xhat, nb.out, nb.mean, nb.invStd = nil, nil, nil, nil, nil
+	b.lastXHat = xhat
+	b.lastInvStd = invStd
+	return out
+}
+
+// bnInferBody normalizes samples [nlo,nhi) with Eval-mode arithmetic,
+// resolving each sample's statistics source independently.
+type bnInferBody struct {
+	b      *BatchNorm2D
+	x, out []float32
+	hw     int
+}
+
+func (t *bnInferBody) Chunk(_, nlo, nhi int) {
+	b := t.b
+	for ni := nlo; ni < nhi; ni++ {
+		mean, varc := b.RunningMean.Data, b.RunningVar.Data
+		gamma, beta := b.Gamma.Value.Data, b.Beta.Value.Data
+		if b.sampleSrc != nil {
+			src := b.sampleSrc[ni]
+			mean, varc, gamma, beta = src.Mean, src.Var, src.Gamma, src.Beta
+		}
 		for c := 0; c < b.C; c++ {
-			base := (ni*b.C + c) * hw
-			m, is := mean[c], invStd[c]
-			g, bt := b.Gamma.Value.Data[c], b.Beta.Value.Data[c]
-			xs := x.Data[base : base+hw]
-			hs := xhat.Data[base : base+hw]
-			os := out.Data[base : base+hw]
+			base := (ni*b.C + c) * t.hw
+			m := mean[c]
+			is := float32(1.0 / math.Sqrt(float64(varc[c])+float64(b.Eps)))
+			g, bt := gamma[c], beta[c]
+			xs := t.x[base : base+t.hw]
+			os := t.out[base : base+t.hw]
 			for i, v := range xs {
 				xh := (v - m) * is
-				hs[i] = xh
 				os[i] = g*xh + bt
 			}
 		}
 	}
-	b.lastXHat = xhat
-	b.lastInvStd = invStd
-	return out
 }
 
 // forwardInfer is the serving fast path: Eval-mode arithmetic (bitwise
@@ -221,27 +316,66 @@ func (b *BatchNorm2D) forwardInfer(x *tensor.Tensor, n, h, w int) *tensor.Tensor
 	hw := h * w
 	out := b.inferOut.For(n, b.C, h, w)
 	b.lastXHat = nil // Backward after an Infer forward must panic
-	for ni := 0; ni < n; ni++ {
-		mean, varc := b.RunningMean.Data, b.RunningVar.Data
-		gamma, beta := b.Gamma.Value.Data, b.Beta.Value.Data
-		if b.sampleSrc != nil {
-			src := b.sampleSrc[ni]
-			mean, varc, gamma, beta = src.Mean, src.Var, src.Gamma, src.Beta
+	ib := &b.inferBody
+	*ib = bnInferBody{b: b, x: x.Data, out: out.Data, hw: hw}
+	if n >= 2 && n*b.C*hw >= bnParMin {
+		par.For(n, 1, ib)
+	} else {
+		ib.Chunk(0, 0, n)
+	}
+	ib.x, ib.out = nil, nil
+	return out
+}
+
+// bnBwdBody runs the full per-channel backward for channels [clo,chi):
+// the Σ dY and Σ dY·x̂ reductions (serial sample order), the γ/β
+// gradient accumulation (one band per channel) and the dX write.
+type bnBwdBody struct {
+	b             *BatchNorm2D
+	grad, dx      []float32
+	n, hw         int
+	cnt, statsMom float32
+}
+
+func (t *bnBwdBody) Chunk(_, clo, chi int) {
+	b := t.b
+	for c := clo; c < chi; c++ {
+		sumDY, sumDYX := float32(0), float32(0)
+		for ni := 0; ni < t.n; ni++ {
+			base := (ni*b.C + c) * t.hw
+			gs := t.grad[base : base+t.hw]
+			hs := b.lastXHat.Data[base : base+t.hw]
+			for i, g := range gs {
+				sumDY += g
+				sumDYX += g * hs[i]
+			}
 		}
-		for c := 0; c < b.C; c++ {
-			base := (ni*b.C + c) * hw
-			m := mean[c]
-			is := float32(1.0 / math.Sqrt(float64(varc[c])+float64(b.Eps)))
-			g, bt := gamma[c], beta[c]
-			xs := x.Data[base : base+hw]
-			os := out.Data[base : base+hw]
-			for i, v := range xs {
-				xh := (v - m) * is
-				os[i] = g*xh + bt
+		b.Beta.Grad.Data[c] += sumDY
+		b.Gamma.Grad.Data[c] += sumDYX
+		g, is := b.Gamma.Value.Data[c], b.lastInvStd[c]
+		if b.lastMode == Eval {
+			scale := g * is
+			for ni := 0; ni < t.n; ni++ {
+				base := (ni*b.C + c) * t.hw
+				gs := t.grad[base : base+t.hw]
+				ds := t.dx[base : base+t.hw]
+				for i, gv := range gs {
+					ds[i] = scale * gv
+				}
+			}
+			continue
+		}
+		k := g * is / t.cnt
+		for ni := 0; ni < t.n; ni++ {
+			base := (ni*b.C + c) * t.hw
+			gs := t.grad[base : base+t.hw]
+			hs := b.lastXHat.Data[base : base+t.hw]
+			ds := t.dx[base : base+t.hw]
+			for i, gv := range gs {
+				ds[i] = k * (t.cnt*gv - t.statsMom*(sumDY+hs[i]*sumDYX))
 			}
 		}
 	}
-	return out
 }
 
 // Backward returns dX and accumulates dγ, dβ.
@@ -258,59 +392,28 @@ func (b *BatchNorm2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	}
 	n, h, w := b.lastShape[0], b.lastShape[2], b.lastShape[3]
 	hw := h * w
-	cnt := float32(n * hw)
 	if grad.Size() != n*b.C*hw {
 		panic(fmt.Sprintf("nn: %s: grad %v, want %v", b.name, grad.Shape(), b.lastShape))
 	}
 	dx := b.dxOut.For(n, b.C, h, w)
-	for c := 0; c < b.C; c++ {
-		// First pass: per-channel reductions Σ dY and Σ dY·x̂.
-		sumDY, sumDYX := float32(0), float32(0)
-		for ni := 0; ni < n; ni++ {
-			base := (ni*b.C + c) * hw
-			gs := grad.Data[base : base+hw]
-			hs := b.lastXHat.Data[base : base+hw]
-			for i, g := range gs {
-				sumDY += g
-				sumDYX += g * hs[i]
-			}
-		}
-		b.Beta.Grad.Data[c] += sumDY
-		b.Gamma.Grad.Data[c] += sumDYX
-		g, is := b.Gamma.Value.Data[c], b.lastInvStd[c]
-		if b.lastMode == Eval {
-			scale := g * is
-			for ni := 0; ni < n; ni++ {
-				base := (ni*b.C + c) * hw
-				gs := grad.Data[base : base+hw]
-				ds := dx.Data[base : base+hw]
-				for i, gv := range gs {
-					ds[i] = scale * gv
-				}
-			}
-			continue
-		}
-		// The statistics-dependence correction terms are weighted by
-		// how much the current batch influenced the normalization
-		// statistics: 1 in Train mode (pure batch stats), AdaptMomentum
-		// in Adapt mode (EMA-blended stats). Train mode stays the exact
-		// BN gradient; Adapt mode interpolates between the exact train
-		// (mom=1) and frozen-stats eval (mom=0) endpoints.
-		w := float32(1)
-		if b.lastMode == Adapt {
-			w = b.lastAdaptMom
-		}
-		k := g * is / cnt
-		for ni := 0; ni < n; ni++ {
-			base := (ni*b.C + c) * hw
-			gs := grad.Data[base : base+hw]
-			hs := b.lastXHat.Data[base : base+hw]
-			ds := dx.Data[base : base+hw]
-			for i, gv := range gs {
-				ds[i] = k * (cnt*gv - w*(sumDY+hs[i]*sumDYX))
-			}
-		}
+	// The statistics-dependence correction terms are weighted by how
+	// much the current batch influenced the normalization statistics:
+	// 1 in Train mode (pure batch stats), AdaptMomentum in Adapt mode
+	// (EMA-blended stats). Train mode stays the exact BN gradient;
+	// Adapt mode interpolates between the exact train (mom=1) and
+	// frozen-stats eval (mom=0) endpoints.
+	statsMom := float32(1)
+	if b.lastMode == Adapt {
+		statsMom = b.lastAdaptMom
 	}
+	bw := &b.bwdBody
+	*bw = bnBwdBody{b: b, grad: grad.Data, dx: dx.Data, n: n, hw: hw, cnt: float32(n * hw), statsMom: statsMom}
+	if b.C >= 2 && n*b.C*hw >= bnParMin {
+		par.For(b.C, 1, bw)
+	} else {
+		bw.Chunk(0, 0, b.C)
+	}
+	bw.grad, bw.dx = nil, nil
 	return dx
 }
 

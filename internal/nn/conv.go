@@ -3,8 +3,16 @@ package nn
 import (
 	"fmt"
 
+	"ldbnadapt/internal/par"
 	"ldbnadapt/internal/tensor"
 )
+
+// batchParMin gates batch-level (per-sample) parallelism in the conv
+// layer, in per-batch multiply-accumulate counts, matching the tensor
+// kernels' gate unit. Below it the sample loop runs on the caller and
+// only the inner kernels parallelize. A var so the cross-layer
+// bitwise suite can force sample banding on small shapes.
+var batchParMin = 1 << 16
 
 // Conv2D is a 2-D convolution over NCHW tensors, lowered to matrix
 // products via im2col. Bias is optional (ResNet convolutions are
@@ -24,18 +32,23 @@ type Conv2D struct {
 	// scratches because the two paths usually run at different batch
 	// sizes; sharing one would re-shape the header every call.
 	inferOut  Scratch
-	inferCols Scratch
 	adaptOut  Scratch
-	adaptCols []float32 // one [n, K, hw] slab backing lastCols in Adapt mode
+	adaptCols []float32 // one [n, K, hw] slab backing lastCols in Adapt
 	colViews  []View    // per-sample [K, hw] headers over adaptCols
-	xiView    View      // per-sample input view
-	oiView    View      // per-sample output view
 	wmView    View      // weight matrix view [outC, K]
-	giView    View      // per-sample gradient view (backward)
+	giView    View      // per-sample gradient view (backward phase A)
 	dwView    View      // weight-grad matrix view (backward)
-	dcols     Scratch   // backward column gradient
 	dxOut     Scratch   // backward input gradient
-	dxiView   View      // per-sample view of dxOut
+
+	// shards are the per-band scratch blocks for sample-parallel
+	// forwards/backwards: band b of a par.For over the batch owns
+	// shards[b] exclusively for the duration of the call (see
+	// internal/par's ownership contract). Grown to par.Width(n, 1) at
+	// the top of Forward/Backward, so steady-state calls at a stable
+	// batch size and GOMAXPROCS allocate nothing.
+	shards  []convShard
+	fwdBody convFwdBody
+	bwdBody convBwdBody
 
 	// Int8 weight cache for InferInt8: per-output-channel symmetric
 	// quantization of Weight, built lazily on first use. Serving
@@ -44,8 +57,29 @@ type Conv2D struct {
 	wq      []int8
 	wScales []float32
 	wqOK    bool
-	xq      []int8 // quantized input sample
-	colsQ   []int8 // quantized im2col lowering
+}
+
+// convShard is one band's private scratch: lowering buffers, cached
+// sub-tensor headers and the int8 staging blocks.
+type convShard struct {
+	cols  Scratch // infer-mode im2col lowering
+	dcols Scratch // backward column gradient
+	xi    View    // per-sample input view
+	oi    View    // per-sample output view
+	gi    View    // per-sample gradient view (backward phase B)
+	dxi   View    // per-sample view of dxOut
+	xq    []int8  // quantized input sample
+	colsQ []int8  // quantized im2col lowering
+}
+
+// ensureShards grows the shard slice to bands entries (never shrinks,
+// so headers and buffers persist across batch-size changes).
+func (c *Conv2D) ensureShards(bands int) {
+	if len(c.shards) < bands {
+		ns := make([]convShard, bands)
+		copy(ns, c.shards)
+		c.shards = ns
+	}
 }
 
 // NewConv2D constructs a convolution layer with Kaiming-initialized
@@ -91,13 +125,64 @@ func (c *Conv2D) addBiasRows(oi *tensor.Tensor, hw int) {
 	}
 }
 
+// convFwdBody is the sample-parallel forward loop: band b processes
+// samples [lo,hi) with shards[b]'s private scratch. Each sample's
+// lowering and product are the serial kernels over that sample's
+// data, so the batched output is bitwise the sequential one at any
+// band count.
+type convFwdBody struct {
+	c            *Conv2D
+	x, out       *tensor.Tensor
+	wm           *tensor.Tensor
+	mode         Mode
+	h, w, oh, ow int
+}
+
+func (b *convFwdBody) Chunk(band, lo, hi int) {
+	c := b.c
+	K := c.kDim()
+	hw := b.oh * b.ow
+	chw := c.InC * b.h * b.w
+	sh := &c.shards[band]
+	for ni := lo; ni < hi; ni++ {
+		oi := sh.oi.Of(b.out.Data[ni*c.OutC*hw:(ni+1)*c.OutC*hw], c.OutC, hw)
+		if b.mode == InferInt8 {
+			xScale := tensor.QuantizeInt8(sh.xq, b.x.Data[ni*chw:(ni+1)*chw])
+			tensor.Im2ColInt8Into(sh.colsQ, sh.xq, c.InC, b.h, b.w, c.Geom)
+			tensor.Int8MatMulInto(oi, c.wq, c.wScales, sh.colsQ, xScale, c.OutC, K, hw)
+		} else {
+			xi := sh.xi.Of(b.x.Data[ni*chw:(ni+1)*chw], 1, c.InC, b.h, b.w)
+			var cols *tensor.Tensor
+			switch b.mode {
+			case Infer:
+				cols = sh.cols.For(K, hw)
+				tensor.Im2ColInto(cols, xi, c.Geom)
+			case Adapt:
+				cols = c.colViews[ni].Of(c.adaptCols[ni*K*hw:(ni+1)*K*hw], K, hw)
+				tensor.Im2ColInto(cols, xi, c.Geom)
+				c.lastCols[ni] = cols
+			default: // Train, Eval: fresh tensors, safe to retain
+				cols = tensor.Im2Col(xi, c.Geom)
+				c.lastCols[ni] = cols
+			}
+			tensor.MatMulInto(oi, b.wm, cols)
+		}
+		if c.Bias != nil {
+			c.addBiasRows(oi, hw)
+		}
+	}
+}
+
 // Forward computes the convolution sample by sample: per sample the
 // im2col matrix has shape [inC*kh*kw, oh*ow] and the product
 // W[outC, inC*kh*kw]·cols lands directly in the output layout.
 // Infer/InferInt8 and Adapt mode use layer-owned scratch for the
 // im2col lowering and the output (Adapt additionally keeps the
 // lowering as the backward cache); Train and Eval allocate fresh
-// tensors so their outputs are safe to retain across calls.
+// tensors so their outputs are safe to retain across calls. Samples
+// are processed in parallel bands over the worker pool when the batch
+// is big enough; the nested per-sample kernels parallelize over
+// whatever workers remain.
 func (c *Conv2D) Forward(x *tensor.Tensor, mode Mode) *tensor.Tensor {
 	if x.NDim() != 4 || x.Dim(1) != c.InC {
 		panic(fmt.Sprintf("nn: %s: input %v, want [n,%d,h,w]", c.name, x.Shape(), c.InC))
@@ -132,55 +217,26 @@ func (c *Conv2D) Forward(x *tensor.Tensor, mode Mode) *tensor.Tensor {
 		c.lastIn = [4]int{n, c.InC, h, w}
 		c.lastOutShape = [4]int{n, c.OutC, oh, ow}
 	}
+	bands := par.Width(n, 1)
+	c.ensureShards(bands)
 	if mode == InferInt8 {
-		return c.forwardInt8(x, out, n, h, w, oh, ow)
-	}
-	wm := c.wmView.Of(c.Weight.Value.Data, c.OutC, K)
-	for ni := 0; ni < n; ni++ {
-		xi := c.xiView.Of(x.Data[ni*c.InC*h*w:(ni+1)*c.InC*h*w], 1, c.InC, h, w)
-		var cols *tensor.Tensor
-		switch {
-		case infer:
-			cols = c.inferCols.For(K, hw)
-			tensor.Im2ColInto(cols, xi, c.Geom)
-		case hot:
-			cols = c.colViews[ni].Of(c.adaptCols[ni*K*hw:(ni+1)*K*hw], K, hw)
-			tensor.Im2ColInto(cols, xi, c.Geom)
-			c.lastCols[ni] = cols
-		default:
-			cols = tensor.Im2Col(xi, c.Geom)
-			c.lastCols[ni] = cols
-		}
-		oi := c.oiView.Of(out.Data[ni*c.OutC*hw:(ni+1)*c.OutC*hw], c.OutC, hw)
-		tensor.MatMulInto(oi, wm, cols)
-		if c.Bias != nil {
-			c.addBiasRows(oi, hw)
+		c.ensureInt8()
+		for b := 0; b < bands; b++ {
+			c.shards[b].xq = growI8(c.shards[b].xq, c.InC*h*w)
+			c.shards[b].colsQ = growI8(c.shards[b].colsQ, K*hw)
 		}
 	}
-	return out
-}
-
-// forwardInt8 is the quantized serving kernel: the weight matrix is
-// quantized once per output channel, each input sample gets one
-// dynamic scale, and the product accumulates in int32 (see
-// internal/tensor/int8.go for the error model). Bias addition and
-// everything downstream stay in float32.
-func (c *Conv2D) forwardInt8(x, out *tensor.Tensor, n, h, w, oh, ow int) *tensor.Tensor {
-	c.ensureInt8()
-	K := c.kDim()
-	hw := oh * ow
-	chw := c.InC * h * w
-	c.xq = growI8(c.xq, chw)
-	c.colsQ = growI8(c.colsQ, K*hw)
-	for ni := 0; ni < n; ni++ {
-		xScale := tensor.QuantizeInt8(c.xq, x.Data[ni*chw:(ni+1)*chw])
-		tensor.Im2ColInt8Into(c.colsQ, c.xq, c.InC, h, w, c.Geom)
-		oi := c.oiView.Of(out.Data[ni*c.OutC*hw:(ni+1)*c.OutC*hw], c.OutC, hw)
-		tensor.Int8MatMulInto(oi, c.wq, c.wScales, c.colsQ, xScale, c.OutC, K, hw)
-		if c.Bias != nil {
-			c.addBiasRows(oi, hw)
-		}
+	body := &c.fwdBody
+	*body = convFwdBody{c: c, x: x, out: out, mode: mode, h: h, w: w, oh: oh, ow: ow}
+	if mode != InferInt8 {
+		body.wm = c.wmView.Of(c.Weight.Value.Data, c.OutC, K)
 	}
+	if n >= 2 && n*c.OutC*K*hw >= batchParMin {
+		par.For(n, 1, body)
+	} else {
+		body.Chunk(0, 0, n)
+	}
+	body.x, body.out, body.wm = nil, nil, nil
 	return out
 }
 
@@ -200,8 +256,37 @@ func (c *Conv2D) ensureInt8() {
 // forward re-quantizes Weight.Value. Call after mutating the weights.
 func (c *Conv2D) InvalidateInt8() { c.wqOK = false }
 
+// convBwdBody is the sample-parallel half of Backward: the input
+// gradient. Each band owns its samples' dcols/dx scratch, and the
+// per-sample kernels (Wᵀ·gi then col2im) are the serial ones, so dX
+// is bitwise stable at any band count.
+type convBwdBody struct {
+	c         *Conv2D
+	grad, dx  *tensor.Tensor
+	wm        *tensor.Tensor
+	inC, h, w int
+	hw        int
+}
+
+func (b *convBwdBody) Chunk(band, lo, hi int) {
+	c := b.c
+	K := c.kDim()
+	sh := &c.shards[band]
+	for ni := lo; ni < hi; ni++ {
+		gi := sh.gi.Of(b.grad.Data[ni*c.OutC*b.hw:(ni+1)*c.OutC*b.hw], c.OutC, b.hw)
+		dcols := sh.dcols.For(K, b.hw)
+		tensor.MatMulTAInto(dcols, b.wm, gi)
+		dxi := sh.dxi.Of(b.dx.Data[ni*b.inC*b.h*b.w:(ni+1)*b.inC*b.h*b.w], 1, b.inC, b.h, b.w)
+		tensor.Col2ImInto(dxi, dcols, c.Geom)
+	}
+}
+
 // Backward accumulates dW (and db) and returns dX. The returned
-// gradient lives in layer-owned scratch, valid until the next Backward.
+// gradient lives in layer-owned scratch, valid until the next
+// Backward. Two phases: the weight/bias gradients walk the batch
+// serially (dW accumulates across samples — its per-element order is
+// part of the bitwise contract — while the GEMM inside row-bands over
+// output channels), then the input gradients run sample-parallel.
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if c.lastCols == nil {
 		panic(fmt.Sprintf("nn: %s: Backward before Forward", c.name))
@@ -229,12 +314,17 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 				c.Bias.Grad.Data[oc] += s
 			}
 		}
-		// dcols = Wᵀ · gi ; dx_i = col2im(dcols)
-		dcols := c.dcols.For(K, hw)
-		tensor.MatMulTAInto(dcols, wm, gi)
-		dxi := c.dxiView.Of(dx.Data[ni*inC*h*w:(ni+1)*inC*h*w], 1, inC, h, w)
-		tensor.Col2ImInto(dxi, dcols, c.Geom)
 	}
+	bands := par.Width(n, 1)
+	c.ensureShards(bands)
+	body := &c.bwdBody
+	*body = convBwdBody{c: c, grad: grad, dx: dx, wm: wm, inC: inC, h: h, w: w, hw: hw}
+	if n >= 2 && n*c.OutC*K*hw >= batchParMin {
+		par.For(n, 1, body)
+	} else {
+		body.Chunk(0, 0, n)
+	}
+	body.grad, body.dx, body.wm = nil, nil, nil
 	return dx
 }
 

@@ -1,0 +1,108 @@
+package tensor
+
+import "testing"
+
+// Kernel benchmarks behind the bench-json `-cpu 1,4` rows: the same
+// GEMM/lowering shapes the Tiny detector's heaviest conv layer feeds
+// the pool (64 output channels, 64·3·3 taps, 28×28 output). The -cpu
+// sweep measures the worker-pool speedup curve per kernel; BENCHTIME
+// and the manifest plumbing are shared with the serving benchmarks
+// (see Makefile bench-json and PERFORMANCE.md).
+
+const (
+	bkM = 64  // output channels
+	bkK = 576 // 64 input channels × 3×3 taps
+	bkN = 784 // 28×28 output pixels
+)
+
+func BenchmarkKernelMatMul(b *testing.B) {
+	rng := NewRNG(1)
+	a := New(bkM, bkK)
+	x := New(bkK, bkN)
+	out := New(bkM, bkN)
+	rng.FillUniform(a, -1, 1)
+	rng.FillUniform(x, -1, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(out, a, x)
+	}
+}
+
+// BenchmarkKernelMatMulTB is the Linear-forward shape: a small serving
+// batch against a wide weight matrix, which the pool bands over output
+// features because the batch has fewer rows than workers.
+func BenchmarkKernelMatMulTB(b *testing.B) {
+	rng := NewRNG(2)
+	a := New(4, 512)
+	w := New(1024, 512)
+	out := New(4, 1024)
+	rng.FillUniform(a, -1, 1)
+	rng.FillUniform(w, -1, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulTBInto(out, a, w)
+	}
+}
+
+// BenchmarkKernelMatMulTA is the conv-backward dcols shape:
+// Wᵀ[K,outC] · dY[outC, hw].
+func BenchmarkKernelMatMulTA(b *testing.B) {
+	rng := NewRNG(3)
+	w := New(bkM, bkK)
+	g := New(bkM, bkN)
+	out := New(bkK, bkN)
+	rng.FillUniform(w, -1, 1)
+	rng.FillUniform(g, -1, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulTAInto(out, w, g)
+	}
+}
+
+var bkGeom = ConvGeom{KH: 3, KW: 3, SH: 1, SW: 1, PH: 1, PW: 1}
+
+func BenchmarkKernelIm2Col(b *testing.B) {
+	rng := NewRNG(4)
+	x := New(1, 64, 28, 28)
+	rng.FillUniform(x, -1, 1)
+	out := New(bkK, bkN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Im2ColInto(out, x, bkGeom)
+	}
+}
+
+func BenchmarkKernelCol2Im(b *testing.B) {
+	rng := NewRNG(5)
+	cols := New(bkK, bkN)
+	rng.FillUniform(cols, -1, 1)
+	out := New(1, 64, 28, 28)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Col2ImInto(out, cols, bkGeom)
+	}
+}
+
+func BenchmarkKernelInt8MatMul(b *testing.B) {
+	rng := NewRNG(6)
+	af := New(bkM, bkK)
+	xf := New(bkK, bkN)
+	rng.FillUniform(af, -1, 1)
+	rng.FillUniform(xf, -1, 1)
+	a := make([]int8, bkM*bkK)
+	aScales := make([]float32, bkM)
+	QuantizeInt8PerRow(a, aScales, af.Data, bkM, bkK)
+	x := make([]int8, bkK*bkN)
+	xScale := QuantizeInt8(x, xf.Data)
+	out := New(bkM, bkN)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Int8MatMulInto(out, a, aScales, x, xScale, bkM, bkK, bkN)
+	}
+}

@@ -1,6 +1,16 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"ldbnadapt/internal/par"
+)
+
+// Parallel gate for the lowering kernels, in output elements. The
+// lowering is a strided copy (memory-bound, no MACs), so its
+// break-even is higher than the GEMM gate in per-element terms; the
+// var is lowered by the bitwise property suite like the GEMM gates.
+var lowerParMin = 1 << 17
 
 // ConvGeom describes the geometry of a 2-D convolution: kernel size,
 // stride and symmetric zero padding. It is shared by the convolution
@@ -22,6 +32,16 @@ func (g ConvGeom) OutSize(h, w int) (oh, ow int) {
 	return oh, ow
 }
 
+// tapOOB reports whether kernel tap (ky,kx) reads out of bounds for
+// any output position — i.e. whether the corresponding im2col row has
+// padding-supplied zeros. With no padding every tap is in bounds for
+// every position (OutSize guarantees it), so unpadded lowerings skip
+// zero-filling entirely: every element of the row is overwritten.
+func (g ConvGeom) tapOOB(h, w, oh, ow, ky, kx int) bool {
+	return ky-g.PH < 0 || (oh-1)*g.SH+ky-g.PH >= h ||
+		kx-g.PW < 0 || (ow-1)*g.SW+kx-g.PW >= w
+}
+
 // Im2Col lowers a batched image tensor x with shape [n, c, h, w] into a
 // matrix of shape [c*kh*kw, n*oh*ow] so that convolution becomes a
 // single matrix product weights[outC, c*kh*kw] · cols.
@@ -37,9 +57,28 @@ func Im2Col(x *Tensor, g ConvGeom) *Tensor {
 	return out
 }
 
+// im2colTask is the pooled argument block for Im2ColInto, banded over
+// output rows (each row is one (channel, kernel-tap) combination and
+// is written by exactly one band).
+type im2colTask struct {
+	out, x     []float32
+	n, c, h, w int
+	oh, ow     int
+	g          ConvGeom
+}
+
+func (t *im2colTask) Chunk(_, lo, hi int) {
+	im2colRows(t.out, t.x, t.n, t.c, t.h, t.w, t.oh, t.ow, t.g, lo, hi)
+}
+
+var im2colCache par.Cache[im2colTask]
+
 // Im2ColInto is Im2Col writing into a preallocated [c*kh*kw, n*oh*ow]
 // matrix, so inference-path callers can reuse the lowering buffer
-// across frames instead of allocating one per convolution call.
+// across frames instead of allocating one per convolution call. Rows
+// are zero-filled only when their kernel tap can read out of bounds
+// (zero padding); unpadded geometries overwrite every element, so the
+// old full-buffer Zero() pass is skipped entirely.
 func Im2ColInto(out, x *Tensor, g ConvGeom) {
 	if x.NDim() != 4 {
 		panic(fmt.Sprintf("tensor: Im2ColInto needs [n,c,h,w] input, got %v", x.shape))
@@ -51,32 +90,46 @@ func Im2ColInto(out, x *Tensor, g ConvGeom) {
 	if out.NDim() != 2 || out.shape[0] != rows || out.shape[1] != cols {
 		panic(fmt.Sprintf("tensor: Im2ColInto dst %v, want [%d,%d]", out.shape, rows, cols))
 	}
-	out.Zero()
-	// Row r of the output corresponds to (channel ci, kernel tap ky,kx);
-	// column corresponds to (image ni, output pixel oy,ox).
-	for ci := 0; ci < c; ci++ {
-		for ky := 0; ky < g.KH; ky++ {
-			for kx := 0; kx < g.KW; kx++ {
-				r := (ci*g.KH+ky)*g.KW + kx
-				dst := out.Data[r*cols : (r+1)*cols]
-				for ni := 0; ni < n; ni++ {
-					src := x.Data[(ni*c+ci)*h*w : (ni*c+ci+1)*h*w]
-					base := ni * oh * ow
-					for oy := 0; oy < oh; oy++ {
-						iy := oy*g.SH - g.PH + ky
-						if iy < 0 || iy >= h {
-							continue // leave zeros
-						}
-						rowSrc := src[iy*w : (iy+1)*w]
-						dcol := base + oy*ow
-						ix := -g.PW + kx
-						for ox := 0; ox < ow; ox++ {
-							if ix >= 0 && ix < w {
-								dst[dcol+ox] = rowSrc[ix]
-							}
-							ix += g.SW
-						}
+	if rows*cols < lowerParMin {
+		im2colRows(out.Data, x.Data, n, c, h, w, oh, ow, g, 0, rows)
+		return
+	}
+	t := im2colCache.Get()
+	*t = im2colTask{out: out.Data, x: x.Data, n: n, c: c, h: h, w: w, oh: oh, ow: ow, g: g}
+	par.For(rows, 1, t)
+	t.out, t.x = nil, nil
+	im2colCache.Put(t)
+}
+
+// im2colRows fills output rows [rlo,rhi). Row r corresponds to
+// (channel ci, kernel tap ky,kx); column corresponds to (image ni,
+// output pixel oy,ox).
+func im2colRows(out, x []float32, n, c, h, w, oh, ow int, g ConvGeom, rlo, rhi int) {
+	cols := n * oh * ow
+	for r := rlo; r < rhi; r++ {
+		kx := r % g.KW
+		ky := (r / g.KW) % g.KH
+		ci := r / (g.KH * g.KW)
+		dst := out[r*cols : (r+1)*cols]
+		if g.tapOOB(h, w, oh, ow, ky, kx) {
+			clear(dst)
+		}
+		for ni := 0; ni < n; ni++ {
+			src := x[(ni*c+ci)*h*w : (ni*c+ci+1)*h*w]
+			base := ni * oh * ow
+			for oy := 0; oy < oh; oy++ {
+				iy := oy*g.SH - g.PH + ky
+				if iy < 0 || iy >= h {
+					continue // leave zeros
+				}
+				rowSrc := src[iy*w : (iy+1)*w]
+				dcol := base + oy*ow
+				ix := -g.PW + kx
+				for ox := 0; ox < ow; ox++ {
+					if ix >= 0 && ix < w {
+						dst[dcol+ox] = rowSrc[ix]
 					}
+					ix += g.SW
 				}
 			}
 		}
@@ -93,6 +146,25 @@ func Col2Im(cols *Tensor, n, c, h, w int, g ConvGeom) *Tensor {
 	return out
 }
 
+// col2imTask is the pooled argument block for Col2ImInto, banded over
+// input channels: destination element (ni,ci,iy,ix) only receives
+// scatter-adds from im2col rows of the same channel ci, so channel
+// bands own disjoint output and the per-element accumulation order
+// (ky,kx,oy,ox-major, exactly the serial loop) is unchanged at any
+// worker count.
+type col2imTask struct {
+	out, cols  []float32
+	n, c, h, w int
+	oh, ow     int
+	g          ConvGeom
+}
+
+func (t *col2imTask) Chunk(_, lo, hi int) {
+	col2imChans(t.out, t.cols, t.n, t.c, t.h, t.w, t.oh, t.ow, t.g, lo, hi)
+}
+
+var col2imCache par.Cache[col2imTask]
+
 // Col2ImInto is Col2Im scattering into a preallocated [n,c,h,w] tensor.
 // The destination is zeroed first and the scatter order matches Col2Im,
 // so a scratch-backed call is bitwise equal to the allocating one.
@@ -107,14 +179,33 @@ func Col2ImInto(out, cols *Tensor, g ConvGeom) {
 	if cols.NDim() != 2 || cols.shape[0] != rows || cols.shape[1] != nc {
 		panic(fmt.Sprintf("tensor: Col2ImInto got %v, want [%d,%d]", cols.shape, rows, nc))
 	}
-	out.Zero()
-	for ci := 0; ci < c; ci++ {
+	if rows*nc < lowerParMin {
+		col2imChans(out.Data, cols.Data, n, c, h, w, oh, ow, g, 0, c)
+		return
+	}
+	t := col2imCache.Get()
+	*t = col2imTask{out: out.Data, cols: cols.Data, n: n, c: c, h: h, w: w, oh: oh, ow: ow, g: g}
+	par.For(c, 1, t)
+	t.out, t.cols = nil, nil
+	col2imCache.Put(t)
+}
+
+// col2imChans zeroes and scatter-accumulates destination channels
+// [clo,chi) across all samples.
+func col2imChans(out, cols []float32, n, c, h, w, oh, ow int, g ConvGeom, clo, chi int) {
+	nc := n * oh * ow
+	for ci := clo; ci < chi; ci++ {
+		for ni := 0; ni < n; ni++ {
+			clear(out[(ni*c+ci)*h*w : (ni*c+ci+1)*h*w])
+		}
+	}
+	for ci := clo; ci < chi; ci++ {
 		for ky := 0; ky < g.KH; ky++ {
 			for kx := 0; kx < g.KW; kx++ {
 				r := (ci*g.KH+ky)*g.KW + kx
-				src := cols.Data[r*nc : (r+1)*nc]
+				src := cols[r*nc : (r+1)*nc]
 				for ni := 0; ni < n; ni++ {
-					dst := out.Data[(ni*c+ci)*h*w : (ni*c+ci+1)*h*w]
+					dst := out[(ni*c+ci)*h*w : (ni*c+ci+1)*h*w]
 					base := ni * oh * ow
 					for oy := 0; oy < oh; oy++ {
 						iy := oy*g.SH - g.PH + ky

@@ -3,6 +3,8 @@ package tensor
 import (
 	"fmt"
 	"math"
+
+	"ldbnadapt/internal/par"
 )
 
 // Int8 symmetric quantization kernels for the inference fast path.
@@ -85,12 +87,58 @@ func Int8MatMulInto(out *Tensor, a []int8, aScales []float32, b []int8, xScale f
 		panic(fmt.Sprintf("tensor: Int8MatMulInto size mismatch a=%d b=%d scales=%d out=%d (m=%d k=%d n=%d)",
 			len(a), len(b), len(aScales), len(out.Data), m, k, n))
 	}
-	for i := 0; i < m; i++ {
+	if m*k*n < int8ParMin {
+		int8MMRows(out.Data, a, aScales, b, xScale, k, n, 0, m)
+		return
+	}
+	t := i8Cache.Get()
+	*t = i8Task{op: opI8Rows, out: out.Data, a: a, aScales: aScales, b: b, xScale: xScale, m: m, k: k, n: n}
+	par.For(m, 1, t)
+	t.out, t.a, t.aScales, t.b, t.bScales = nil, nil, nil, nil, nil
+	i8Cache.Put(t)
+}
+
+// int8MMRows computes output rows [lo,hi) of the weight-stationary
+// int8 GEMM. Each row's int32 accumulation is self-contained, so row
+// banding is trivially bitwise-stable (and integer accumulation is
+// exact regardless).
+func int8MMRows(out []float32, a []int8, aScales []float32, b []int8, xScale float32, k, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		ai := a[i*k : (i+1)*k]
-		oi := out.Data[i*n : (i+1)*n]
+		oi := out[i*n : (i+1)*n]
 		int8AxpyRows(oi, ai, b, k, n, aScales[i]*xScale)
 	}
 }
+
+// i8Task is the pooled argument block shared by the int8 GEMM
+// variants.
+type i8Task struct {
+	op               int
+	out              []float32
+	a, b             []int8
+	aScales, bScales []float32
+	xScale           float32
+	m, k, n          int
+}
+
+const (
+	opI8Rows = iota // Int8MatMulInto, banded over output rows
+	opI8TBRows
+	opI8TBCols
+)
+
+func (t *i8Task) Chunk(_, lo, hi int) {
+	switch t.op {
+	case opI8Rows:
+		int8MMRows(t.out, t.a, t.aScales, t.b, t.xScale, t.k, t.n, lo, hi)
+	case opI8TBRows:
+		int8TBRange(t.out, t.a, t.aScales, t.b, t.bScales, t.k, t.n, lo, hi, 0, t.n)
+	case opI8TBCols:
+		int8TBRange(t.out, t.a, t.aScales, t.b, t.bScales, t.k, t.n, 0, t.m, lo, hi)
+	}
+}
+
+var i8Cache par.Cache[i8Task]
 
 // int8AxpyRows computes oi = s · Σ_p ai[p]·b[p*n:...] with int32
 // accumulation per output element, using a k-blocked walk so the
@@ -133,11 +181,33 @@ func Int8MatMulTBInto(out *Tensor, a []int8, aScales []float32, b []int8, bScale
 		panic(fmt.Sprintf("tensor: Int8MatMulTBInto size mismatch a=%d b=%d out=%d (m=%d k=%d n=%d)",
 			len(a), len(b), len(out.Data), m, k, n))
 	}
-	for i := 0; i < m; i++ {
+	if m*k*n < int8ParMin {
+		int8TBRange(out.Data, a, aScales, b, bScales, k, n, 0, m, 0, n)
+		return
+	}
+	t := i8Cache.Get()
+	if m >= 2*par.Width(m, 1) {
+		*t = i8Task{op: opI8TBRows, out: out.Data, a: a, aScales: aScales, b: b, bScales: bScales, m: m, k: k, n: n}
+		par.For(m, 1, t)
+	} else {
+		// Serving batches are small (m ∈ 1..8): band the output
+		// features instead so one frame still spreads across workers.
+		*t = i8Task{op: opI8TBCols, out: out.Data, a: a, aScales: aScales, b: b, bScales: bScales, m: m, k: k, n: n}
+		par.For(n, 16, t)
+	}
+	t.out, t.a, t.aScales, t.b, t.bScales = nil, nil, nil, nil, nil
+	i8Cache.Put(t)
+}
+
+// int8TBRange computes rows [ilo,ihi) × columns [jlo,jhi) of the
+// activation-stationary int8 GEMM. Every element is one exact int32
+// dot product, so any banding is bitwise-stable.
+func int8TBRange(out []float32, a []int8, aScales []float32, b []int8, bScales []float32, k, n, ilo, ihi, jlo, jhi int) {
+	for i := ilo; i < ihi; i++ {
 		ai := a[i*k : (i+1)*k]
-		oi := out.Data[i*n : (i+1)*n]
+		oi := out[i*n : (i+1)*n]
 		as := aScales[i]
-		for j := 0; j < n; j++ {
+		for j := jlo; j < jhi; j++ {
 			bj := b[j*k : (j+1)*k]
 			s := int32(0)
 			p := 0
@@ -165,30 +235,60 @@ func Im2ColInt8Into(dst []int8, x []int8, c, h, w int, g ConvGeom) {
 		panic(fmt.Sprintf("tensor: Im2ColInt8Into size mismatch x=%d dst=%d want x=%d dst=%d",
 			len(x), len(dst), c*h*w, rows*cols))
 	}
-	for i := range dst {
-		dst[i] = 0
+	if rows*cols < lowerParMin {
+		im2colInt8Rows(dst, x, c, h, w, oh, ow, g, 0, rows)
+		return
 	}
-	for ci := 0; ci < c; ci++ {
+	t := i8LowerCache.Get()
+	*t = i8LowerTask{dst: dst, x: x, c: c, h: h, w: w, oh: oh, ow: ow, g: g}
+	par.For(rows, 1, t)
+	t.dst, t.x = nil, nil
+	i8LowerCache.Put(t)
+}
+
+// i8LowerTask is the pooled argument block for Im2ColInt8Into, banded
+// over output rows like the float lowering.
+type i8LowerTask struct {
+	dst, x  []int8
+	c, h, w int
+	oh, ow  int
+	g       ConvGeom
+}
+
+func (t *i8LowerTask) Chunk(_, lo, hi int) {
+	im2colInt8Rows(t.dst, t.x, t.c, t.h, t.w, t.oh, t.ow, t.g, lo, hi)
+}
+
+var i8LowerCache par.Cache[i8LowerTask]
+
+// im2colInt8Rows fills int8 lowering rows [rlo,rhi). Like the float
+// kernel, a row is zero-filled only when its kernel tap can read out
+// of bounds — quantized zero is exactly 0, so padding stays exact and
+// unpadded geometries skip the clearing pass entirely.
+func im2colInt8Rows(dst, x []int8, c, h, w, oh, ow int, g ConvGeom, rlo, rhi int) {
+	cols := oh * ow
+	for r := rlo; r < rhi; r++ {
+		kx := r % g.KW
+		ky := (r / g.KW) % g.KH
+		ci := r / (g.KH * g.KW)
 		src := x[ci*h*w : (ci+1)*h*w]
-		for ky := 0; ky < g.KH; ky++ {
-			for kx := 0; kx < g.KW; kx++ {
-				r := (ci*g.KH+ky)*g.KW + kx
-				d := dst[r*cols : (r+1)*cols]
-				for oy := 0; oy < oh; oy++ {
-					iy := oy*g.SH - g.PH + ky
-					if iy < 0 || iy >= h {
-						continue
-					}
-					rowSrc := src[iy*w : (iy+1)*w]
-					dcol := oy * ow
-					ix := -g.PW + kx
-					for ox := 0; ox < ow; ox++ {
-						if ix >= 0 && ix < w {
-							d[dcol+ox] = rowSrc[ix]
-						}
-						ix += g.SW
-					}
+		d := dst[r*cols : (r+1)*cols]
+		if g.tapOOB(h, w, oh, ow, ky, kx) {
+			clear(d)
+		}
+		for oy := 0; oy < oh; oy++ {
+			iy := oy*g.SH - g.PH + ky
+			if iy < 0 || iy >= h {
+				continue
+			}
+			rowSrc := src[iy*w : (iy+1)*w]
+			dcol := oy * ow
+			ix := -g.PW + kx
+			for ox := 0; ox < ow; ox++ {
+				if ix >= 0 && ix < w {
+					d[dcol+ox] = rowSrc[ix]
 				}
+				ix += g.SW
 			}
 		}
 	}

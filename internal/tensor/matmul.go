@@ -2,13 +2,84 @@ package tensor
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
+
+	"ldbnadapt/internal/par"
 )
 
+// Parallel gates, in multiply-accumulate counts (m·k·n). Below the
+// gate a kernel runs serially on the caller: band dispatch costs two
+// channel operations and a free-list round trip per helper (~1 µs
+// uncontended, a scheduler switch when GOMAXPROCS exceeds physical
+// cores), so shapes whose whole product runs in that budget must not
+// pay it. 1<<19 MACs ≈ 340 µs of serial pure-Go GEMM on the
+// reference container; tuned empirically — at 1<<16 the many small
+// conv layers of the Tiny model made the oversubscribed -cpu 4
+// forward measurably slower than -cpu 1, at 1<<19 it is flat within
+// noise while every heavy layer (≥10⁷ MACs) still bands (see the
+// parallel-kernel-model section of PERFORMANCE.md). Vars, not
+// consts, so the cross-kernel bitwise property suite can lower them
+// and exercise banding on adversarial small shapes.
+var (
+	matmulParMin = 1 << 19 // all four float GEMM variants
+	int8ParMin   = 1 << 19 // int8 GEMM variants (int8_test lowers it too)
+)
+
+// gemmTask is the pooled argument block for every float GEMM variant:
+// op selects the row/column kernel, the slices alias caller storage
+// for the duration of one par.For call.
+type gemmTask struct {
+	op      int
+	dst     []float32
+	a, b    []float32
+	m, k, n int
+}
+
+const (
+	opMMRows = iota // matmulInto, banded over dst rows
+	opMMCols        // matmulInto, banded over dst columns (small m)
+	opTARows        // MatMulTAInto, banded over dst rows
+	opTBRows        // MatMulTB{Into,Acc}, banded over dst rows
+	opTBCols        // MatMulTB{Into,Acc}, banded over dst columns
+	opTBAccRows
+	opTBAccCols
+)
+
+func (t *gemmTask) Chunk(_, lo, hi int) {
+	switch t.op {
+	case opMMRows:
+		matmulRows(t.dst, t.a, t.b, lo, hi, t.k, t.n)
+	case opMMCols:
+		matmulCols(t.dst, t.a, t.b, t.m, t.k, t.n, lo, hi)
+	case opTARows:
+		matmulTARows(t.dst, t.a, t.b, t.m, t.k, t.n, lo, hi)
+	case opTBRows:
+		matmulTBRows(t.dst, t.a, t.b, t.k, t.n, lo, hi, 0, t.n, false)
+	case opTBCols:
+		matmulTBRows(t.dst, t.a, t.b, t.k, t.n, 0, t.m, lo, hi, false)
+	case opTBAccRows:
+		matmulTBRows(t.dst, t.a, t.b, t.k, t.n, lo, hi, 0, t.n, true)
+	case opTBAccCols:
+		matmulTBRows(t.dst, t.a, t.b, t.k, t.n, 0, t.m, lo, hi, true)
+	}
+}
+
+var gemmCache par.Cache[gemmTask]
+
+// runGEMM dispatches one banded GEMM over the pool: items is the
+// banded axis extent (rows or columns). The task block is recycled
+// through a free list so steady-state calls allocate nothing.
+func runGEMM(op, items, minPer int, dst, a, b []float32, m, k, n int) {
+	t := gemmCache.Get()
+	t.op, t.dst, t.a, t.b, t.m, t.k, t.n = op, dst, a, b, m, k, n
+	par.For(items, minPer, t)
+	t.dst, t.a, t.b = nil, nil, nil
+	gemmCache.Put(t)
+}
+
 // MatMul computes the matrix product a·b of two 2-D tensors
-// ([m,k]·[k,n] → [m,n]). The kernel is cache-blocked over k and
-// parallelized over row bands when more than one CPU is available.
+// ([m,k]·[k,n] → [m,n]). The kernel is parallelized over output
+// bands through the shared worker pool (internal/par) when the shape
+// is past the serial gate.
 func MatMul(a, b *Tensor) *Tensor {
 	if a.NDim() != 2 || b.NDim() != 2 {
 		panic(fmt.Sprintf("tensor: MatMul needs 2-D operands, got %v × %v", a.shape, b.shape))
@@ -24,61 +95,66 @@ func MatMul(a, b *Tensor) *Tensor {
 }
 
 // MatMulInto computes out = a·b, reusing out's storage. Shapes must
-// already agree; out must not alias a or b.
+// already agree; out must not alias a or b. Every element of out is
+// written (the kernel zeroes each output band before accumulating).
 func MatMulInto(out, a, b *Tensor) {
 	m, k := a.shape[0], a.shape[1]
 	n := b.shape[1]
 	if b.shape[0] != k || out.shape[0] != m || out.shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulInto shape mismatch %v = %v × %v", out.shape, a.shape, b.shape))
 	}
-	out.Zero()
 	matmulInto(out.Data, a.Data, b.Data, m, k, n)
 }
 
-// matmulInto accumulates a·b into dst (dst must be zeroed by callers
-// that need a pure product). The i-k-j loop order keeps the inner loop
-// streaming over contiguous rows of b and dst, which is the fastest
-// pure-Go arrangement for row-major data.
+// matmulInto computes dst = a·b (dst fully overwritten). The i-k-j
+// loop order keeps the inner loop streaming over contiguous rows of b
+// and dst, which is the fastest pure-Go arrangement for row-major
+// data. Banding is over dst rows — or dst columns when m is too small
+// to feed the pool — so each output element's accumulation order is
+// the serial kernel's regardless of worker count.
 func matmulInto(dst, a, b []float32, m, k, n int) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > m {
-		workers = m
-	}
-	if workers <= 1 || m*n*k < 1<<16 {
+	if m*k*n < matmulParMin {
 		matmulRows(dst, a, b, 0, m, k, n)
 		return
 	}
-	var wg sync.WaitGroup
-	band := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * band
-		hi := lo + band
-		if hi > m {
-			hi = m
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			matmulRows(dst, a, b, lo, hi, k, n)
-		}(lo, hi)
+	if m >= 2*par.Width(m, 1) {
+		runGEMM(opMMRows, m, 1, dst, a, b, m, k, n)
+	} else {
+		// Few tall rows (e.g. the n=1 linear backward dX): band the
+		// output columns instead; 16 floats = one cache line per
+		// boundary, so adjacent bands never share a line.
+		runGEMM(opMMCols, n, 16, dst, a, b, m, k, n)
 	}
-	wg.Wait()
 }
 
-// matmulRows computes rows [lo,hi) of dst += a·b.
+// matmulRows computes rows [lo,hi) of dst = a·b.
 func matmulRows(dst, a, b []float32, lo, hi, k, n int) {
 	for i := lo; i < hi; i++ {
 		ai := a[i*k : (i+1)*k]
 		di := dst[i*n : (i+1)*n]
+		clear(di)
 		for p, av := range ai {
 			if av == 0 {
 				continue
 			}
 			bp := b[p*n : (p+1)*n]
 			axpyRow(di, bp, av)
+		}
+	}
+}
+
+// matmulCols computes columns [jlo,jhi) of every row of dst = a·b.
+// Per output element the p-accumulation order matches matmulRows.
+func matmulCols(dst, a, b []float32, m, k, n, jlo, jhi int) {
+	for i := 0; i < m; i++ {
+		ai := a[i*k : (i+1)*k]
+		di := dst[i*n+jlo : i*n+jhi]
+		clear(di)
+		for p, av := range ai {
+			if av == 0 {
+				continue
+			}
+			axpyRow(di, b[p*n+jlo:p*n+jhi], av)
 		}
 	}
 }
@@ -114,24 +190,38 @@ func MatMulTA(a, b *Tensor) *Tensor {
 }
 
 // MatMulTAInto computes out = aᵀ·b reusing out's storage ([k,m]ᵀ·[k,n]
-// → [m,n]). The accumulation order is identical to MatMulTA, so a
-// scratch-backed call is bitwise equal to the allocating one. out must
-// not alias a or b.
+// → [m,n]). The accumulation order is identical to MatMulTA at any
+// worker count — banding is over output rows and each row accumulates
+// over k in serial order — so a scratch-backed call is bitwise equal
+// to the allocating one. out must not alias a or b.
 func MatMulTAInto(out, a, b *Tensor) {
 	k, m := a.shape[0], a.shape[1]
 	n := b.shape[1]
 	if b.shape[0] != k || out.shape[0] != m || out.shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulTAInto shape mismatch %v = %vᵀ × %v", out.shape, a.shape, b.shape))
 	}
-	out.Zero()
+	if m*k*n < matmulParMin {
+		matmulTARows(out.Data, a.Data, b.Data, m, k, n, 0, m)
+		return
+	}
+	runGEMM(opTARows, m, 1, out.Data, a.Data, b.Data, m, k, n)
+}
+
+// matmulTARows computes rows [lo,hi) of out = aᵀ·b. The k-outer loop
+// order is the serial kernel's: each owned row accumulates its
+// rank-1 updates in increasing p, so band boundaries never reorder
+// any element's sum.
+func matmulTARows(dst, a, b []float32, m, k, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		clear(dst[i*n : (i+1)*n])
+	}
 	for p := 0; p < k; p++ {
-		ap := a.Data[p*m : (p+1)*m]
-		bp := b.Data[p*n : (p+1)*n]
-		for i, av := range ap {
-			if av == 0 {
-				continue
+		ap := a[p*m : (p+1)*m]
+		bp := b[p*n : (p+1)*n]
+		for i := lo; i < hi; i++ {
+			if av := ap[i]; av != 0 {
+				axpyRow(dst[i*n:(i+1)*n], bp, av)
 			}
-			axpyRow(out.Data[i*n:(i+1)*n], bp, av)
 		}
 	}
 }
@@ -151,56 +241,79 @@ func MatMulTB(a, b *Tensor) *Tensor {
 	return out
 }
 
-// MatMulTBInto computes out = a·bᵀ reusing out's storage ([m,k]·[n,k]ᵀ
-// → [m,n]). Every element is overwritten; out must not alias a or b.
-func MatMulTBInto(out, a, b *Tensor) {
+// matmulTB runs a·bᵀ through the pool, banding over output rows when
+// the batch dimension m can feed it and over output columns otherwise
+// (the m∈{1..4} adaptation batches). acc selects += over =.
+func matmulTB(out, a, b *Tensor, acc bool) {
 	m, k := a.shape[0], a.shape[1]
 	n := b.shape[0]
 	if b.shape[1] != k || out.shape[0] != m || out.shape[1] != n {
+		if acc {
+			panic(fmt.Sprintf("tensor: MatMulTBAcc shape mismatch %v += %v × %vᵀ", out.shape, a.shape, b.shape))
+		}
 		panic(fmt.Sprintf("tensor: MatMulTBInto shape mismatch %v = %v × %vᵀ", out.shape, a.shape, b.shape))
 	}
-	for i := 0; i < m; i++ {
-		ai := a.Data[i*k : (i+1)*k]
-		oi := out.Data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			bj := b.Data[j*k : (j+1)*k]
-			s := float32(0)
-			p := 0
-			for ; p+4 <= k; p += 4 {
-				s += ai[p]*bj[p] + ai[p+1]*bj[p+1] + ai[p+2]*bj[p+2] + ai[p+3]*bj[p+3]
+	if m*k*n < matmulParMin {
+		matmulTBRows(out.Data, a.Data, b.Data, k, n, 0, m, 0, n, acc)
+		return
+	}
+	if m >= 2*par.Width(m, 1) {
+		op := opTBRows
+		if acc {
+			op = opTBAccRows
+		}
+		runGEMM(op, m, 1, out.Data, a.Data, b.Data, m, k, n)
+	} else {
+		op := opTBCols
+		if acc {
+			op = opTBAccCols
+		}
+		runGEMM(op, n, 16, out.Data, a.Data, b.Data, m, k, n)
+	}
+}
+
+// MatMulTBInto computes out = a·bᵀ reusing out's storage ([m,k]·[n,k]ᵀ
+// → [m,n]). Every element is overwritten; out must not alias a or b.
+func MatMulTBInto(out, a, b *Tensor) { matmulTB(out, a, b, false) }
+
+// MatMulTBAcc computes out += a·bᵀ. The per-element dot product is the
+// same row kernel as MatMulTBInto (matmulTBRows), so
+// `MatMulTBAcc(g, a, b)` is bitwise equal to
+// `AddInPlace(g, MatMulTB(a, b))` without the intermediate allocation
+// — exactly what gradient accumulation needs.
+func MatMulTBAcc(out, a, b *Tensor) { matmulTB(out, a, b, true) }
+
+// matmulTBRows is the one a·bᵀ kernel: rows [ilo,ihi) × columns
+// [jlo,jhi) of out, assigning or accumulating per acc. Each output
+// element is one self-contained dot product, so any row/column
+// banding yields bitwise-identical results.
+func matmulTBRows(dst, a, b []float32, k, n, ilo, ihi, jlo, jhi int, acc bool) {
+	for i := ilo; i < ihi; i++ {
+		ai := a[i*k : (i+1)*k]
+		oi := dst[i*n : (i+1)*n]
+		for j := jlo; j < jhi; j++ {
+			s := dotUnroll4(ai, b[j*k:(j+1)*k], k)
+			if acc {
+				oi[j] += s
+			} else {
+				oi[j] = s
 			}
-			for ; p < k; p++ {
-				s += ai[p] * bj[p]
-			}
-			oi[j] = s
 		}
 	}
 }
 
-// MatMulTBAcc computes out += a·bᵀ. The per-element dot product is the
-// same kernel as MatMulTBInto, so `MatMulTBAcc(g, a, b)` is bitwise
-// equal to `AddInPlace(g, MatMulTB(a, b))` without the intermediate
-// allocation — exactly what gradient accumulation needs.
-func MatMulTBAcc(out, a, b *Tensor) {
-	m, k := a.shape[0], a.shape[1]
-	n := b.shape[0]
-	if b.shape[1] != k || out.shape[0] != m || out.shape[1] != n {
-		panic(fmt.Sprintf("tensor: MatMulTBAcc shape mismatch %v += %v × %vᵀ", out.shape, a.shape, b.shape))
+// dotUnroll4 is the shared 4-way-unrolled dot product. The expression
+// shape (two chained 2-term sums per step) is load-bearing: it is the
+// historical MatMulTBInto/MatMulTBAcc accumulation order, which the
+// seeded report pins depend on bitwise.
+func dotUnroll4(a, b []float32, k int) float32 {
+	s := float32(0)
+	p := 0
+	for ; p+4 <= k; p += 4 {
+		s += a[p]*b[p] + a[p+1]*b[p+1] + a[p+2]*b[p+2] + a[p+3]*b[p+3]
 	}
-	for i := 0; i < m; i++ {
-		ai := a.Data[i*k : (i+1)*k]
-		oi := out.Data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			bj := b.Data[j*k : (j+1)*k]
-			s := float32(0)
-			p := 0
-			for ; p+4 <= k; p += 4 {
-				s += ai[p]*bj[p] + ai[p+1]*bj[p+1] + ai[p+2]*bj[p+2] + ai[p+3]*bj[p+3]
-			}
-			for ; p < k; p++ {
-				s += ai[p] * bj[p]
-			}
-			oi[j] += s
-		}
+	for ; p < k; p++ {
+		s += a[p] * b[p]
 	}
+	return s
 }

@@ -1,0 +1,318 @@
+package tensor
+
+import (
+	"math"
+	"runtime"
+	"testing"
+)
+
+// Cross-kernel bitwise determinism suite: every parallel kernel must
+// produce byte-identical output at any worker count, because band
+// boundaries only decide WHO computes an output element, never the
+// order of that element's accumulation (see internal/tensor/README.md
+// and internal/par). The suite lowers the serial-threshold gate vars
+// so even adversarial small shapes — prime dims, fewer rows than
+// workers, empty remainder bands — take the pooled path, and compares
+// against a golden computed with the gates at +∞ (strictly serial).
+
+// lowGates forces every kernel through the pooled path and restores
+// the production gates after the test.
+func lowGates(t *testing.T) {
+	t.Helper()
+	pm, im, lm := matmulParMin, int8ParMin, lowerParMin
+	matmulParMin, int8ParMin, lowerParMin = 1, 1, 1
+	t.Cleanup(func() { matmulParMin, int8ParMin, lowerParMin = pm, im, lm })
+}
+
+// serialGates disables the pooled path entirely.
+func serialGates(t *testing.T) func() {
+	pm, im, lm := matmulParMin, int8ParMin, lowerParMin
+	matmulParMin, int8ParMin, lowerParMin = math.MaxInt, math.MaxInt, math.MaxInt
+	return func() { matmulParMin, int8ParMin, lowerParMin = pm, im, lm }
+}
+
+func withMaxProcs(t *testing.T, procs int, f func()) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+	f()
+}
+
+// bitsEqual reports exact bitwise equality (NaN-safe, ±0-distinguishing).
+func bitsEqual(a, b []float32) int {
+	if len(a) != len(b) {
+		return 0
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return i
+		}
+	}
+	return -1
+}
+
+var parProcs = []int{1, 2, 3, 8}
+
+// gemmShapes covers both banding axes: m ≥ 2·width rows (row bands),
+// wide-and-short (column bands), prime dims, m < workers, k=0-adjacent
+// tiny dims and single elements.
+var gemmShapes = []struct{ m, k, n int }{
+	{1, 1, 1},
+	{2, 3, 5},
+	{7, 11, 13},
+	{3, 17, 97}, // fewer rows than workers at 8 procs → column bands
+	{37, 5, 4},  // row bands with remainder
+	{8, 64, 8},
+	{13, 1, 29},
+	{1, 128, 101}, // single row: must fall to column banding
+}
+
+func TestMatMulBitwiseAcrossWorkers(t *testing.T) {
+	rng := NewRNG(0x5eed)
+	for _, sh := range gemmShapes {
+		a := New(sh.m, sh.k)
+		b := New(sh.k, sh.n)
+		rng.FillUniform(a, -2, 2)
+		rng.FillUniform(b, -2, 2)
+		golden := New(sh.m, sh.n)
+		restore := serialGates(t)
+		MatMulInto(golden, a, b)
+		restore()
+		lowGates(t)
+		for _, procs := range parProcs {
+			withMaxProcs(t, procs, func() {
+				got := New(sh.m, sh.n)
+				// Poison dst: the kernel must fully overwrite it.
+				for i := range got.Data {
+					got.Data[i] = float32(math.NaN())
+				}
+				MatMulInto(got, a, b)
+				if i := bitsEqual(golden.Data, got.Data); i >= 0 {
+					t.Fatalf("MatMul %dx%dx%d procs=%d: element %d differs: %v vs %v",
+						sh.m, sh.k, sh.n, procs, i, golden.Data[i], got.Data[i])
+				}
+			})
+		}
+	}
+}
+
+func TestMatMulTABitwiseAcrossWorkers(t *testing.T) {
+	rng := NewRNG(0xabcd)
+	for _, sh := range gemmShapes {
+		// TA: a is [k, m], out is [m, n]
+		a := New(sh.k, sh.m)
+		b := New(sh.k, sh.n)
+		rng.FillUniform(a, -2, 2)
+		rng.FillUniform(b, -2, 2)
+		golden := New(sh.m, sh.n)
+		restore := serialGates(t)
+		MatMulTAInto(golden, a, b)
+		restore()
+		lowGates(t)
+		for _, procs := range parProcs {
+			withMaxProcs(t, procs, func() {
+				got := New(sh.m, sh.n)
+				for i := range got.Data {
+					got.Data[i] = float32(math.NaN())
+				}
+				MatMulTAInto(got, a, b)
+				if i := bitsEqual(golden.Data, got.Data); i >= 0 {
+					t.Fatalf("MatMulTA %dx%dx%d procs=%d: element %d differs",
+						sh.m, sh.k, sh.n, procs, i)
+				}
+			})
+		}
+	}
+}
+
+func TestMatMulTBBitwiseAcrossWorkers(t *testing.T) {
+	rng := NewRNG(0x7777)
+	for _, sh := range gemmShapes {
+		a := New(sh.m, sh.k)
+		b := New(sh.n, sh.k) // TB: b is [n, k]
+		rng.FillUniform(a, -2, 2)
+		rng.FillUniform(b, -2, 2)
+		golden := New(sh.m, sh.n)
+		goldenAcc := New(sh.m, sh.n)
+		rng.FillUniform(goldenAcc, -1, 1)
+		accInit := append([]float32(nil), goldenAcc.Data...)
+		restore := serialGates(t)
+		MatMulTBInto(golden, a, b)
+		MatMulTBAcc(goldenAcc, a, b)
+		restore()
+		lowGates(t)
+		for _, procs := range parProcs {
+			withMaxProcs(t, procs, func() {
+				got := New(sh.m, sh.n)
+				MatMulTBInto(got, a, b)
+				if i := bitsEqual(golden.Data, got.Data); i >= 0 {
+					t.Fatalf("MatMulTB %dx%dx%d procs=%d: element %d differs",
+						sh.m, sh.k, sh.n, procs, i)
+				}
+				gotAcc := New(sh.m, sh.n)
+				copy(gotAcc.Data, accInit)
+				MatMulTBAcc(gotAcc, a, b)
+				if i := bitsEqual(goldenAcc.Data, gotAcc.Data); i >= 0 {
+					t.Fatalf("MatMulTBAcc %dx%dx%d procs=%d: element %d differs",
+						sh.m, sh.k, sh.n, procs, i)
+				}
+			})
+		}
+	}
+}
+
+// lowerShapes stresses the padded/unpadded zero-skip split and odd
+// geometries: stride > kernel, asymmetric padding reach, rows < workers.
+var lowerShapes = []struct {
+	n, c, h, w int
+	g          ConvGeom
+}{
+	{1, 1, 5, 5, ConvGeom{KH: 3, KW: 3, SH: 1, SW: 1, PH: 1, PW: 1}},
+	{2, 3, 7, 11, ConvGeom{KH: 3, KW: 3, SH: 2, SW: 2, PH: 1, PW: 1}},
+	{1, 2, 8, 8, ConvGeom{KH: 1, KW: 1, SH: 1, SW: 1}}, // unpadded 1x1: no zeroing at all
+	{3, 1, 6, 9, ConvGeom{KH: 2, KW: 2, SH: 2, SW: 3}}, // unpadded, stride > kernel in x
+	{1, 5, 13, 7, ConvGeom{KH: 5, KW: 3, SH: 1, SW: 2, PH: 2, PW: 1}},
+	{2, 1, 3, 3, ConvGeom{KH: 3, KW: 3, SH: 1, SW: 1, PH: 1, PW: 1}}, // 9 rows < width? no: rows=9
+	{1, 1, 4, 4, ConvGeom{KH: 2, KW: 2, SH: 2, SW: 2}},               // rows=4 < 8 workers
+}
+
+func TestIm2ColBitwiseAcrossWorkers(t *testing.T) {
+	rng := NewRNG(0x12c0)
+	for _, sh := range lowerShapes {
+		x := New(sh.n, sh.c, sh.h, sh.w)
+		rng.FillUniform(x, -3, 3)
+		oh, ow := sh.g.OutSize(sh.h, sh.w)
+		rows := sh.c * sh.g.KH * sh.g.KW
+		cols := sh.n * oh * ow
+		golden := New(rows, cols)
+		restore := serialGates(t)
+		Im2ColInto(golden, x, sh.g)
+		restore()
+		lowGates(t)
+		for _, procs := range parProcs {
+			withMaxProcs(t, procs, func() {
+				got := New(rows, cols)
+				// Poison: padding zeros must be written, not inherited.
+				for i := range got.Data {
+					got.Data[i] = 42
+				}
+				Im2ColInto(got, x, sh.g)
+				if i := bitsEqual(golden.Data, got.Data); i >= 0 {
+					t.Fatalf("Im2Col %+v procs=%d: element %d differs: %v vs %v",
+						sh, procs, i, golden.Data[i], got.Data[i])
+				}
+			})
+		}
+	}
+}
+
+func TestCol2ImBitwiseAcrossWorkers(t *testing.T) {
+	rng := NewRNG(0xc021)
+	for _, sh := range lowerShapes {
+		oh, ow := sh.g.OutSize(sh.h, sh.w)
+		rows := sh.c * sh.g.KH * sh.g.KW
+		cols := New(rows, sh.n*oh*ow)
+		rng.FillUniform(cols, -3, 3)
+		golden := New(sh.n, sh.c, sh.h, sh.w)
+		restore := serialGates(t)
+		Col2ImInto(golden, cols, sh.g)
+		restore()
+		lowGates(t)
+		for _, procs := range parProcs {
+			withMaxProcs(t, procs, func() {
+				got := New(sh.n, sh.c, sh.h, sh.w)
+				for i := range got.Data {
+					got.Data[i] = 42
+				}
+				Col2ImInto(got, cols, sh.g)
+				if i := bitsEqual(golden.Data, got.Data); i >= 0 {
+					t.Fatalf("Col2Im %+v procs=%d: element %d differs", sh, procs, i)
+				}
+			})
+		}
+	}
+}
+
+func TestInt8KernelsBitwiseAcrossWorkers(t *testing.T) {
+	rng := NewRNG(0x8b17)
+	for _, sh := range gemmShapes {
+		a := make([]int8, sh.m*sh.k)
+		b := make([]int8, sh.k*sh.n)
+		bt := make([]int8, sh.n*sh.k)
+		aScales := make([]float32, sh.m)
+		bScales := make([]float32, sh.n)
+		for i := range a {
+			a[i] = int8(rng.Intn(255) - 127)
+		}
+		for i := range b {
+			b[i] = int8(rng.Intn(255) - 127)
+		}
+		for i := range bt {
+			bt[i] = int8(rng.Intn(255) - 127)
+		}
+		for i := range aScales {
+			aScales[i] = rng.Float32() + 0.01
+		}
+		for i := range bScales {
+			bScales[i] = rng.Float32() + 0.01
+		}
+		xScale := rng.Float32() + 0.01
+		goldenMM := New(sh.m, sh.n)
+		goldenTB := New(sh.m, sh.n)
+		restore := serialGates(t)
+		Int8MatMulInto(goldenMM, a, aScales, b, xScale, sh.m, sh.k, sh.n)
+		Int8MatMulTBInto(goldenTB, a, aScales, bt, bScales, sh.m, sh.k, sh.n)
+		restore()
+		lowGates(t)
+		for _, procs := range parProcs {
+			withMaxProcs(t, procs, func() {
+				got := New(sh.m, sh.n)
+				Int8MatMulInto(got, a, aScales, b, xScale, sh.m, sh.k, sh.n)
+				if i := bitsEqual(goldenMM.Data, got.Data); i >= 0 {
+					t.Fatalf("Int8MatMul %dx%dx%d procs=%d: element %d differs",
+						sh.m, sh.k, sh.n, procs, i)
+				}
+				gotTB := New(sh.m, sh.n)
+				Int8MatMulTBInto(gotTB, a, aScales, bt, bScales, sh.m, sh.k, sh.n)
+				if i := bitsEqual(goldenTB.Data, gotTB.Data); i >= 0 {
+					t.Fatalf("Int8MatMulTB %dx%dx%d procs=%d: element %d differs",
+						sh.m, sh.k, sh.n, procs, i)
+				}
+			})
+		}
+	}
+}
+
+func TestIm2ColInt8BitwiseAcrossWorkers(t *testing.T) {
+	rng := NewRNG(0x18c0)
+	for _, sh := range lowerShapes {
+		if sh.n != 1 {
+			continue // int8 lowering is single-sample
+		}
+		x := make([]int8, sh.c*sh.h*sh.w)
+		for i := range x {
+			x[i] = int8(rng.Intn(255) - 127)
+		}
+		oh, ow := sh.g.OutSize(sh.h, sh.w)
+		rows := sh.c * sh.g.KH * sh.g.KW
+		golden := make([]int8, rows*oh*ow)
+		restore := serialGates(t)
+		Im2ColInt8Into(golden, x, sh.c, sh.h, sh.w, sh.g)
+		restore()
+		lowGates(t)
+		for _, procs := range parProcs {
+			withMaxProcs(t, procs, func() {
+				got := make([]int8, rows*oh*ow)
+				for i := range got {
+					got[i] = 42
+				}
+				Im2ColInt8Into(got, x, sh.c, sh.h, sh.w, sh.g)
+				for i := range golden {
+					if golden[i] != got[i] {
+						t.Fatalf("Im2ColInt8 %+v procs=%d: element %d differs", sh, procs, i)
+					}
+				}
+			})
+		}
+	}
+}

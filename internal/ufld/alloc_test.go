@@ -1,6 +1,7 @@
 package ufld
 
 import (
+	"runtime"
 	"testing"
 
 	"ldbnadapt/internal/resnet"
@@ -28,4 +29,40 @@ func TestInferForwardAllocationFree(t *testing.T) {
 	if n := testing.AllocsPerRun(20, func() { m.ForwardInferInt8(x) }); n != 0 {
 		t.Fatalf("ForwardInferInt8 allocates %.1f objects per call at steady state, want 0", n)
 	}
+}
+
+// TestInferForwardAllocationFreeParallel is the same pin with the
+// worker pool engaged. testing.AllocsPerRun forces GOMAXPROCS to 1 —
+// which makes par.For strictly serial and would bypass every pooled
+// dispatch path — so this variant measures Mallocs deltas directly at
+// GOMAXPROCS 4. The budget is per-call fractional because background
+// runtime activity can add stray allocations; steady state must still
+// round to zero.
+func TestInferForwardAllocationFreeParallel(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	cfg := Tiny(resnet.R18, 2)
+	m := MustNewModel(cfg, tensor.NewRNG(3))
+	x := tensor.New(2, 3, cfg.InputH, cfg.InputW)
+	tensor.NewRNG(4).FillNormal(x, 0, 1)
+
+	measure := func(name string, f func()) {
+		t.Helper()
+		for i := 0; i < 5; i++ {
+			f() // warmup: grow scratch, shards, pooled task blocks, workers
+		}
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		const runs = 50
+		for i := 0; i < runs; i++ {
+			f()
+		}
+		runtime.ReadMemStats(&after)
+		if per := float64(after.Mallocs-before.Mallocs) / runs; per > 0.1 {
+			t.Fatalf("%s allocates %.2f objects per call at GOMAXPROCS 4, want 0", name, per)
+		}
+	}
+	measure("ForwardInfer", func() { m.ForwardInfer(x) })
+	measure("ForwardInferInt8", func() { m.ForwardInferInt8(x) })
 }
